@@ -1,0 +1,40 @@
+//! GpSM (Tran et al., DASFAA 2015): edge-oriented GPU subgraph matching
+//! with label+degree filtering, a min-candidate BFS join tree, and the
+//! two-step output scheme.
+
+use crate::edge_join::{BaselineFilter, EdgeJoinConfig, EdgeJoinEngine, RootHeuristic};
+use gsi_gpu_sim::Gpu;
+
+/// Build a GpSM engine on the given device.
+pub fn engine(gpu: Gpu) -> EdgeJoinEngine {
+    EdgeJoinEngine::with_gpu(config(), gpu)
+}
+
+/// GpSM's configuration.
+pub fn config() -> EdgeJoinConfig {
+    EdgeJoinConfig {
+        name: "GpSM",
+        filter: BaselineFilter::LabelDegree,
+        root: RootHeuristic::MinCandidate,
+        max_intermediate_rows: 5_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn config_shape() {
+        let c = config();
+        assert_eq!(c.name, "GpSM");
+        assert_eq!(c.filter, BaselineFilter::LabelDegree);
+        assert_eq!(c.root, RootHeuristic::MinCandidate);
+    }
+
+    #[test]
+    fn engine_builds() {
+        let _ = engine(Gpu::new(DeviceConfig::test_device()));
+    }
+}

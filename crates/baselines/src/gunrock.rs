@@ -1,0 +1,39 @@
+//! GunrockSM (Wang et al., HPDC 2016): subgraph matching on the Gunrock
+//! framework — label-only filtering, plain BFS join order, two-step output.
+
+use crate::edge_join::{BaselineFilter, EdgeJoinConfig, EdgeJoinEngine, RootHeuristic};
+use gsi_gpu_sim::Gpu;
+
+/// Build a GunrockSM engine on the given device.
+pub fn engine(gpu: Gpu) -> EdgeJoinEngine {
+    EdgeJoinEngine::with_gpu(config(), gpu)
+}
+
+/// GunrockSM's configuration.
+pub fn config() -> EdgeJoinConfig {
+    EdgeJoinConfig {
+        name: "GunrockSM",
+        filter: BaselineFilter::LabelOnly,
+        root: RootHeuristic::FirstVertex,
+        max_intermediate_rows: 5_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn config_shape() {
+        let c = config();
+        assert_eq!(c.name, "GunrockSM");
+        assert_eq!(c.filter, BaselineFilter::LabelOnly);
+        assert_eq!(c.root, RootHeuristic::FirstVertex);
+    }
+
+    #[test]
+    fn engine_builds() {
+        let _ = engine(Gpu::new(DeviceConfig::test_device()));
+    }
+}

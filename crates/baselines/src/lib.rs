@@ -1,0 +1,31 @@
+//! # gsi-baselines — the competitor engines of the paper's evaluation
+//!
+//! Everything Fig. 12 compares GSI against, implemented from scratch:
+//!
+//! * **CPU backtracking** — [`ullmann`] (the 1976 original with candidate
+//!   refinement), [`vf2`] (the classic Cordella et al. algorithm; also this
+//!   repository's correctness oracle), [`vf3`] (VF2 plus node
+//!   classification, rarity-driven ordering and degree/lookahead pruning,
+//!   in the spirit of Carletti et al.) and [`cfl`] (core-forest-leaf
+//!   decomposition with NLF filtering, in the spirit of Bi et al.'s
+//!   CFL-Match).
+//! * **GPU edge-oriented join** — [`gpsm`] and [`gunrock`], both built on
+//!   the shared [`edge_join`] machinery: candidate-edge collection over
+//!   traditional CSR, BFS-tree join order, and the **two-step output
+//!   scheme** (every join performed twice) that GSI's Prealloc-Combine
+//!   replaces.
+//!
+//! All engines return canonicalized assignments comparable with
+//! [`gsi_core::Matches::canonical`]; the integration tests assert every
+//! engine agrees with VF2 on randomized workloads.
+
+pub mod cfl;
+pub mod common;
+pub mod edge_join;
+pub mod gpsm;
+pub mod gunrock;
+pub mod ullmann;
+pub mod vf2;
+pub mod vf3;
+
+pub use common::EngineResult;

@@ -1,0 +1,239 @@
+//! Ullmann's algorithm (J. ACM 1976) — the original subgraph-isomorphism
+//! backtracking procedure, cited as the root of the paper's related work.
+//!
+//! Maintains a candidate matrix `M[u] = {v : v may match u}` and, at each
+//! depth, tries every remaining candidate of the next query vertex, running
+//! the classic **refinement** step: after assigning `u → v`, every candidate
+//! `v'` of every unmatched `u'` adjacent to `u` must have an edge to `v`
+//! with the right label, or it is (temporarily) pruned. Simpler ordering and
+//! weaker pruning than VF2 — the expected loser of the CPU lineup, kept as
+//! a reference point and oracle cross-check.
+
+use crate::common::{canonicalize, EngineResult, TimeoutGuard};
+use gsi_graph::{Graph, VertexId};
+use std::time::{Duration, Instant};
+
+struct Search<'a> {
+    data: &'a Graph,
+    query: &'a Graph,
+    order: Vec<VertexId>,
+    /// Candidate lists per query vertex, rebuilt by refinement at each depth.
+    candidates: Vec<Vec<VertexId>>,
+    mapping: Vec<Option<VertexId>>,
+    used: Vec<bool>,
+    results: Vec<Vec<VertexId>>,
+    guard: TimeoutGuard,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, depth: usize) {
+        if self.guard.expired() {
+            return;
+        }
+        if depth == self.order.len() {
+            self.results.push(
+                self.mapping
+                    .iter()
+                    .map(|m| m.expect("complete mapping"))
+                    .collect(),
+            );
+            return;
+        }
+        let u = self.order[depth];
+        let pool = self.candidates[u as usize].clone();
+        for v in pool {
+            if self.used[v as usize] || !self.consistent(u, v) {
+                continue;
+            }
+            // Refinement: prune candidates of unmatched neighbors of u that
+            // lack the required edge to v; abandon v if any set empties.
+            let saved = self.refine(u, v);
+            let viable = self
+                .query
+                .neighbors(u)
+                .iter()
+                .all(|&(w, _)| self.mapping[w as usize].is_some()
+                    || !self.candidates[w as usize].is_empty());
+            if viable {
+                self.mapping[u as usize] = Some(v);
+                self.used[v as usize] = true;
+                self.recurse(depth + 1);
+                self.mapping[u as usize] = None;
+                self.used[v as usize] = false;
+            }
+            self.unrefine(saved);
+        }
+    }
+
+    fn consistent(&self, u: VertexId, v: VertexId) -> bool {
+        for &(w, l) in self.query.neighbors(u) {
+            if let Some(dv) = self.mapping[w as usize] {
+                if !self.data.has_edge(v, dv, l) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Remove unsupported candidates from `u`'s unmatched neighbors and
+    /// return an undo log of `(query vertex, removed candidates)`.
+    fn refine(&mut self, u: VertexId, v: VertexId) -> Vec<(usize, Vec<VertexId>)> {
+        let mut undo = Vec::new();
+        for &(w, l) in self.query.neighbors(u) {
+            if self.mapping[w as usize].is_some() {
+                continue;
+            }
+            let cand = &mut self.candidates[w as usize];
+            let before = cand.len();
+            let mut removed = Vec::new();
+            cand.retain(|&cv| {
+                if cv != v && self.data.has_edge(cv, v, l) {
+                    true
+                } else {
+                    removed.push(cv);
+                    false
+                }
+            });
+            if cand.len() != before {
+                undo.push((w as usize, removed));
+            }
+        }
+        undo
+    }
+
+    fn unrefine(&mut self, undo: Vec<(usize, Vec<VertexId>)>) {
+        for (w, removed) in undo {
+            self.candidates[w].extend(removed);
+            self.candidates[w].sort_unstable();
+        }
+    }
+}
+
+/// Enumerate all matches with Ullmann-style backtracking + refinement.
+pub fn run(data: &Graph, query: &Graph, timeout: Option<Duration>) -> EngineResult {
+    let start = Instant::now();
+    let nq = query.n_vertices();
+    if nq == 0 {
+        return EngineResult {
+            assignments: Vec::new(),
+            elapsed: start.elapsed(),
+            timed_out: false,
+            device: None,
+        };
+    }
+    // Initial candidate matrix: label + degree compatibility.
+    let candidates: Vec<Vec<VertexId>> = (0..nq as VertexId)
+        .map(|u| {
+            (0..data.n_vertices() as VertexId)
+                .filter(|&v| {
+                    data.vlabel(v) == query.vlabel(u) && data.degree(v) >= query.degree(u)
+                })
+                .collect()
+        })
+        .collect();
+    // Ullmann's original order: query vertices by index; we keep a
+    // connectivity-preserving variant so refinement has anchors.
+    let mut order = Vec::with_capacity(nq);
+    let mut in_order = vec![false; nq];
+    order.push(0 as VertexId);
+    in_order[0] = true;
+    while order.len() < nq {
+        let next = (0..nq as VertexId)
+            .find(|&u| {
+                !in_order[u as usize]
+                    && query
+                        .neighbors(u)
+                        .iter()
+                        .any(|&(w, _)| in_order[w as usize])
+            })
+            .expect("connected query");
+        in_order[next as usize] = true;
+        order.push(next);
+    }
+
+    let mut s = Search {
+        data,
+        query,
+        order,
+        candidates,
+        mapping: vec![None; nq],
+        used: vec![false; data.n_vertices()],
+        results: Vec::new(),
+        guard: TimeoutGuard::new(timeout),
+    };
+    s.recurse(0);
+    let timed_out = s.guard.expired();
+    EngineResult {
+        assignments: canonicalize(s.results),
+        elapsed: start.elapsed(),
+        timed_out,
+        device: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf2;
+    use gsi_graph::generate::{barabasi_albert, LabelModel};
+    use gsi_graph::query_gen::random_walk_query;
+    use gsi_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_vf2_on_random_workloads() {
+        for seed in 30..35u64 {
+            let model = LabelModel::zipf(4, 3, 0.8);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = barabasi_albert(100, 2, &model, &mut rng);
+            let query = random_walk_query(&data, 4, &mut rng).expect("query");
+            let a = vf2::run(&data, &query, None);
+            let b = run(&data, &query, None);
+            assert_eq!(a.assignments, b.assignments, "seed {seed}");
+            b.verify(&data, &query).unwrap();
+        }
+    }
+
+    #[test]
+    fn refinement_prunes_starved_branches() {
+        // Star query whose leaves demand more neighbors than exist.
+        let mut b = GraphBuilder::new();
+        let c = b.add_vertex(0);
+        let l1 = b.add_vertex(1);
+        b.add_edge(c, l1, 0);
+        let data = b.build();
+        let mut qb = GraphBuilder::new();
+        let qc = qb.add_vertex(0);
+        let q1 = qb.add_vertex(1);
+        let q2 = qb.add_vertex(1);
+        qb.add_edge(qc, q1, 0);
+        qb.add_edge(qc, q2, 0);
+        let query = qb.build();
+        assert!(run(&data, &query, None).is_empty());
+    }
+
+    #[test]
+    fn single_edge_match() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        b.add_edge(v0, v1, 3);
+        let data = b.build();
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 3);
+        let query = qb.build();
+        let res = run(&data, &query, None);
+        assert_eq!(res.assignments, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn empty_query_is_empty() {
+        let data = GraphBuilder::new().build();
+        let query = GraphBuilder::new().build();
+        assert!(run(&data, &query, None).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! VF2 — the classic CPU backtracking algorithm (Cordella et al., TPAMI
+//! 2004), and this repository's correctness oracle.
+//!
+//! Depth-first state-space search: query vertices are matched one at a time
+//! in a connectivity-preserving order; a candidate data vertex is feasible
+//! when labels match, it is unused, and every query edge to an
+//! already-matched vertex exists in the data graph with the same label.
+
+use crate::common::{canonicalize, EngineResult, TimeoutGuard};
+use gsi_graph::{Graph, VertexId};
+use std::time::{Duration, Instant};
+
+/// A connectivity-preserving matching order: start anywhere, always extend
+/// with a vertex adjacent to the matched prefix (queries are connected).
+fn connectivity_order(query: &Graph) -> Vec<VertexId> {
+    let n = query.n_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut in_order = vec![false; n];
+    if n == 0 {
+        return order;
+    }
+    order.push(0);
+    in_order[0] = true;
+    while order.len() < n {
+        let next = (0..n as VertexId)
+            .find(|&u| {
+                !in_order[u as usize]
+                    && query
+                        .neighbors(u)
+                        .iter()
+                        .any(|&(w, _)| in_order[w as usize])
+            })
+            .expect("query must be connected");
+        in_order[next as usize] = true;
+        order.push(next);
+    }
+    order
+}
+
+struct Search<'a> {
+    data: &'a Graph,
+    query: &'a Graph,
+    order: Vec<VertexId>,
+    mapping: Vec<Option<VertexId>>,
+    used: Vec<bool>,
+    results: Vec<Vec<VertexId>>,
+    guard: TimeoutGuard,
+}
+
+impl Search<'_> {
+    fn feasible(&self, u: VertexId, v: VertexId) -> bool {
+        if self.query.vlabel(u) != self.data.vlabel(v) || self.used[v as usize] {
+            return false;
+        }
+        // Every edge from u to a matched query vertex must exist in data.
+        for &(w, l) in self.query.neighbors(u) {
+            if let Some(dv) = self.mapping[w as usize] {
+                if !self.data.has_edge(v, dv, l) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn recurse(&mut self, depth: usize) {
+        if self.guard.expired() {
+            return;
+        }
+        if depth == self.order.len() {
+            self.results.push(
+                self.mapping
+                    .iter()
+                    .map(|m| m.expect("complete mapping"))
+                    .collect(),
+            );
+            return;
+        }
+        let u = self.order[depth];
+        // Candidate generation: neighbors of an already-matched neighbor
+        // (connectivity order guarantees one for depth > 0).
+        let anchor = self.query.neighbors(u).iter().find_map(|&(w, l)| {
+            self.mapping[w as usize].map(|dv| (dv, l))
+        });
+        match anchor {
+            Some((dv, l)) => {
+                let cands: Vec<VertexId> = self.data.neighbors_with_label(dv, l).collect();
+                for v in cands {
+                    if self.feasible(u, v) {
+                        self.assign(u, v, depth);
+                    }
+                }
+            }
+            None => {
+                debug_assert_eq!(depth, 0);
+                for v in 0..self.data.n_vertices() as VertexId {
+                    if self.feasible(u, v) {
+                        self.assign(u, v, depth);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, u: VertexId, v: VertexId, depth: usize) {
+        self.mapping[u as usize] = Some(v);
+        self.used[v as usize] = true;
+        self.recurse(depth + 1);
+        self.mapping[u as usize] = None;
+        self.used[v as usize] = false;
+    }
+}
+
+/// Enumerate all matches of `query` in `data` with VF2-style backtracking.
+pub fn run(data: &Graph, query: &Graph, timeout: Option<Duration>) -> EngineResult {
+    let start = Instant::now();
+    if query.n_vertices() == 0 {
+        return EngineResult {
+            assignments: Vec::new(),
+            elapsed: start.elapsed(),
+            timed_out: false,
+            device: None,
+        };
+    }
+    let mut s = Search {
+        data,
+        query,
+        order: connectivity_order(query),
+        mapping: vec![None; query.n_vertices()],
+        used: vec![false; data.n_vertices()],
+        results: Vec::new(),
+        guard: TimeoutGuard::new(timeout),
+    };
+    s.recurse(0);
+    let timed_out = s.guard.expired();
+    EngineResult {
+        assignments: canonicalize(s.results),
+        elapsed: start.elapsed(),
+        timed_out,
+        device: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_graph::GraphBuilder;
+
+    fn triangle_data() -> Graph {
+        // Two labeled triangles sharing an edge.
+        let mut b = GraphBuilder::new();
+        let v: Vec<u32> = (0..4).map(|i| b.add_vertex(if i == 3 { 1 } else { 0 })).collect();
+        b.add_edge(v[0], v[1], 0);
+        b.add_edge(v[1], v[2], 0);
+        b.add_edge(v[0], v[2], 0);
+        b.add_edge(v[1], v[3], 0);
+        b.add_edge(v[2], v[3], 0);
+        b.build()
+    }
+
+    #[test]
+    fn triangle_query_counts_automorphisms() {
+        let data = triangle_data();
+        let mut qb = GraphBuilder::new();
+        let u: Vec<u32> = (0..3).map(|_| qb.add_vertex(0)).collect();
+        qb.add_edge(u[0], u[1], 0);
+        qb.add_edge(u[1], u[2], 0);
+        qb.add_edge(u[0], u[2], 0);
+        let query = qb.build();
+        let res = run(&data, &query, None);
+        // One triangle of label-0 vertices (v0,v1,v2), 3! automorphisms.
+        assert_eq!(res.len(), 6);
+        res.verify(&data, &query).unwrap();
+    }
+
+    #[test]
+    fn edge_labels_respected() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(1);
+        b.add_edge(v0, v1, 5);
+        b.add_edge(v0, v2, 6);
+        let data = b.build();
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 5);
+        let query = qb.build();
+        let res = run(&data, &query, None);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.assignments[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        // Path query u0-u1-u2 with all labels equal; data path v0-v1: no
+        // match without reusing vertices.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(0);
+        b.add_edge(v0, v1, 0);
+        let data = b.build();
+        let mut qb = GraphBuilder::new();
+        let u: Vec<u32> = (0..3).map(|_| qb.add_vertex(0)).collect();
+        qb.add_edge(u[0], u[1], 0);
+        qb.add_edge(u[1], u[2], 0);
+        let query = qb.build();
+        assert!(run(&data, &query, None).is_empty());
+    }
+
+    #[test]
+    fn empty_query() {
+        let data = triangle_data();
+        let q = GraphBuilder::new().build();
+        assert!(run(&data, &q, None).is_empty());
+    }
+}

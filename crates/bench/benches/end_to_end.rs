@@ -1,0 +1,51 @@
+//! Fig. 12 microbenchmark: every engine end-to-end on a small enron
+//! stand-in (VF3-like, CFL-like, GpSM, GunrockSM, GSI, GSI-opt).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi::baselines::{gpsm, gunrock};
+use gsi::datasets::DatasetKind;
+use gsi::prelude::*;
+use gsi_bench::runner::{run_cpu_baseline, run_edge_baseline, run_gsi, CpuBaseline};
+use gsi_bench::workloads::HarnessOpts;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let opts = HarnessOpts {
+        scale: 0.05,
+        queries: 2,
+        query_size: 6,
+        ..Default::default()
+    };
+    let data = opts.dataset(DatasetKind::Enron);
+    let queries = opts.query_batch(&data);
+
+    let mut g = c.benchmark_group("fig12_engines");
+    g.bench_function("vf3_like", |b| {
+        b.iter(|| black_box(run_cpu_baseline(CpuBaseline::Vf3, &data, &queries, &opts).matches))
+    });
+    g.bench_function("cfl_like", |b| {
+        b.iter(|| black_box(run_cpu_baseline(CpuBaseline::Cfl, &data, &queries, &opts).matches))
+    });
+    g.bench_function("gpsm", |b| {
+        let engine = gpsm::engine(Gpu::new(DeviceConfig::titan_xp()));
+        b.iter(|| black_box(run_edge_baseline(&engine, &data, &queries, &opts).matches))
+    });
+    g.bench_function("gunrock_sm", |b| {
+        let engine = gunrock::engine(Gpu::new(DeviceConfig::titan_xp()));
+        b.iter(|| black_box(run_edge_baseline(&engine, &data, &queries, &opts).matches))
+    });
+    g.bench_function("gsi", |b| {
+        b.iter(|| black_box(run_gsi(&GsiConfig::gsi(), &data, &queries, &opts).matches))
+    });
+    g.bench_function("gsi_opt", |b| {
+        b.iter(|| black_box(run_gsi(&GsiConfig::gsi_opt(), &data, &queries, &opts).matches))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table IV / Fig. 8 microbenchmark: the three filtering strategies and the
+//! row-first vs column-first signature layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi::datasets::DatasetKind;
+use gsi::prelude::*;
+use gsi_bench::runner::run_gsi_filter_only;
+use gsi_bench::workloads::HarnessOpts;
+use std::hint::black_box;
+
+fn bench_filters(c: &mut Criterion) {
+    let opts = HarnessOpts {
+        scale: 0.1,
+        queries: 2,
+        query_size: 8,
+        ..Default::default()
+    };
+    let data = opts.dataset(DatasetKind::Enron);
+    let queries = opts.query_batch(&data);
+
+    let mut g = c.benchmark_group("table4_filters");
+    for (name, filter) in [
+        ("gsi_signature", FilterStrategy::Signature),
+        ("gpsm_label_degree", FilterStrategy::LabelDegree),
+        ("gunrock_label_only", FilterStrategy::LabelOnly),
+    ] {
+        let cfg = GsiConfig {
+            filter,
+            ..GsiConfig::gsi_opt()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_gsi_filter_only(&cfg, &data, &queries).min_candidate))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig8_layouts");
+    for (name, layout) in [
+        ("column_first", Layout::ColumnFirst),
+        ("row_first", Layout::RowFirst),
+    ] {
+        let cfg = GsiConfig {
+            signature_layout: layout,
+            ..GsiConfig::gsi_opt()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_gsi_filter_only(&cfg, &data, &queries).gld))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_filters
+}
+criterion_main!(benches);

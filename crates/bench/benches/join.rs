@@ -1,0 +1,64 @@
+//! Table VI microbenchmark: the join-technique ladder (GSI- → +DS → +PC →
+//! +SO) plus the first-edge selection ablation (Algorithm 4 line 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi::datasets::DatasetKind;
+use gsi::prelude::*;
+use gsi_bench::runner::run_gsi;
+use gsi_bench::workloads::HarnessOpts;
+use std::hint::black_box;
+
+fn bench_join_ladder(c: &mut Criterion) {
+    let opts = HarnessOpts {
+        scale: 0.06,
+        queries: 2,
+        query_size: 8,
+        ..Default::default()
+    };
+    let data = opts.dataset(DatasetKind::Enron);
+    let queries = opts.query_batch(&data);
+
+    let mut g = c.benchmark_group("table6_ladder");
+    for (name, cfg) in [
+        ("gsi_base", GsiConfig::gsi_base()),
+        ("plus_ds_pcsr", GsiConfig::gsi_ds()),
+        ("plus_pc_prealloc", GsiConfig::gsi_pc()),
+        ("plus_so_full_gsi", GsiConfig::gsi()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_gsi(&cfg, &data, &queries, &opts).matches))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("alg4_first_edge_ablation");
+    for (name, min_freq) in [("min_freq_edge", true), ("arbitrary_edge", false)] {
+        let cfg = GsiConfig {
+            first_edge_min_freq: min_freq,
+            ..GsiConfig::gsi()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_gsi(&cfg, &data, &queries, &opts).allocs))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("gba_combined_alloc_ablation");
+    for (name, combined) in [("combined_gba", true), ("per_row_buffers", false)] {
+        let cfg = GsiConfig {
+            combined_alloc: combined,
+            ..GsiConfig::gsi()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_gsi(&cfg, &data, &queries, &opts).allocs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_join_ladder
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 13 microbenchmark: GSI-opt on a growing WatDiv-like series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsi::prelude::*;
+use gsi_bench::runner::run_gsi;
+use gsi_bench::workloads::{watdiv_series, HarnessOpts};
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    let opts = HarnessOpts {
+        scale: 0.05,
+        queries: 1,
+        query_size: 8,
+        ..Default::default()
+    };
+    let series = watdiv_series(&opts, 3);
+
+    let mut g = c.benchmark_group("fig13_scalability");
+    for (name, data) in &series {
+        let queries = opts.query_batch(data);
+        g.throughput(Throughput::Elements(data.n_edges() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), data, |b, data| {
+            b.iter(|| black_box(run_gsi(&GsiConfig::gsi_opt(), data, &queries, &opts).matches))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scalability
+}
+criterion_main!(benches);

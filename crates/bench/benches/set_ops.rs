@@ -1,0 +1,76 @@
+//! §V microbenchmark: GPU-friendly vs naive set operations, and the raw
+//! primitive costs (bitset probe vs sorted-list binary search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi::datasets::DatasetKind;
+use gsi::engine::set_ops::CandidateProbe;
+use gsi::prelude::*;
+use gsi_bench::runner::run_gsi;
+use gsi_bench::workloads::HarnessOpts;
+use gsi::engine::SetOpStrategy;
+use gsi::signature::CandidateSet;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let opts = HarnessOpts {
+        scale: 0.06,
+        queries: 2,
+        query_size: 8,
+        ..Default::default()
+    };
+    let data = opts.dataset(DatasetKind::Enron);
+    let queries = opts.query_batch(&data);
+
+    let mut g = c.benchmark_group("sec5_set_op_strategy");
+    for (name, strategy) in [
+        ("gpu_friendly", SetOpStrategy::GpuFriendly),
+        ("naive_kernel_per_op", SetOpStrategy::Naive),
+    ] {
+        let cfg = GsiConfig {
+            set_ops: strategy,
+            write_cache: strategy == SetOpStrategy::GpuFriendly,
+            ..GsiConfig::gsi()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_gsi(&cfg, &data, &queries, &opts).join_gld))
+        });
+    }
+    g.finish();
+
+    // Raw probe primitives.
+    let gpu = Gpu::new(DeviceConfig::titan_xp());
+    let members: Vec<u32> = (0..100_000).step_by(3).collect();
+    let cand = CandidateSet {
+        query_vertex: 0,
+        list: members,
+    };
+    let bitset = CandidateProbe::build(&gpu, SetOpStrategy::GpuFriendly, 100_000, &cand);
+    let sorted = CandidateProbe::build(&gpu, SetOpStrategy::Naive, 100_000, &cand);
+    let mut g = c.benchmark_group("sec5_probe_primitives");
+    g.bench_function("bitset_probe", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for v in (0..4096u32).step_by(7) {
+                hits += bitset.probe(&gpu, black_box(v)) as u32;
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("sorted_binary_search", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for v in (0..4096u32).step_by(7) {
+                hits += sorted.probe(&gpu, black_box(v)) as u32;
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+criterion_main!(benches);

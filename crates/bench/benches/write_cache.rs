@@ -1,0 +1,38 @@
+//! Table VII microbenchmark: the 128-byte write cache on vs off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsi::datasets::DatasetKind;
+use gsi::prelude::*;
+use gsi_bench::runner::run_gsi;
+use gsi_bench::workloads::HarnessOpts;
+use std::hint::black_box;
+
+fn bench_write_cache(c: &mut Criterion) {
+    let opts = HarnessOpts {
+        scale: 0.06,
+        queries: 2,
+        query_size: 8,
+        ..Default::default()
+    };
+    let data = opts.dataset(DatasetKind::Enron);
+    let queries = opts.query_batch(&data);
+
+    let mut g = c.benchmark_group("table7_write_cache");
+    for (name, cache) in [("write_cache", true), ("no_cache", false)] {
+        let cfg = GsiConfig {
+            write_cache: cache,
+            ..GsiConfig::gsi()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_gsi(&cfg, &data, &queries, &opts).join_gst))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_write_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,568 @@
+//! One function per table and figure of the paper's evaluation (§VII).
+//!
+//! Every function prints the same rows/series the paper reports, measured on
+//! the simulated-GPU substrate at the harness scale. Absolute numbers differ
+//! from the Titan XP testbed; the *shape* (who wins, by what factor, where
+//! crossovers fall) is the reproduction target — EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+use crate::fmt::{drop_pct, human, ms, speedup, Table};
+use crate::runner::{
+    run_cpu_baseline, run_edge_baseline, run_gsi, run_gsi_filter_only, CpuBaseline,
+};
+use crate::workloads::{gowalla_with_labels, watdiv_series, HarnessOpts};
+use gsi::baselines::{gpsm, gunrock};
+use gsi::datasets::{statistics, DatasetKind};
+use gsi::graph::basic::BasicStore;
+use gsi::graph::compressed::CompressedStore;
+use gsi::graph::csr::Csr;
+use gsi::graph::pcsr::PcsrStore;
+use gsi::graph::LabeledStore;
+use gsi::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Render an engine cell: mean over completed queries, annotated with the
+/// number of timeouts ("12ms (+2T)"), or ">limit" when everything timed out.
+fn time_cell(agg: &crate::runner::Aggregate, limit: std::time::Duration) -> String {
+    match agg.avg_completed_time() {
+        Some(avg) if agg.timeouts == 0 => ms(avg),
+        Some(avg) => format!("{} (+{}T)", ms(avg), agg.timeouts),
+        None => format!(">{}", ms(limit)),
+    }
+}
+
+fn section(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Table II: time/space of CSR vs BR vs CR vs PCSR, measured as average GLD
+/// transactions per `N(v, l)` extraction — plus the GPN ablation.
+pub fn table2(opts: &HarnessOpts) {
+    section("Table II — storage structures: transactions per N(v,l) extraction");
+    let data = opts.dataset(DatasetKind::Gowalla);
+    println!("dataset: gowalla stand-in, {}", statistics(&data));
+
+    // Sample (v, l) pairs that exist.
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut samples = Vec::with_capacity(2_000);
+    while samples.len() < 2_000 {
+        let v = rng.random_range(0..data.n_vertices()) as u32;
+        let nbrs = data.neighbors(v);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let (_, l) = nbrs[rng.random_range(0..nbrs.len())];
+        samples.push((v, l));
+    }
+
+    let gpu = Gpu::new(DeviceConfig::titan_xp());
+    let stores: Vec<(&str, Box<dyn LabeledStore>)> = vec![
+        ("CSR", Box::new(Csr::build(&data))),
+        ("BR", Box::new(BasicStore::build(&data))),
+        ("CR", Box::new(CompressedStore::build(&data))),
+        ("PCSR", Box::new(PcsrStore::build(&data))),
+    ];
+
+    let mut t = Table::new(vec![
+        "structure",
+        "avg GLD/op",
+        "time/2k ops",
+        "space (MB)",
+        "paper complexity",
+    ]);
+    for (name, store) in &stores {
+        gpu.reset_stats();
+        let t0 = std::time::Instant::now();
+        let mut total_len = 0usize;
+        for &(v, l) in &samples {
+            let n = store.neighbors_with_label(&gpu, v, l);
+            n.for_each_batch(&gpu, |b| total_len += b.len());
+        }
+        let elapsed = t0.elapsed();
+        let gld = gpu.stats().snapshot().gld_transactions as f64 / samples.len() as f64;
+        let complexity = match *name {
+            "CSR" => "O(|N(v)|), O(|E|)",
+            "BR" => "O(1), O(|E|+|LE||V|)",
+            "CR" => "O(log|V(G,l)|), O(|E|)",
+            _ => "O(1), O(|E|)",
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{gld:.2}"),
+            ms(elapsed),
+            format!("{:.1}", store.space_bytes() as f64 / 1e6),
+            complexity.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\nGPN ablation (PCSR group size; paper fixes 16 = one 128B transaction):");
+    let mut t = Table::new(vec!["GPN", "avg GLD/locate", "max chain", "space (MB)"]);
+    for gpn in [2usize, 4, 8, 16] {
+        let store = PcsrStore::build_with_gpn(&data, gpn);
+        gpu.reset_stats();
+        for &(v, l) in &samples {
+            store.neighbor_count(&gpu, v, l);
+        }
+        let gld = gpu.stats().snapshot().gld_transactions as f64 / samples.len() as f64;
+        t.row(vec![
+            gpn.to_string(),
+            format!("{gld:.2}"),
+            store.max_chain().to_string(),
+            format!("{:.1}", store.space_bytes() as f64 / 1e6),
+        ]);
+    }
+    t.print();
+}
+
+/// Table III: dataset statistics (generated stand-ins at harness scale,
+/// with the paper's full-scale targets alongside).
+pub fn table3(opts: &HarnessOpts) {
+    section("Table III — dataset statistics (stand-ins at harness scale)");
+    let mut t = Table::new(vec![
+        "name", "|V|", "|E|", "|LV|", "|LE|", "MD", "paper |V|", "paper |E|", "paper MD",
+    ]);
+    for kind in DatasetKind::ALL {
+        let g = opts.dataset(kind);
+        let s = statistics(&g);
+        let (pv, pe, _, _, _) = kind.full_target();
+        let paper_md = match kind {
+            DatasetKind::Enron => "1.7K",
+            DatasetKind::Gowalla => "29K",
+            DatasetKind::RoadCentral => "8",
+            DatasetKind::DBpedia => "2.2M",
+            DatasetKind::WatDiv => "671K",
+        };
+        t.row(vec![
+            kind.name().to_string(),
+            human(s.n_vertices as u64),
+            human(s.n_edges as u64),
+            human(s.n_vertex_labels as u64),
+            human(s.n_edge_labels as u64),
+            human(s.max_degree as u64),
+            human(pv as u64),
+            human(pe as u64),
+            paper_md.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// Table IV: filtering strategies — minimum `|C(u)|` and filter time for
+/// GpSM, GunrockSM (GSM) and GSI filters.
+pub fn table4(opts: &HarnessOpts) {
+    section("Table IV — filtering strategies: minimum |C(u)| and time (ms)");
+    let mut t = Table::new(vec![
+        "dataset",
+        "GpSM |C|",
+        "GSM |C|",
+        "GSI |C|",
+        "GpSM ms",
+        "GSM ms",
+        "GSI ms",
+    ]);
+    for kind in DatasetKind::ALL {
+        let data = opts.dataset(kind);
+        let queries = opts.query_batch(&data);
+        let mk = |filter| GsiConfig {
+            filter,
+            ..GsiConfig::gsi_opt()
+        };
+        let gpsm_f = run_gsi_filter_only(&mk(FilterStrategy::LabelDegree), &data, &queries);
+        let gsm_f = run_gsi_filter_only(&mk(FilterStrategy::LabelOnly), &data, &queries);
+        let gsi_f = run_gsi_filter_only(&mk(FilterStrategy::Signature), &data, &queries);
+        t.row(vec![
+            kind.name().to_string(),
+            gpsm_f.avg_min_candidate().to_string(),
+            gsm_f.avg_min_candidate().to_string(),
+            gsi_f.avg_min_candidate().to_string(),
+            ms(gpsm_f.avg_filter_time()),
+            ms(gsm_f.avg_filter_time()),
+            ms(gsi_f.avg_filter_time()),
+        ]);
+    }
+    t.print();
+    println!("(paper: GSI reduces min |C(u)| by 10-100x at lower filter time)");
+}
+
+/// Table V: tuning the signature length N on gowalla.
+pub fn table5(opts: &HarnessOpts) {
+    section("Table V — tuning N (signature bits) on gowalla: min |C(u)|");
+    let data = opts.dataset(DatasetKind::Gowalla);
+    let queries = opts.query_batch(&data);
+    let mut t = Table::new(vec!["N", "min |C(u)|", "filter ms"]);
+    for n in [64usize, 128, 192, 256, 320, 384, 448, 512] {
+        let cfg = GsiConfig {
+            signature: SignatureConfig::with_n(n),
+            ..GsiConfig::gsi_opt()
+        };
+        let agg = run_gsi_filter_only(&cfg, &data, &queries);
+        t.row(vec![
+            n.to_string(),
+            agg.avg_min_candidate().to_string(),
+            ms(agg.avg_filter_time()),
+        ]);
+    }
+    t.print();
+    println!("(paper: 394, 271, 154, 137, 112, 101, 92, 90 — monotone drop, flattening at 512)");
+}
+
+/// Table VI: the join-phase technique ladder — GLD and time for GSI-, +DS,
+/// +PC, +SO.
+pub fn table6(opts: &HarnessOpts) {
+    section("Table VI — join techniques: GLD (join phase) and query time");
+    let mut gld_t = Table::new(vec![
+        "dataset", "GSI-", "+DS", "drop", "+PC", "drop", "+SO", "drop",
+    ]);
+    let mut time_t = Table::new(vec![
+        "dataset", "GSI-", "+DS", "spd", "+PC", "spd", "+SO", "spd",
+    ]);
+    let mut join_t = Table::new(vec![
+        "dataset", "GSI-", "+DS", "spd", "+PC", "spd", "+SO", "spd",
+    ]);
+    for kind in DatasetKind::ALL {
+        let data = opts.dataset(kind);
+        let queries = opts.query_batch(&data);
+        let base = run_gsi(&GsiConfig::gsi_base(), &data, &queries, opts);
+        let ds = run_gsi(&GsiConfig::gsi_ds(), &data, &queries, opts);
+        let pc = run_gsi(&GsiConfig::gsi_pc(), &data, &queries, opts);
+        let so = run_gsi(&GsiConfig::gsi(), &data, &queries, opts);
+        join_t.row(vec![
+            kind.name().to_string(),
+            ms(base.avg_join_time()),
+            ms(ds.avg_join_time()),
+            speedup(base.avg_join_time(), ds.avg_join_time()),
+            ms(pc.avg_join_time()),
+            speedup(ds.avg_join_time(), pc.avg_join_time()),
+            ms(so.avg_join_time()),
+            speedup(pc.avg_join_time(), so.avg_join_time()),
+        ]);
+        gld_t.row(vec![
+            kind.name().to_string(),
+            human(base.avg_join_gld()),
+            human(ds.avg_join_gld()),
+            drop_pct(base.avg_join_gld(), ds.avg_join_gld()),
+            human(pc.avg_join_gld()),
+            drop_pct(ds.avg_join_gld(), pc.avg_join_gld()),
+            human(so.avg_join_gld()),
+            drop_pct(pc.avg_join_gld(), so.avg_join_gld()),
+        ]);
+        time_t.row(vec![
+            kind.name().to_string(),
+            ms(base.avg_time()),
+            ms(ds.avg_time()),
+            speedup(base.avg_time(), ds.avg_time()),
+            ms(pc.avg_time()),
+            speedup(ds.avg_time(), pc.avg_time()),
+            ms(so.avg_time()),
+            speedup(pc.avg_time(), so.avg_time()),
+        ]);
+    }
+    println!("global memory load transactions (average per query):");
+    gld_t.print();
+    println!("\nquery response time (average, ms):");
+    time_t.print();
+    println!("\njoin-phase time only (average, ms — isolates the techniques at reduced scale):");
+    join_t.print();
+    println!("(paper: DS ~25-42% GLD drop & 1.4-3.6x; PC ~21-33% & 1.2-2.0x; SO ~5-59% & 1.0-6.3x)");
+}
+
+/// Table VII: write-cache ablation — GST and time.
+pub fn table7(opts: &HarnessOpts) {
+    section("Table VII — write cache: GST (join phase) and query time");
+    let mut t = Table::new(vec![
+        "dataset", "GST no-cache", "GST cache", "drop", "ms no-cache", "ms cache", "drop",
+    ]);
+    for kind in DatasetKind::ALL {
+        let data = opts.dataset(kind);
+        let queries = opts.query_batch(&data);
+        let cached = run_gsi(&GsiConfig::gsi(), &data, &queries, opts);
+        let uncached = run_gsi(
+            &GsiConfig {
+                write_cache: false,
+                ..GsiConfig::gsi()
+            },
+            &data,
+            &queries,
+            opts,
+        );
+        let dt = |a: std::time::Duration, b: std::time::Duration| {
+            if a.as_nanos() == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.0}%",
+                    100.0 * (a.saturating_sub(b)).as_secs_f64() / a.as_secs_f64()
+                )
+            }
+        };
+        t.row(vec![
+            kind.name().to_string(),
+            human(uncached.avg_join_gst()),
+            human(cached.avg_join_gst()),
+            drop_pct(uncached.avg_join_gst(), cached.avg_join_gst()),
+            ms(uncached.avg_time()),
+            ms(cached.avg_time()),
+            dt(uncached.avg_time(), cached.avg_time()),
+        ]);
+    }
+    t.print();
+    println!("(paper: 7-64% GST drop; up to 76% time drop on enron/WatDiv/DBpedia)");
+}
+
+/// Table VIII: the optimization ladder — GSI, +LB, +DR times.
+pub fn table8(opts: &HarnessOpts) {
+    section("Table VIII — optimizations: query time for GSI, +LB, +DR");
+    let mut t = Table::new(vec!["dataset", "GSI", "+LB", "spd", "+DR", "spd"]);
+    for kind in DatasetKind::ALL {
+        let data = opts.dataset(kind);
+        let queries = opts.query_batch(&data);
+        let gsi = run_gsi(&GsiConfig::gsi(), &data, &queries, opts);
+        let lb = run_gsi(&GsiConfig::gsi_lb(), &data, &queries, opts);
+        let dr = run_gsi(&GsiConfig::gsi_opt(), &data, &queries, opts);
+        t.row(vec![
+            kind.name().to_string(),
+            ms(gsi.avg_time()),
+            ms(lb.avg_time()),
+            speedup(gsi.avg_time(), lb.avg_time()),
+            ms(dr.avg_time()),
+            speedup(lb.avg_time(), dr.avg_time()),
+        ]);
+    }
+    t.print();
+    println!("(paper: LB ≥2.7x on WatDiv/DBpedia, 1.0x on small sets; DR 1.1-1.3x)");
+}
+
+/// Table IX: tuning W1 on WatDiv.
+pub fn table9(opts: &HarnessOpts) {
+    section("Table IX — tuning W1 (load balance, W3=256) on WatDiv");
+    let data = opts.dataset(DatasetKind::WatDiv);
+    let queries = opts.query_batch(&data);
+    let mut t = Table::new(vec!["W1", "time (ms)"]);
+    for w1 in [2048usize, 3072, 4096, 5120, 6144] {
+        let cfg = GsiConfig {
+            load_balance: Some(LbParams {
+                w1,
+                w2: 1024,
+                w3: 256,
+            }),
+            ..GsiConfig::gsi_opt()
+        };
+        let agg = run_gsi(&cfg, &data, &queries, opts);
+        t.row(vec![w1.to_string(), ms(agg.avg_time())]);
+    }
+    t.print();
+    println!("(paper: 2.00K, 1.44K, 1.30K, 2.51K, 3.73K — minimum at 4096)");
+}
+
+/// Table X: tuning W3 on WatDiv.
+pub fn table10(opts: &HarnessOpts) {
+    section("Table X — tuning W3 (load balance, W1=4096) on WatDiv");
+    let data = opts.dataset(DatasetKind::WatDiv);
+    let queries = opts.query_batch(&data);
+    let mut t = Table::new(vec!["W3", "time (ms)"]);
+    for w3 in [192usize, 224, 256, 288, 320] {
+        let cfg = GsiConfig {
+            load_balance: Some(LbParams {
+                w1: 4096,
+                w2: 1024,
+                w3,
+            }),
+            ..GsiConfig::gsi_opt()
+        };
+        let agg = run_gsi(&cfg, &data, &queries, opts);
+        t.row(vec![w3.to_string(), ms(agg.avg_time())]);
+    }
+    t.print();
+    println!("(paper: 1.40K, 1.35K, 1.30K, 1.61K, 1.92K — shallow minimum at 256)");
+}
+
+/// Table XI: duplicate removal — GLD and time detail.
+pub fn table11(opts: &HarnessOpts) {
+    section("Table XI — duplicate removal: GLD (join) and query time");
+    let mut t = Table::new(vec![
+        "dataset", "GLD with-dup", "GLD dedup", "drop", "ms with-dup", "ms dedup",
+    ]);
+    for kind in DatasetKind::ALL {
+        let data = opts.dataset(kind);
+        let queries = opts.query_batch(&data);
+        let with_dup = run_gsi(&GsiConfig::gsi_lb(), &data, &queries, opts);
+        let dedup = run_gsi(&GsiConfig::gsi_opt(), &data, &queries, opts);
+        t.row(vec![
+            kind.name().to_string(),
+            human(with_dup.avg_join_gld()),
+            human(dedup.avg_join_gld()),
+            drop_pct(with_dup.avg_join_gld(), dedup.avg_join_gld()),
+            ms(with_dup.avg_time()),
+            ms(dedup.avg_time()),
+        ]);
+    }
+    t.print();
+    println!("(paper: 3-23% GLD drop; up to 17% time drop on WatDiv)");
+}
+
+/// Fig. 12: overall comparison — VF3, CFL-Match, GpSM, GunrockSM, GSI,
+/// GSI-opt on all datasets.
+pub fn fig12(opts: &HarnessOpts) {
+    section("Fig. 12 — overall comparison: average query time (ms)");
+    let mut t = Table::new(vec![
+        "dataset", "VF3", "CFL", "GpSM", "GunrockSM", "GSI", "GSI-opt",
+    ]);
+    for kind in DatasetKind::ALL {
+        let data = opts.dataset(kind);
+        let queries = opts.query_batch(&data);
+        let cell = |agg: &crate::runner::Aggregate| time_cell(agg, opts.cpu_timeout());
+        let gcell = |agg: &crate::runner::Aggregate| time_cell(agg, opts.timeout());
+        let vf3 = run_cpu_baseline(CpuBaseline::Vf3, &data, &queries, opts);
+        let cfl = run_cpu_baseline(CpuBaseline::Cfl, &data, &queries, opts);
+        let gp = run_edge_baseline(
+            &gpsm::engine(Gpu::new(DeviceConfig::titan_xp())),
+            &data,
+            &queries,
+            opts,
+        );
+        let gk = run_edge_baseline(
+            &gunrock::engine(Gpu::new(DeviceConfig::titan_xp())),
+            &data,
+            &queries,
+            opts,
+        );
+        let gsi = run_gsi(&GsiConfig::gsi(), &data, &queries, opts);
+        let gsi_opt = run_gsi(&GsiConfig::gsi_opt(), &data, &queries, opts);
+        t.row(vec![
+            kind.name().to_string(),
+            cell(&vf3),
+            cell(&cfl),
+            gcell(&gp),
+            gcell(&gk),
+            gcell(&gsi),
+            gcell(&gsi_opt),
+        ]);
+    }
+    t.print();
+    println!("(paper: GPU beats CPU everywhere; GSI ≥23x over GpSM/GunrockSM on WatDiv/DBpedia;");
+    println!(" VF3/CFL exceed the 100 s threshold on the large datasets)");
+}
+
+/// Fig. 13: scalability on the WatDiv series.
+pub fn fig13(opts: &HarnessOpts) {
+    section("Fig. 13 — scalability on watdiv10M..100M: average query time (ms)");
+    let series = watdiv_series(opts, 10);
+    // Scalability needs one point per size, not a deep average; cap the
+    // batch so the 10-step sweep stays bounded.
+    let opts = &HarnessOpts {
+        queries: opts.queries.min(3),
+        ..opts.clone()
+    };
+    let mut t = Table::new(vec!["graph", "|E|", "GpSM", "GunrockSM", "GSI", "GSI-opt"]);
+    for (name, data) in &series {
+        let queries = opts.query_batch(data);
+        let gp = run_edge_baseline(
+            &gpsm::engine(Gpu::new(DeviceConfig::titan_xp())),
+            data,
+            &queries,
+            opts,
+        );
+        let gk = run_edge_baseline(
+            &gunrock::engine(Gpu::new(DeviceConfig::titan_xp())),
+            data,
+            &queries,
+            opts,
+        );
+        let gsi = run_gsi(&GsiConfig::gsi(), data, &queries, opts);
+        let gsi_opt = run_gsi(&GsiConfig::gsi_opt(), data, &queries, opts);
+        let cell = |agg: &crate::runner::Aggregate| time_cell(agg, opts.timeout());
+        t.row(vec![
+            name.clone(),
+            human(data.n_edges() as u64),
+            cell(&gp),
+            cell(&gk),
+            cell(&gsi),
+            cell(&gsi_opt),
+        ]);
+    }
+    t.print();
+    println!("(paper: GpSM/GunrockSM rise sharply; GSI-opt is near-linear with the smallest slope)");
+}
+
+/// Fig. 14: vary the number of vertex and edge labels on gowalla.
+pub fn fig14(opts: &HarnessOpts) {
+    section("Fig. 14 — varying |LV| and |LE| on gowalla: GSI-opt time (ms)");
+    let mut t = Table::new(vec!["labels", "vary |LV| (LE=100)", "vary |LE| (LV=100)"]);
+    for n in [20usize, 40, 60, 80, 100, 120, 140, 160] {
+        let gv = gowalla_with_labels(opts, n, 100);
+        let qv = opts.query_batch(&gv);
+        let av = run_gsi(&GsiConfig::gsi_opt(), &gv, &qv, opts);
+        let ge = gowalla_with_labels(opts, 100, n);
+        let qe = opts.query_batch(&ge);
+        let ae = run_gsi(&GsiConfig::gsi_opt(), &ge, &qe, opts);
+        t.row(vec![n.to_string(), ms(av.avg_time()), ms(ae.avg_time())]);
+    }
+    t.print();
+    println!("(paper: time drops as labels grow; |LV| drops sharply then flattens past 100)");
+}
+
+/// Fig. 15: vary |E(Q)| at |V(Q)|=12, and |V(Q)| at |E(Q)|=2|V(Q)|.
+pub fn fig15(opts: &HarnessOpts) {
+    section("Fig. 15 — varying query size on gowalla: GSI-opt time (ms)");
+    let data = opts.dataset(DatasetKind::Gowalla);
+
+    // The paper sweeps |E(Q)| up to 26 on real gowalla (clustered core);
+    // the synthetic stand-in's 12-vertex regions top out around 16 internal
+    // edges, so the sweep covers the feasible range and reports n/a beyond.
+    println!("\nvary |E(Q)| at |V(Q)| = 12 (paper range 12..26; stand-in saturates ~16):");
+    let mut t = Table::new(vec!["|E(Q)|", "time (ms)", "queries"]);
+    for ne in [11usize, 12, 13, 14, 15, 16, 20, 26] {
+        let queries = opts.shaped_query_batch(&data, 12, ne);
+        if queries.is_empty() {
+            t.row(vec![ne.to_string(), "n/a".into(), "0".into()]);
+            continue;
+        }
+        let agg = run_gsi(&GsiConfig::gsi_opt(), &data, &queries, opts);
+        t.row(vec![
+            ne.to_string(),
+            ms(agg.avg_time()),
+            queries.len().to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\nvary |V(Q)| at |E(Q)| = ~1.25|V(Q)| (paper used 2|V|; see note above):");
+    let mut t = Table::new(vec!["|V(Q)|", "time (ms)", "queries"]);
+    for nv in [8usize, 9, 10, 11, 12, 13, 14, 15] {
+        let queries = opts.shaped_query_batch(&data, nv, nv + nv / 4);
+        if queries.is_empty() {
+            t.row(vec![nv.to_string(), "n/a".into(), "0".into()]);
+            continue;
+        }
+        let agg = run_gsi(&GsiConfig::gsi_opt(), &data, &queries, opts);
+        t.row(vec![
+            nv.to_string(),
+            ms(agg.avg_time()),
+            queries.len().to_string(),
+        ]);
+    }
+    t.print();
+    println!("(paper: edge growth is cheap, slight drop past 24; vertex growth raises time, flattening past 13)");
+}
+
+/// Run every experiment in paper order.
+pub fn all(opts: &HarnessOpts) {
+    table2(opts);
+    table3(opts);
+    table4(opts);
+    table5(opts);
+    table6(opts);
+    table7(opts);
+    table8(opts);
+    table9(opts);
+    table10(opts);
+    table11(opts);
+    fig12(opts);
+    fig13(opts);
+    fig14(opts);
+    fig15(opts);
+}

@@ -1,0 +1,156 @@
+//! Table formatting helpers for the reproduction harness.
+
+/// Human-size a count the way the paper's tables do (1.7K, 2.2M, …).
+pub fn human(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.0}M", n as f64 / 1e6)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Milliseconds with the paper's precision (28, 69, 456, 1.3K, 43K …).
+pub fn ms(d: std::time::Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 10_000.0 {
+        format!("{:.0}K", ms / 1e3)
+    } else if ms >= 1_000.0 {
+        format!("{:.1}K", ms / 1e3)
+    } else if ms >= 10.0 {
+        format!("{:.0}", ms)
+    } else {
+        format!("{:.2}", ms)
+    }
+}
+
+/// A percentage drop `old → new`.
+pub fn drop_pct(old: u64, new: u64) -> String {
+    if old == 0 {
+        return "-".to_string();
+    }
+    format!("{:.0}%", 100.0 * (old.saturating_sub(new)) as f64 / old as f64)
+}
+
+/// A speedup factor `old / new`.
+pub fn speedup(old: std::time::Duration, new: std::time::Duration) -> String {
+    let d = new.as_secs_f64();
+    if d <= 0.0 {
+        return "-".to_string();
+    }
+    format!("{:.1}x", old.as_secs_f64() / d)
+}
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column widths.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths = vec![0usize; n];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(1_700), "1.7K");
+        assert_eq!(human(29_000), "29K");
+        assert_eq!(human(2_200_000), "2.2M");
+        assert_eq!(human(170_000_000), "170M");
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(28)), "28");
+        assert_eq!(ms(Duration::from_millis(1_300)), "1.3K");
+        assert_eq!(ms(Duration::from_millis(43_000)), "43K");
+        assert_eq!(ms(Duration::from_micros(500)), "0.50");
+    }
+
+    #[test]
+    fn drops_and_speedups() {
+        assert_eq!(drop_pct(100, 70), "30%");
+        assert_eq!(drop_pct(0, 5), "-");
+        assert_eq!(
+            speedup(Duration::from_millis(200), Duration::from_millis(100)),
+            "2.0x"
+        );
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "bbb"]);
+        t.row(vec!["1", "2"]);
+        let s = t.render();
+        assert!(s.contains("a  bbb"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+}

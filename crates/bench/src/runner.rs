@@ -1,0 +1,269 @@
+//! Experiment runners: execute engine variants over query batches and
+//! aggregate the paper's metrics.
+
+use crate::workloads::HarnessOpts;
+use gsi::baselines::edge_join::EdgeJoinEngine;
+use gsi::baselines::{cfl, vf2, vf3, EngineResult};
+use gsi::prelude::*;
+use std::time::Duration;
+
+/// Aggregate of one engine variant over a query batch.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Number of queries measured.
+    pub queries: usize,
+    /// Summed wall time.
+    pub total_time: Duration,
+    /// Summed filter-phase wall time.
+    pub filter_time: Duration,
+    /// Summed join-phase wall time (GSI engines only).
+    pub join_time: Duration,
+    /// Summed join-phase GLD transactions.
+    pub join_gld: u64,
+    /// Summed join-phase GST transactions.
+    pub join_gst: u64,
+    /// Summed total GLD transactions (filter + join).
+    pub gld: u64,
+    /// Summed total GST transactions.
+    pub gst: u64,
+    /// Summed kernel launches.
+    pub kernels: u64,
+    /// Summed minimum candidate-set sizes.
+    pub min_candidate: usize,
+    /// Summed match counts.
+    pub matches: usize,
+    /// Queries that hit the timeout / guard.
+    pub timeouts: usize,
+    /// Wall time summed over *completed* (non-timeout) queries only.
+    pub completed_time: Duration,
+    /// Summed device allocation requests.
+    pub allocs: u64,
+}
+
+impl Aggregate {
+    /// Mean wall time per query.
+    pub fn avg_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.queries as u32
+        }
+    }
+
+    /// Mean wall time over completed queries only; `None` if all timed out.
+    pub fn avg_completed_time(&self) -> Option<Duration> {
+        let done = self.queries - self.timeouts;
+        if done == 0 {
+            None
+        } else {
+            Some(self.completed_time / done as u32)
+        }
+    }
+
+    /// Mean filter time per query.
+    pub fn avg_filter_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.filter_time / self.queries as u32
+        }
+    }
+
+    /// Mean join-phase time per query.
+    pub fn avg_join_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.join_time / self.queries as u32
+        }
+    }
+
+    /// Mean join GLD per query.
+    pub fn avg_join_gld(&self) -> u64 {
+        if self.queries == 0 {
+            0
+        } else {
+            self.join_gld / self.queries as u64
+        }
+    }
+
+    /// Mean join GST per query.
+    pub fn avg_join_gst(&self) -> u64 {
+        if self.queries == 0 {
+            0
+        } else {
+            self.join_gst / self.queries as u64
+        }
+    }
+
+    /// Mean minimum candidate size per query.
+    pub fn avg_min_candidate(&self) -> usize {
+        self.min_candidate.checked_div(self.queries).unwrap_or(0)
+    }
+}
+
+/// Run a GSI config over a query batch on a fresh device.
+pub fn run_gsi(cfg: &GsiConfig, data: &Graph, queries: &[Graph], opts: &HarnessOpts) -> Aggregate {
+    let engine = GsiEngine::new(cfg.clone());
+    let prepared = engine.prepare(data);
+    let mut agg = Aggregate::default();
+    for q in queries {
+        let out = engine.query_with_timeout(data, &prepared, q, Some(opts.timeout()));
+        agg.queries += 1;
+        agg.total_time += out.stats.total_time;
+        agg.filter_time += out.stats.filter_time;
+        agg.join_time += out.stats.join_time;
+        agg.join_gld += out.stats.join_gld();
+        agg.join_gst += out.stats.join_gst();
+        agg.gld += out.stats.gld();
+        agg.gst += out.stats.gst();
+        agg.kernels += out.stats.kernels();
+        agg.min_candidate += out.stats.min_candidate;
+        agg.matches += out.stats.n_matches;
+        agg.allocs += out.stats.device.device_allocs;
+        agg.timeouts += out.stats.timed_out as usize;
+        if !out.stats.timed_out {
+            agg.completed_time += out.stats.total_time;
+        }
+    }
+    agg
+}
+
+/// Run only the filtering phase of a GSI config (Tables IV and V).
+pub fn run_gsi_filter_only(
+    cfg: &GsiConfig,
+    data: &Graph,
+    queries: &[Graph],
+) -> Aggregate {
+    let engine = GsiEngine::new(cfg.clone());
+    let prepared = engine.prepare(data);
+    let mut agg = Aggregate::default();
+    for q in queries {
+        let snap0 = engine.gpu().stats().snapshot();
+        let t0 = std::time::Instant::now();
+        let cands = engine.filter(&prepared, q);
+        agg.filter_time += t0.elapsed();
+        agg.total_time += t0.elapsed();
+        let delta = engine.gpu().stats().snapshot() - snap0;
+        agg.gld += delta.gld_transactions;
+        agg.min_candidate += gsi::signature::min_candidate_size(&cands);
+        agg.queries += 1;
+    }
+    agg
+}
+
+/// Run an edge-oriented GPU baseline over a query batch.
+pub fn run_edge_baseline(
+    engine: &EdgeJoinEngine,
+    data: &Graph,
+    queries: &[Graph],
+    opts: &HarnessOpts,
+) -> Aggregate {
+    let prepared = engine.prepare(data);
+    let mut agg = Aggregate::default();
+    for q in queries {
+        let res = engine.run_with_timeout(data, &prepared, q, Some(opts.timeout()));
+        fold_engine_result(&mut agg, &res);
+    }
+    agg
+}
+
+/// Run a CPU backtracking baseline over a query batch.
+pub fn run_cpu_baseline(
+    which: CpuBaseline,
+    data: &Graph,
+    queries: &[Graph],
+    opts: &HarnessOpts,
+) -> Aggregate {
+    let mut agg = Aggregate::default();
+    for q in queries {
+        let res = match which {
+            CpuBaseline::Vf2 => vf2::run(data, q, Some(opts.cpu_timeout())),
+            CpuBaseline::Vf3 => vf3::run(data, q, Some(opts.cpu_timeout())),
+            CpuBaseline::Cfl => cfl::run(data, q, Some(opts.cpu_timeout())),
+        };
+        fold_engine_result(&mut agg, &res);
+    }
+    agg
+}
+
+/// Which CPU baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuBaseline {
+    /// Classic VF2.
+    Vf2,
+    /// VF3-like (ordering + lookahead).
+    Vf3,
+    /// CFL-Match-like (core-forest-leaf + NLF).
+    Cfl,
+}
+
+fn fold_engine_result(agg: &mut Aggregate, res: &EngineResult) {
+    agg.queries += 1;
+    agg.total_time += res.elapsed;
+    if !res.timed_out {
+        agg.completed_time += res.elapsed;
+    }
+    agg.matches += res.len();
+    agg.timeouts += res.timed_out as usize;
+    if let Some(dev) = res.device {
+        agg.gld += dev.gld_transactions;
+        agg.gst += dev.gst_transactions;
+        agg.kernels += dev.kernel_launches;
+        agg.allocs += dev.device_allocs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::HarnessOpts;
+    use gsi::datasets::DatasetKind;
+
+    fn tiny() -> (HarnessOpts, std::sync::Arc<Graph>, Vec<Graph>) {
+        let opts = HarnessOpts {
+            scale: 0.03,
+            queries: 2,
+            query_size: 4,
+            ..Default::default()
+        };
+        let data = opts.dataset(DatasetKind::Enron);
+        let queries = opts.query_batch(&data);
+        (opts, data, queries)
+    }
+
+    #[test]
+    fn gsi_aggregate_populates() {
+        let (opts, data, queries) = tiny();
+        let agg = run_gsi(&GsiConfig::gsi_opt(), &data, &queries, &opts);
+        assert_eq!(agg.queries, queries.len());
+        assert!(agg.gld > 0);
+        assert!(agg.avg_time() > Duration::ZERO);
+        assert_eq!(agg.timeouts, 0);
+    }
+
+    #[test]
+    fn filter_only_aggregate() {
+        let (_, data, queries) = tiny();
+        let agg = run_gsi_filter_only(&GsiConfig::gsi(), &data, &queries);
+        assert!(agg.min_candidate > 0, "walk queries always have a match");
+        assert!(agg.gld > 0);
+    }
+
+    #[test]
+    fn cpu_baseline_aggregate() {
+        let (opts, data, queries) = tiny();
+        let agg = run_cpu_baseline(CpuBaseline::Vf2, &data, &queries, &opts);
+        assert_eq!(agg.queries, queries.len());
+        assert!(agg.matches > 0);
+    }
+
+    #[test]
+    fn gpu_baseline_aggregate() {
+        let (opts, data, queries) = tiny();
+        let engine = gsi::baselines::gpsm::engine(Gpu::new(DeviceConfig::titan_xp()));
+        let agg = run_edge_baseline(&engine, &data, &queries, &opts);
+        assert_eq!(agg.queries, queries.len());
+        assert!(agg.gld > 0);
+    }
+}

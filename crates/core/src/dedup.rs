@@ -1,0 +1,69 @@
+//! Duplicate removal within a block — Algorithm 5 (§VI-B).
+//!
+//! When several rows of the intermediate table carry the same vertex `v` in
+//! the join column (Fig. 9: every row's first element is `v0`), their warps
+//! would all extract `N(v, l)`. Within one block, a single warp reads the
+//! list into a shared input buffer and the others wait and reuse it: the
+//! loads are charged once per *distinct* vertex per block.
+
+use gsi_graph::VertexId;
+
+/// For each position `i` of `vs`, the index of the first occurrence of
+/// `vs[i]` — Algorithm 5 lines 1-5 (`addr[i] = j`).
+///
+/// Quadratic over a block (≤ 32 warps), exactly like the shared-memory scan
+/// the paper describes.
+pub fn first_occurrences(vs: &[VertexId]) -> Vec<usize> {
+    let mut addr = Vec::with_capacity(vs.len());
+    for (i, &v) in vs.iter().enumerate() {
+        let j = vs[..i].iter().position(|&w| w == v).unwrap_or(i);
+        addr.push(j);
+    }
+    addr
+}
+
+/// How many duplicate extractions a block avoids (diagnostics).
+pub fn duplicates_saved(vs: &[VertexId]) -> usize {
+    first_occurrences(vs)
+        .iter()
+        .enumerate()
+        .filter(|&(i, &j)| j != i)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_distinct() {
+        assert_eq!(first_occurrences(&[1, 2, 3]), vec![0, 1, 2]);
+        assert_eq!(duplicates_saved(&[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn all_same() {
+        assert_eq!(first_occurrences(&[7, 7, 7, 7]), vec![0, 0, 0, 0]);
+        assert_eq!(duplicates_saved(&[7, 7, 7, 7]), 3);
+    }
+
+    #[test]
+    fn paper_fig9_pattern() {
+        // Fig. 9: every row's first column is v0 — one read serves the block.
+        let vs = vec![0u32; 32];
+        let addr = first_occurrences(&vs);
+        assert!(addr.iter().all(|&a| a == 0));
+        assert_eq!(duplicates_saved(&vs), 31);
+    }
+
+    #[test]
+    fn mixed() {
+        assert_eq!(first_occurrences(&[5, 3, 5, 3, 9]), vec![0, 1, 0, 1, 4]);
+        assert_eq!(duplicates_saved(&[5, 3, 5, 3, 9]), 2);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(first_occurrences(&[]).is_empty());
+    }
+}

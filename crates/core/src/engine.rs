@@ -1,0 +1,436 @@
+//! The end-to-end GSI engine: prepare (offline) + query (online).
+
+use crate::config::{FilterStrategy, GsiConfig, JoinScheme};
+use crate::join::JoinCtx;
+use crate::matches::Matches;
+use crate::plan::plan_join;
+use crate::stats::RunStats;
+use crate::table::MatchTable;
+use crate::{prealloc, two_step};
+use gsi_gpu_sim::{DeviceConfig, Gpu};
+use gsi_graph::basic::BasicStore;
+use gsi_graph::compressed::CompressedStore;
+use gsi_graph::csr::Csr;
+use gsi_graph::pcsr::PcsrStore;
+use gsi_graph::{Graph, LabeledStore, StorageKind};
+use gsi_signature::filter::FilterInputs;
+use gsi_signature::{
+    filter_label_degree, filter_label_only, filter_signature, min_candidate_size, CandidateSet,
+    SignatureTable,
+};
+use std::time::{Duration, Instant};
+
+/// Offline-built structures for one data graph (the paper computes
+/// signatures and PCSR partitions offline; "at any moment at most one
+/// partition is placed on GPU").
+pub struct PreparedData {
+    store: Box<dyn LabeledStore>,
+    sig_table: Option<SignatureTable>,
+    filter_inputs: FilterInputs,
+}
+
+impl PreparedData {
+    /// The graph store in use.
+    pub fn store(&self) -> &dyn LabeledStore {
+        self.store.as_ref()
+    }
+
+    /// The signature table, when the signature filter is configured.
+    pub fn signature_table(&self) -> Option<&SignatureTable> {
+        self.sig_table.as_ref()
+    }
+}
+
+/// Result of one query run.
+pub struct QueryOutput {
+    /// All matches found (empty if `stats.timed_out`).
+    pub matches: Matches,
+    /// Measurements for the run.
+    pub stats: RunStats,
+}
+
+/// The GSI engine: a configuration bound to a simulated device.
+pub struct GsiEngine {
+    cfg: GsiConfig,
+    gpu: Gpu,
+}
+
+impl GsiEngine {
+    /// Engine on a default (Titan XP-like) device.
+    pub fn new(cfg: GsiConfig) -> Self {
+        Self::with_gpu(cfg, Gpu::new(DeviceConfig::titan_xp()))
+    }
+
+    /// Engine on an explicit device (tests use a single-threaded one).
+    pub fn with_gpu(cfg: GsiConfig, gpu: Gpu) -> Self {
+        cfg.validate();
+        Self { cfg, gpu }
+    }
+
+    /// The device handle (for snapshotting counters around calls).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GsiConfig {
+        &self.cfg
+    }
+
+    /// Build the offline structures for a data graph. Device counters are
+    /// reset afterwards so queries measure only online work.
+    pub fn prepare(&self, data: &Graph) -> PreparedData {
+        let store: Box<dyn LabeledStore> = match self.cfg.storage {
+            StorageKind::Pcsr => Box::new(PcsrStore::build_with_gpn(data, self.cfg.storage_gpn)),
+            StorageKind::Csr => Box::new(Csr::build(data)),
+            StorageKind::Basic => Box::new(BasicStore::build(data)),
+            StorageKind::Compressed => Box::new(CompressedStore::build(data)),
+        };
+        let sig_table = (self.cfg.filter == FilterStrategy::Signature).then(|| {
+            SignatureTable::build(
+                &self.gpu,
+                data,
+                &self.cfg.signature,
+                self.cfg.signature_layout,
+            )
+        });
+        let filter_inputs = FilterInputs::build(&self.gpu, data);
+        self.gpu.reset_stats();
+        PreparedData {
+            store,
+            sig_table,
+            filter_inputs,
+        }
+    }
+
+    /// Run the filtering phase only (used by the Table IV/V harness).
+    pub fn filter(&self, prepared: &PreparedData, query: &Graph) -> Vec<CandidateSet> {
+        match self.cfg.filter {
+            FilterStrategy::Signature => filter_signature(
+                &self.gpu,
+                prepared
+                    .sig_table
+                    .as_ref()
+                    .expect("signature filter requires a prepared table"),
+                query,
+                &self.cfg.signature,
+            ),
+            FilterStrategy::LabelDegree => {
+                filter_label_degree(&self.gpu, &prepared.filter_inputs, query)
+            }
+            FilterStrategy::LabelOnly => {
+                filter_label_only(&self.gpu, &prepared.filter_inputs, query)
+            }
+        }
+    }
+
+    /// Answer a query: all subgraph-isomorphism matches of `query` in `data`.
+    pub fn query(&self, data: &Graph, prepared: &PreparedData, query: &Graph) -> QueryOutput {
+        self.query_with_timeout(data, prepared, query, None)
+    }
+
+    /// Answer a possibly *disconnected* query (§II-A): each connected
+    /// component is executed individually and the per-component match sets
+    /// are combined under cross-component injectivity. Returns canonical
+    /// assignments (indexed by original query vertex). `limit` caps the
+    /// combined output — the Cartesian product across components can be
+    /// exponential.
+    pub fn query_disconnected(
+        &self,
+        data: &Graph,
+        prepared: &PreparedData,
+        query: &Graph,
+        limit: Option<usize>,
+    ) -> (Vec<Vec<gsi_graph::VertexId>>, RunStats) {
+        use crate::components::{combine_component_matches, split_components};
+        let comps = split_components(query);
+        let mut total = RunStats::default();
+        let mut per_comp = Vec::with_capacity(comps.len());
+        for c in &comps {
+            let out = self.query(data, prepared, &c.graph);
+            total.accumulate(&out.stats);
+            per_comp.push(out.matches);
+        }
+        let combined =
+            combine_component_matches(&comps, &per_comp, query.n_vertices(), limit);
+        total.n_matches = combined.len();
+        (combined, total)
+    }
+
+    /// Like [`GsiEngine::query`], aborting (with `stats.timed_out`) when the
+    /// wall clock exceeds `timeout` between join iterations — the analogue
+    /// of the paper's 100-second experiment threshold.
+    pub fn query_with_timeout(
+        &self,
+        data: &Graph,
+        prepared: &PreparedData,
+        query: &Graph,
+        timeout: Option<Duration>,
+    ) -> QueryOutput {
+        let t_start = Instant::now();
+        let snap_start = self.gpu.stats().snapshot();
+
+        // ---- filtering phase ------------------------------------------
+        let cands = self.filter(prepared, query);
+        let filter_time = t_start.elapsed();
+        let snap_filter = self.gpu.stats().snapshot();
+        let min_candidate = min_candidate_size(&cands);
+
+        let mut stats = RunStats {
+            filter_time,
+            min_candidate,
+            filter_device: snap_filter - snap_start,
+            ..RunStats::default()
+        };
+
+        // ---- joining phase --------------------------------------------
+        let t_join = Instant::now();
+        let plan = plan_join(query, data, &cands);
+        let mut matches = Matches::empty(plan.order.clone());
+
+        if min_candidate > 0 {
+            let ctx = JoinCtx {
+                gpu: &self.gpu,
+                cfg: &self.cfg,
+                store: prepared.store.as_ref(),
+                data,
+            };
+            let mut m = MatchTable::from_candidates(&cands[plan.order[0] as usize].list);
+            stats.max_intermediate_rows = m.n_rows();
+
+            for step in &plan.steps {
+                if m.is_empty() {
+                    break;
+                }
+                if let Some(limit) = timeout {
+                    if t_start.elapsed() > limit {
+                        stats.timed_out = true;
+                        break;
+                    }
+                }
+                if m.n_rows() > self.cfg.max_intermediate_rows {
+                    stats.timed_out = true;
+                    break;
+                }
+                let cand = &cands[step.vertex as usize];
+                let result = match self.cfg.join_scheme {
+                    JoinScheme::PreallocCombine => prealloc::join_iteration(&ctx, &m, step, cand),
+                    JoinScheme::TwoStep => two_step::join_iteration(&ctx, &m, step, cand),
+                };
+                match result {
+                    Ok(next) => m = next,
+                    Err(_) => {
+                        stats.timed_out = true;
+                        break;
+                    }
+                }
+                stats.max_intermediate_rows = stats.max_intermediate_rows.max(m.n_rows());
+            }
+
+            if !stats.timed_out {
+                matches = Matches {
+                    order: plan.order,
+                    table: m,
+                };
+            }
+        }
+
+        stats.join_time = t_join.elapsed();
+        stats.total_time = t_start.elapsed();
+        stats.device = self.gpu.stats().snapshot() - snap_start;
+        stats.n_matches = matches.len();
+
+        QueryOutput { matches, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_graph::GraphBuilder;
+
+    fn test_engine(cfg: GsiConfig) -> GsiEngine {
+        GsiEngine::with_gpu(cfg, Gpu::new(DeviceConfig::test_device()))
+    }
+
+    /// Fig. 1's data graph and query (labels A=0, B=1, C=2; a=0, b=1).
+    fn paper_example() -> (Graph, Graph) {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let bs: Vec<u32> = (0..100).map(|_| b.add_vertex(1)).collect();
+        let cs: Vec<u32> = (0..101).map(|_| b.add_vertex(2)).collect();
+        for &vb in &bs {
+            b.add_edge(v0, vb, 0);
+        }
+        let v201 = *cs.last().unwrap();
+        b.add_edge(v0, v201, 1);
+        for (i, &vb) in bs.iter().enumerate() {
+            b.add_edge(vb, cs[i], 0);
+            b.add_edge(vb, v201, 0);
+        }
+        let data = b.build();
+
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        let u2 = qb.add_vertex(2);
+        let u3 = qb.add_vertex(2);
+        qb.add_edge(u0, u1, 0);
+        qb.add_edge(u0, u2, 1);
+        qb.add_edge(u1, u2, 0);
+        qb.add_edge(u1, u3, 0);
+        (data, qb.build())
+    }
+
+    #[test]
+    fn paper_example_match_count() {
+        // Fig. 1(c)/Fig. 2: each of the 100 B-vertices v_i gives the match
+        // (u0→v0, u1→v_i, u2→v201, u3→v_{100+i}); v201 is fixed by the
+        // b-edge. 100 matches total.
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &query);
+        assert_eq!(out.matches.len(), 100);
+        out.matches.verify(&data, &query).expect("all embeddings valid");
+        // Every match fixes u0→v0 and u2→v201.
+        for i in 0..out.matches.len() {
+            let a = out.matches.assignment(i);
+            assert_eq!(a[0], 0);
+            assert_eq!(a[2], 201);
+        }
+    }
+
+    #[test]
+    fn all_presets_agree_on_paper_example() {
+        let (data, query) = paper_example();
+        let mut canon: Option<Vec<Vec<u32>>> = None;
+        for cfg in [
+            GsiConfig::gsi_base(),
+            GsiConfig::gsi_ds(),
+            GsiConfig::gsi_pc(),
+            GsiConfig::gsi(),
+            GsiConfig::gsi_lb(),
+            GsiConfig::gsi_opt(),
+        ] {
+            let engine = test_engine(cfg);
+            let prepared = engine.prepare(&data);
+            let out = engine.query(&data, &prepared, &query);
+            out.matches.verify(&data, &query).expect("valid");
+            let c = out.matches.canonical();
+            match &canon {
+                None => canon = Some(c),
+                Some(expect) => assert_eq!(&c, expect, "preset mismatch"),
+            }
+        }
+        assert_eq!(canon.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn single_vertex_query_returns_candidates() {
+        let (data, _) = paper_example();
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(2); // label C
+        let q = qb.build();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &q);
+        assert_eq!(out.matches.len(), 101); // all C vertices
+    }
+
+    #[test]
+    fn unmatchable_query_is_empty() {
+        let (data, _) = paper_example();
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(0); // two A vertices joined: impossible
+        qb.add_edge(u0, u1, 0);
+        let q = qb.build();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &q);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.stats.n_matches, 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &query);
+        let s = &out.stats;
+        assert!(s.gld() > 0, "join must read global memory");
+        assert!(s.gst() > 0, "join must write global memory");
+        assert!(s.kernels() > 0);
+        assert_eq!(s.n_matches, 100);
+        assert!(s.min_candidate >= 1);
+        assert!(s.max_intermediate_rows >= 100);
+        assert!(!s.timed_out);
+    }
+
+    #[test]
+    fn intermediate_guard_trips() {
+        let (data, query) = paper_example();
+        let cfg = GsiConfig {
+            max_intermediate_rows: 10,
+            ..GsiConfig::gsi()
+        };
+        let engine = test_engine(cfg);
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &query);
+        assert!(out.stats.timed_out);
+        assert!(out.matches.is_empty());
+    }
+
+    #[test]
+    fn disconnected_query_runs_per_component() {
+        let (data, _) = paper_example();
+        // Two independent pieces: an A–a–B edge and an isolated C vertex.
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        qb.add_vertex(2);
+        let q = qb.build();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let (assignments, stats) = engine.query_disconnected(&data, &prepared, &q, None);
+        // 100 (A,B) pairs × 101 C vertices, minus combinations reusing a
+        // vertex (disjoint label sets ⇒ none collide): 100 × 101.
+        assert_eq!(assignments.len(), 100 * 101);
+        assert_eq!(stats.n_matches, assignments.len());
+        // Spot-check injectivity and labels.
+        for a in assignments.iter().take(50) {
+            assert_eq!(data.vlabel(a[0]), 0);
+            assert_eq!(data.vlabel(a[1]), 1);
+            assert_eq!(data.vlabel(a[2]), 2);
+            assert_ne!(a[0], a[1]);
+            assert_ne!(a[1], a[2]);
+        }
+    }
+
+    #[test]
+    fn disconnected_query_limit_caps_output() {
+        let (data, _) = paper_example();
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(1);
+        qb.add_vertex(2);
+        let q = qb.build();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let (assignments, _) = engine.query_disconnected(&data, &prepared, &q, Some(10));
+        assert!(assignments.len() <= 10);
+        assert!(!assignments.is_empty());
+    }
+
+    #[test]
+    fn timeout_zero_trips_immediately() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let out =
+            engine.query_with_timeout(&data, &prepared, &query, Some(Duration::from_nanos(0)));
+        assert!(out.stats.timed_out);
+    }
+}

@@ -1,0 +1,326 @@
+//! Shared kernel machinery of the joining phase: the per-edge pass executor
+//! and the link (output) pass — the bodies of Algorithm 3's kernels.
+//!
+//! Both output schemes (Prealloc-Combine and two-step) drive these passes;
+//! they differ only in where buffers live and how often passes run.
+
+use crate::config::{GsiConfig, SetOpStrategy};
+use crate::dedup::first_occurrences;
+use crate::load_balance::{plan_kernels, ChunkTask};
+use crate::set_ops::{CandidateProbe, SetOpExec};
+use crate::table::MatchTable;
+use gsi_gpu_sim::{kernel, Gpu, Schedule};
+use gsi_graph::storage::Neighbors;
+use gsi_graph::{EdgeLabel, Graph, LabeledStore, VertexId};
+use parking_lot::Mutex;
+
+/// Output slot of one chunk task: `(row, chunk start, produced elements)`.
+type ChunkSlot = Mutex<Option<(usize, usize, Vec<VertexId>)>>;
+
+/// Shared context for one query's join phase.
+pub struct JoinCtx<'a> {
+    /// Device handle.
+    pub gpu: &'a Gpu,
+    /// Engine configuration.
+    pub cfg: &'a GsiConfig,
+    /// The graph store used for `N(v, l)` extraction.
+    pub store: &'a dyn LabeledStore,
+    /// The data graph (host-side metadata: label frequencies, planning).
+    pub data: &'a Graph,
+}
+
+impl JoinCtx<'_> {
+    fn exec(&self) -> SetOpExec {
+        SetOpExec {
+            strategy: self.cfg.set_ops,
+            write_cache: self.cfg.write_cache,
+        }
+    }
+
+    fn warps_per_block(&self) -> usize {
+        self.gpu.config().warps_per_block()
+    }
+}
+
+/// What one edge pass computes.
+pub enum PassKind<'a> {
+    /// `buf_i = (N(v'_i, l) \ m_i) ∩ C(u)` — Algorithm 3 lines 9-11.
+    FirstEdge {
+        /// The candidate probe structure for `C(u)`.
+        cand: &'a CandidateProbe,
+    },
+    /// `buf_i = buf_i ∩ N(v'_i, l)` — Algorithm 3 line 13.
+    Intersect {
+        /// Current per-row buffers.
+        bufs: &'a [Vec<VertexId>],
+        /// `Some(offsets)` when the buffers live in global memory (GBA or a
+        /// two-step edge buffer): streaming them charges loads.
+        buf_bases: Option<&'a [usize]>,
+    },
+}
+
+/// Run one linking-edge pass over all rows of `m`.
+///
+/// * `col` / `label` — the matched query vertex's column and the edge label.
+/// * `out_bases` — per-row output offsets for store accounting; `None` makes
+///   this a count-only pass (two-step's first step).
+/// * `loads` — per-row workload estimates driving load balancing.
+///
+/// Returns the new per-row buffers.
+pub fn run_edge_pass(
+    ctx: &JoinCtx<'_>,
+    m: &MatchTable,
+    col: usize,
+    label: EdgeLabel,
+    kind: &PassKind<'_>,
+    out_bases: Option<&[usize]>,
+    loads: &[usize],
+) -> Vec<Vec<VertexId>> {
+    debug_assert_eq!(loads.len(), m.n_rows());
+    let exec = ctx.exec();
+    let plans = plan_kernels(loads, ctx.cfg.load_balance.as_ref(), ctx.warps_per_block());
+
+    // (row, chunk-start, output) triples collected from every launch.
+    let mut pieces: Vec<(usize, usize, Vec<VertexId>)> = Vec::new();
+
+    for plan in &plans {
+        let slots: Vec<ChunkSlot> = (0..plan.tasks.len()).map(|_| Mutex::new(None)).collect();
+
+        kernel::launch_blocks(
+            ctx.gpu,
+            &plan.tasks,
+            plan.warps_per_block,
+            Schedule::Dynamic,
+            |bctx, block| {
+                run_block(ctx, &exec, m, col, label, kind, out_bases, loads, block, {
+                    let first = bctx.first_task;
+                    &slots[first..first + block.len()]
+                });
+            },
+        );
+
+        for slot in slots {
+            pieces.push(slot.into_inner().expect("every task must produce output"));
+        }
+    }
+
+    // Merge chunks back into per-row buffers, in stream order.
+    pieces.sort_unstable_by_key(|&(row, lo, _)| (row, lo));
+    let mut bufs: Vec<Vec<VertexId>> = vec![Vec::new(); m.n_rows()];
+    for (row, _, mut piece) in pieces {
+        if bufs[row].is_empty() {
+            bufs[row] = std::mem::take(&mut piece);
+        } else {
+            bufs[row].extend_from_slice(&piece);
+        }
+    }
+    bufs
+}
+
+/// Execute one block's tasks (one OS thread; warps sequential within).
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    ctx: &JoinCtx<'_>,
+    exec: &SetOpExec,
+    m: &MatchTable,
+    col: usize,
+    label: EdgeLabel,
+    kind: &PassKind<'_>,
+    out_bases: Option<&[usize]>,
+    loads: &[usize],
+    block: &[ChunkTask],
+    slots: &[ChunkSlot],
+) {
+    // Duplicate removal (Algorithm 5): whole-row tasks sharing the same
+    // joined vertex share one input-buffer read within the block.
+    let vs: Vec<VertexId> = block.iter().map(|t| m.row(t.row)[col]).collect();
+    let dedup_addr = if ctx.cfg.duplicate_removal {
+        Some(first_occurrences(&vs))
+    } else {
+        None
+    };
+
+    for (i, task) in block.iter().enumerate() {
+        let row_slice = m.row(task.row);
+        let v_prime = vs[i];
+
+        // A warp that shares another warp's input buffer neither re-locates
+        // nor re-streams the neighbor list (only whole tasks share).
+        let owner = match &dedup_addr {
+            Some(addr) => {
+                let is_whole = task.is_whole(loads[task.row]);
+                !(is_whole && addr[i] != i && block[addr[i]].is_whole(loads[block[addr[i]].row]))
+            }
+            None => true,
+        };
+
+        // The naive baseline launches a dedicated kernel per set operation.
+        if ctx.cfg.set_ops == SetOpStrategy::Naive {
+            ctx.gpu.stats().record_kernel_launch();
+            ctx.gpu.charge_launch_overhead();
+        }
+
+        let out_base = out_bases.map(|f| f[task.row]);
+        let out = match kind {
+            PassKind::FirstEdge { cand } => {
+                // The warp reads its whole row into shared memory for the
+                // subtraction (Algorithm 3: "assume that v' matches u'").
+                m.charge_row_read(ctx.gpu, task.row);
+                let nbrs: Neighbors<'_> = if owner {
+                    ctx.store.neighbors_with_label(ctx.gpu, v_prime, label)
+                } else {
+                    // Shared input buffer: reuse contents without charges.
+                    ctx.store_free_neighbors(v_prime, label)
+                };
+                debug_assert_eq!(nbrs.len(), loads[task.row]);
+                let naive_reread = (exec.strategy == SetOpStrategy::Naive)
+                    .then_some((task.row * m.n_cols(), m.n_cols()));
+                exec.first_edge(
+                    ctx.gpu,
+                    &nbrs,
+                    row_slice,
+                    cand,
+                    naive_reread,
+                    out_base,
+                    owner,
+                    Some(task.range.clone()),
+                )
+            }
+            PassKind::Intersect { bufs, buf_bases } => {
+                // Only the joined column is needed here.
+                m.charge_cell_read(ctx.gpu, task.row, col);
+                let nbrs: Neighbors<'_> = if owner {
+                    ctx.store.neighbors_with_label(ctx.gpu, v_prime, label)
+                } else {
+                    ctx.store_free_neighbors(v_prime, label)
+                };
+                let buf = &bufs[task.row];
+                exec.intersect(
+                    ctx.gpu,
+                    buf,
+                    buf_bases.map(|b| b[task.row]),
+                    &nbrs,
+                    out_base,
+                    owner,
+                    Some(task.range.clone()),
+                )
+            }
+        };
+
+        *slots[i].lock() = Some((task.row, task.range.start, out));
+    }
+}
+
+impl JoinCtx<'_> {
+    /// Extract `N(v, l)` *without* device charges — the duplicate-removal
+    /// path where another warp already staged the list in shared memory.
+    fn store_free_neighbors(&self, v: VertexId, l: EdgeLabel) -> Neighbors<'_> {
+        // Host ground truth; mark as not-in-global so downstream streaming
+        // is free as well.
+        let list: Vec<VertexId> = self.data.neighbors_with_label(v, l).collect();
+        Neighbors {
+            list: std::borrow::Cow::Owned(list),
+            in_global: false,
+            ci_offset: 0,
+        }
+    }
+}
+
+/// Count `|N(v'_i, l0)|` for every row — the pre-allocation bound of
+/// Algorithm 4 (line 5's scan input). Charges one cell read plus the store's
+/// locate cost per row.
+pub fn count_pass(ctx: &JoinCtx<'_>, m: &MatchTable, col: usize, label: EdgeLabel) -> Vec<usize> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let counts: Vec<AtomicUsize> = (0..m.n_rows()).map(|_| AtomicUsize::new(0)).collect();
+    let rows: Vec<usize> = (0..m.n_rows()).collect();
+    kernel::launch_warp_tasks(ctx.gpu, &rows, |_wid, &row| {
+        m.charge_cell_read(ctx.gpu, row, col);
+        let v = m.row(row)[col];
+        let c = ctx.store.neighbor_count(ctx.gpu, v, label);
+        counts[row].store(c, Ordering::Relaxed);
+    });
+    counts.into_iter().map(|c| c.into_inner()).collect()
+}
+
+/// The link kernel (Algorithm 3 lines 15-21): extend every row `m_i` with
+/// each element of `buf_i`, writing the new table `M'`.
+///
+/// `buf_bases` — `Some` when buffers live in global memory (their streaming
+/// is charged); `out_offsets` is the exclusive prefix sum of buffer lengths.
+pub fn link_pass(
+    ctx: &JoinCtx<'_>,
+    m: &MatchTable,
+    bufs: &[Vec<VertexId>],
+    buf_bases: Option<&[usize]>,
+    out_offsets: &[u32],
+) -> MatchTable {
+    let n_cols = m.n_cols() + 1;
+    let total_rows = *out_offsets.last().expect("offsets include total") as usize;
+    let mut data = vec![0 as VertexId; total_rows * n_cols];
+
+    let loads: Vec<usize> = bufs.iter().map(|b| b.len()).collect();
+    let plans = plan_kernels(&loads, ctx.cfg.load_balance.as_ref(), ctx.warps_per_block());
+    let out = MatchTable::from_raw(n_cols, vec![0; total_rows.max(1) * n_cols]);
+
+    // Disjoint output regions per task, safely handed out through mutexes.
+    let slots: Mutex<Vec<(usize, usize, Vec<VertexId>)>> = Mutex::new(Vec::new());
+    for plan in &plans {
+        kernel::launch_blocks(
+            ctx.gpu,
+            &plan.tasks,
+            plan.warps_per_block,
+            Schedule::Dynamic,
+            |_bctx, block| {
+                for task in block {
+                    // Read m_i into shared memory (line 18).
+                    m.charge_row_read(ctx.gpu, task.row);
+                    let row = m.row(task.row);
+                    if let Some(bases) = buf_bases {
+                        ctx.gpu.stats().gld_range(
+                            bases[task.row] + task.range.start,
+                            task.range.len(),
+                            4,
+                        );
+                    }
+                    let mut local = Vec::with_capacity(task.range.len() * n_cols);
+                    for (k, &z) in bufs[task.row][task.range.clone()].iter().enumerate() {
+                        let out_row = out_offsets[task.row] as usize + task.range.start + k;
+                        out.charge_row_write(ctx.gpu, out_row);
+                        ctx.gpu.stats().add_work(n_cols as u64);
+                        local.extend_from_slice(row);
+                        local.push(z);
+                    }
+                    slots.lock().push((
+                        (out_offsets[task.row] as usize + task.range.start) * n_cols,
+                        task.range.len() * n_cols,
+                        local,
+                    ));
+                }
+            },
+        );
+    }
+
+    for (start, len, local) in slots.into_inner() {
+        data[start..start + len].copy_from_slice(&local);
+    }
+    MatchTable::from_raw(n_cols, data)
+}
+
+/// Order the linking edges of a step: Algorithm 4 line 1 picks the edge
+/// whose label has minimum frequency in `G` as the first edge `e0`.
+pub fn order_linking_edges(
+    ctx: &JoinCtx<'_>,
+    linking: &[(usize, EdgeLabel)],
+) -> Vec<(usize, EdgeLabel)> {
+    let mut edges = linking.to_vec();
+    if ctx.cfg.first_edge_min_freq {
+        let e0_idx = edges
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(_, l))| ctx.data.elabel_freq(l))
+            .map(|(i, _)| i)
+            .expect("at least one linking edge");
+        edges.swap(0, e0_idx);
+    }
+    edges
+}

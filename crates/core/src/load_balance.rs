@@ -1,0 +1,249 @@
+//! The 4-layer load-balance scheme (§VI-A).
+//!
+//! Neighbor-list sizes on scale-free graphs are wildly skewed; a warp stuck
+//! streaming a hub's million-entry list stalls its whole block. The paper's
+//! remedy, reproduced here as a *task-planning* transformation:
+//!
+//! 1. workloads above `W1` each get a **dedicated kernel launch**, split
+//!    into chunks processed by many blocks;
+//! 2. workloads in `(W2, W1]` are handled by an **entire block** (the row's
+//!    chunks fill one block's warps);
+//! 3. within a block, tasks above `W3` are **split and redistributed**
+//!    equally among the block's warps (shared-memory work pool);
+//! 4. each warp finishes the remaining (small) tasks of its rows.
+//!
+//! The planner turns per-row workloads into a list of kernel launches whose
+//! blocks have near-uniform total load; the simulator's block scheduler then
+//! turns that uniformity into real wall-clock balance.
+
+use crate::config::LbParams;
+use std::ops::Range;
+
+/// A unit of warp work: a sub-range of row `row`'s streamed list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkTask {
+    /// Index of the intermediate-table row.
+    pub row: usize,
+    /// Element range of the row's stream side handled by this task.
+    pub range: Range<usize>,
+}
+
+impl ChunkTask {
+    fn whole(row: usize, load: usize) -> Self {
+        ChunkTask {
+            row,
+            range: 0..load,
+        }
+    }
+
+    /// Whether the task covers its row's entire workload (needed for
+    /// duplicate removal, which only applies to unsplit rows).
+    pub fn is_whole(&self, load: usize) -> bool {
+        self.range.start == 0 && self.range.end == load
+    }
+}
+
+/// One kernel launch produced by the planner.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    /// Warp tasks, in block order (`warps_per_block` consecutive tasks form
+    /// a block).
+    pub tasks: Vec<ChunkTask>,
+    /// Block width for this launch.
+    pub warps_per_block: usize,
+}
+
+fn split_row(row: usize, load: usize, chunk: usize, out: &mut Vec<ChunkTask>) {
+    let chunk = chunk.max(1);
+    let mut lo = 0;
+    while lo < load {
+        let hi = (lo + chunk).min(load);
+        out.push(ChunkTask { row, range: lo..hi });
+        lo = hi;
+    }
+}
+
+/// Plan the kernel launches for one edge pass given per-row workloads.
+///
+/// With `lb == None` every row is a single whole task in one launch (the
+/// paper's unbalanced baseline). With thresholds, the four layers above are
+/// applied. Rows with zero load are kept as (empty) whole tasks so that
+/// every row still produces an output slot.
+pub fn plan_kernels(loads: &[usize], lb: Option<&LbParams>, warps_per_block: usize) -> Vec<KernelPlan> {
+    let wpb = warps_per_block.max(1);
+    let Some(lb) = lb else {
+        return vec![KernelPlan {
+            tasks: loads
+                .iter()
+                .enumerate()
+                .map(|(r, &l)| ChunkTask::whole(r, l))
+                .collect(),
+            warps_per_block: wpb,
+        }];
+    };
+    lb.validate();
+
+    let mut launches = Vec::new();
+    let mut block_tier: Vec<ChunkTask> = Vec::new();
+    let mut normal: Vec<ChunkTask> = Vec::new();
+
+    for (row, &load) in loads.iter().enumerate() {
+        if load > lb.w1 {
+            // Layer 1: dedicated kernel, chunked at W3 granularity.
+            let mut tasks = Vec::new();
+            split_row(row, load, lb.w3, &mut tasks);
+            launches.push(KernelPlan {
+                tasks,
+                warps_per_block: wpb,
+            });
+        } else if load > lb.w2 {
+            // Layer 2: whole block per row — chunks sized to fill the block.
+            split_row(row, load, load.div_ceil(wpb), &mut block_tier);
+        } else if load > lb.w3 {
+            // Layer 3: split at W3 and share within blocks.
+            split_row(row, load, lb.w3, &mut normal);
+        } else {
+            // Layer 4: the warp handles its row directly.
+            normal.push(ChunkTask::whole(row, load));
+        }
+    }
+
+    if !block_tier.is_empty() {
+        launches.push(KernelPlan {
+            tasks: block_tier,
+            warps_per_block: wpb,
+        });
+    }
+    if !normal.is_empty() {
+        // Even packing: distribute tasks round-robin by descending load so
+        // each block receives a near-equal total (the shared work pool).
+        let n_blocks = normal.len().div_ceil(wpb);
+        let mut order: Vec<usize> = (0..normal.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(normal[i].range.len()));
+        let mut buckets: Vec<Vec<ChunkTask>> = vec![Vec::new(); n_blocks];
+        for (k, &i) in order.iter().enumerate() {
+            buckets[k % n_blocks].push(normal[i].clone());
+        }
+        launches.push(KernelPlan {
+            tasks: buckets.into_iter().flatten().collect(),
+            warps_per_block: wpb,
+        });
+    }
+    launches
+}
+
+/// Diagnostics: the maximum total load of any block under a plan — the
+/// quantity load balancing minimizes ("the overall performance is limited by
+/// the longest workload").
+pub fn max_block_load(plans: &[KernelPlan]) -> usize {
+    plans
+        .iter()
+        .flat_map(|p| {
+            p.tasks
+                .chunks(p.warps_per_block)
+                .map(|block| block.iter().map(|t| t.range.len()).sum::<usize>())
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb() -> LbParams {
+        LbParams {
+            w1: 4096,
+            w2: 1024,
+            w3: 256,
+        }
+    }
+
+    fn coverage(plans: &[KernelPlan], loads: &[usize]) {
+        // Every row's load must be covered exactly once by its chunks.
+        let mut seen: Vec<Vec<(usize, usize)>> = vec![Vec::new(); loads.len()];
+        for p in plans {
+            for t in &p.tasks {
+                seen[t.row].push((t.range.start, t.range.end));
+            }
+        }
+        for (row, &load) in loads.iter().enumerate() {
+            let mut spans = seen[row].clone();
+            spans.sort_unstable();
+            if load == 0 {
+                assert!(!spans.is_empty(), "row {row} lost");
+                continue;
+            }
+            assert_eq!(spans.first().unwrap().0, 0, "row {row}");
+            assert_eq!(spans.last().unwrap().1, load, "row {row}");
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "row {row} gap/overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn no_lb_is_one_whole_task_per_row() {
+        let loads = vec![5, 0, 10_000];
+        let plans = plan_kernels(&loads, None, 32);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].tasks.len(), 3);
+        coverage(&plans, &loads);
+    }
+
+    #[test]
+    fn giant_rows_get_dedicated_kernels() {
+        let loads = vec![10, 20_000, 30, 9_000];
+        let plans = plan_kernels(&loads, Some(&lb()), 32);
+        // Two giants → two dedicated launches + one normal launch.
+        assert_eq!(plans.len(), 3);
+        coverage(&plans, &loads);
+        // Giant kernels chunk at W3.
+        assert!(plans[0].tasks.iter().all(|t| t.range.len() <= 256));
+    }
+
+    #[test]
+    fn block_tier_fills_blocks() {
+        let loads = vec![2_000; 4];
+        let plans = plan_kernels(&loads, Some(&lb()), 32);
+        coverage(&plans, &loads);
+        // 2000/32 = 63-element chunks; each row spans ~32 tasks = one block.
+        let tier = &plans[0];
+        assert!(tier.tasks.iter().all(|t| t.range.len() <= 63));
+    }
+
+    #[test]
+    fn balancing_reduces_max_block_load() {
+        // One hub row of 100k among 511 tiny rows.
+        let mut loads = vec![8usize; 511];
+        loads.push(100_000);
+        let unbalanced = plan_kernels(&loads, None, 32);
+        let balanced = plan_kernels(&loads, Some(&lb()), 32);
+        coverage(&unbalanced, &loads);
+        coverage(&balanced, &loads);
+        let u = max_block_load(&unbalanced);
+        let b = max_block_load(&balanced);
+        assert!(
+            b * 10 <= u,
+            "balanced max block load {b} should be ≪ unbalanced {u}"
+        );
+    }
+
+    #[test]
+    fn zero_load_rows_survive() {
+        let loads = vec![0, 0, 5_000, 0];
+        let plans = plan_kernels(&loads, Some(&lb()), 32);
+        coverage(&plans, &loads);
+    }
+
+    #[test]
+    fn whole_task_detection() {
+        let t = ChunkTask::whole(3, 100);
+        assert!(t.is_whole(100));
+        let c = ChunkTask {
+            row: 3,
+            range: 0..50,
+        };
+        assert!(!c.is_whole(100));
+    }
+}

@@ -1,0 +1,178 @@
+//! Final query results: the match table plus the column → query-vertex map.
+
+use crate::table::MatchTable;
+use gsi_graph::{Graph, VertexId};
+
+/// All matches of a query, with provenance.
+#[derive(Debug, Clone)]
+pub struct Matches {
+    /// `order[c]` is the query vertex matched by column `c`.
+    pub order: Vec<VertexId>,
+    /// One row per match.
+    pub table: MatchTable,
+}
+
+impl Matches {
+    /// An empty result for a query with the given join order.
+    pub fn empty(order: Vec<VertexId>) -> Self {
+        let n = order.len().max(1);
+        Self {
+            order,
+            table: MatchTable::new(n),
+        }
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.table.n_rows()
+    }
+
+    /// Whether no match was found.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The assignment of match `i` in query-vertex order: `result[u]` is the
+    /// data vertex matched to query vertex `u`.
+    pub fn assignment(&self, i: usize) -> Vec<VertexId> {
+        let row = self.table.row(i);
+        let mut by_qv = vec![0; self.order.len()];
+        for (c, &qv) in self.order.iter().enumerate() {
+            by_qv[qv as usize] = row[c];
+        }
+        by_qv
+    }
+
+    /// All assignments, canonicalized (query-vertex indexed) and sorted —
+    /// the representation used to compare engines for equality.
+    pub fn canonical(&self) -> Vec<Vec<VertexId>> {
+        let mut out: Vec<Vec<VertexId>> = (0..self.len()).map(|i| self.assignment(i)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Verify every match is a genuine subgraph-isomorphism embedding
+    /// (Definition 2/3): injective, label-preserving on vertices, and every
+    /// query edge maps to a data edge with the same label.
+    pub fn verify(&self, data: &Graph, query: &Graph) -> Result<(), String> {
+        for i in 0..self.len() {
+            let a = self.assignment(i);
+            // Injectivity.
+            let mut seen = a.clone();
+            seen.sort_unstable();
+            if seen.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("match {i} is not injective: {a:?}"));
+            }
+            // Vertex labels.
+            for u in 0..query.n_vertices() as VertexId {
+                let v = a[u as usize];
+                if query.vlabel(u) != data.vlabel(v) {
+                    return Err(format!(
+                        "match {i}: label mismatch u{u}→v{v} ({} vs {})",
+                        query.vlabel(u),
+                        data.vlabel(v)
+                    ));
+                }
+            }
+            // Edges.
+            for e in query.edges() {
+                let (du, dv) = (a[e.u as usize], a[e.v as usize]);
+                if !data.has_edge(du, dv, e.label) {
+                    return Err(format!(
+                        "match {i}: missing data edge {du}–{dv} label {}",
+                        e.label
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_graph::GraphBuilder;
+
+    fn tiny() -> (Graph, Graph) {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(1);
+        b.add_edge(v0, v1, 0);
+        b.add_edge(v0, v2, 0);
+        let data = b.build();
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        (data, qb.build())
+    }
+
+    #[test]
+    fn assignment_respects_order_permutation() {
+        let (_, _) = tiny();
+        // Columns are [u1, u0]: row (v1, v0) must map u0→v0, u1→v1.
+        let mut t = MatchTable::new(2);
+        t.push_row(&[1, 0]);
+        let m = Matches {
+            order: vec![1, 0],
+            table: t,
+        };
+        assert_eq!(m.assignment(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn canonical_sorts_rows() {
+        let mut t = MatchTable::new(2);
+        t.push_row(&[2, 0]);
+        t.push_row(&[1, 0]);
+        let m = Matches {
+            order: vec![1, 0],
+            table: t,
+        };
+        assert_eq!(m.canonical(), vec![vec![0, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn verify_accepts_true_embeddings() {
+        let (data, query) = tiny();
+        let mut t = MatchTable::new(2);
+        t.push_row(&[0, 1]);
+        t.push_row(&[0, 2]);
+        let m = Matches {
+            order: vec![0, 1],
+            table: t,
+        };
+        assert!(m.verify(&data, &query).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_label_and_edge_violations() {
+        let (data, query) = tiny();
+        // u0 (label 0) mapped to v1 (label 1): label violation.
+        let mut t = MatchTable::new(2);
+        t.push_row(&[1, 0]);
+        let m = Matches {
+            order: vec![0, 1],
+            table: t,
+        };
+        assert!(m.verify(&data, &query).is_err());
+        // Non-injective.
+        let mut t = MatchTable::new(2);
+        t.push_row(&[1, 1]);
+        let m = Matches {
+            order: vec![0, 1],
+            table: t,
+        };
+        assert!(m.verify(&data, &query).is_err());
+    }
+
+    #[test]
+    fn empty_matches() {
+        let m = Matches::empty(vec![0, 1, 2]);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.canonical(), Vec::<Vec<u32>>::new());
+    }
+}

@@ -1,0 +1,231 @@
+//! Join-order planning — Algorithm 2 of the paper.
+//!
+//! The first query vertex minimizes `score(u) = |C(u)| / deg(u)`; each later
+//! pick is the connected, not-yet-joined vertex with minimal score, where
+//! after joining `u_c` every neighbor `u'` has its score multiplied by
+//! `freq(L_E(u_c u'))` — cheap labels keep intermediate tables small.
+
+use gsi_graph::{EdgeLabel, Graph, VertexId};
+use gsi_signature::CandidateSet;
+
+/// One join iteration: the vertex being added and its linking edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStep {
+    /// The query vertex joined in this step.
+    pub vertex: VertexId,
+    /// Linking edges to the already-matched partial query `Q'`: pairs of
+    /// (column index in the join order, edge label). Algorithm 3's `ES`.
+    pub linking: Vec<(usize, EdgeLabel)>,
+}
+
+/// The full join order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Query vertices in join order; `order[0]` seeds the table.
+    pub order: Vec<VertexId>,
+    /// One step per subsequent vertex (`order[1..]`).
+    pub steps: Vec<JoinStep>,
+}
+
+/// Compute the join order for `query` over `data` given the filtered
+/// candidate sets (Algorithm 2). Panics if the query is disconnected (the
+/// paper assumes connected queries; split components upstream).
+pub fn plan_join(query: &Graph, data: &Graph, cands: &[CandidateSet]) -> JoinPlan {
+    let nq = query.n_vertices();
+    assert!(nq > 0, "empty query");
+    assert_eq!(cands.len(), nq, "one candidate set per query vertex");
+
+    // score(u') = |C(u')| / deg(u')  (lines 2-3).
+    let mut score: Vec<f64> = (0..nq)
+        .map(|u| {
+            let deg = query.degree(u as VertexId).max(1) as f64;
+            cands[u].len() as f64 / deg
+        })
+        .collect();
+
+    let mut in_plan = vec![false; nq];
+    let mut order: Vec<VertexId> = Vec::with_capacity(nq);
+    let mut steps: Vec<JoinStep> = Vec::with_capacity(nq.saturating_sub(1));
+
+    for i in 0..nq {
+        let pick = if i == 0 {
+            // Line 6: global minimum score.
+            (0..nq)
+                .min_by(|&a, &b| score[a].total_cmp(&score[b]))
+                .expect("non-empty query")
+        } else {
+            // Line 9: minimum score among vertices connected to Q'.
+            (0..nq)
+                .filter(|&u| {
+                    !in_plan[u]
+                        && query
+                            .neighbors(u as VertexId)
+                            .iter()
+                            .any(|&(n, _)| in_plan[n as usize])
+                })
+                .min_by(|&a, &b| score[a].total_cmp(&score[b]))
+                .unwrap_or_else(|| panic!("query is disconnected at step {i}"))
+        };
+
+        let u = pick as VertexId;
+        if i > 0 {
+            // All edges between u and Q', with the matched endpoint's column.
+            let mut linking: Vec<(usize, EdgeLabel)> = Vec::new();
+            for &(n, l) in query.neighbors(u) {
+                if in_plan[n as usize] {
+                    let col = order
+                        .iter()
+                        .position(|&o| o == n)
+                        .expect("endpoint already ordered");
+                    linking.push((col, l));
+                }
+            }
+            debug_assert!(!linking.is_empty());
+            steps.push(JoinStep { vertex: u, linking });
+        }
+        in_plan[pick] = true;
+        order.push(u);
+
+        // Lines 12-13: refresh neighbor scores by edge-label frequency.
+        for &(n, l) in query.neighbors(u) {
+            if !in_plan[n as usize] {
+                score[n as usize] *= data.elabel_freq(l) as f64;
+            }
+        }
+    }
+
+    JoinPlan { order, steps }
+}
+
+impl JoinPlan {
+    /// Sanity-check the plan covers the query: every vertex once, every edge
+    /// exactly once as a linking edge.
+    pub fn check_covers(&self, query: &Graph) {
+        assert_eq!(self.order.len(), query.n_vertices());
+        let mut sorted = self.order.clone();
+        sorted.sort_unstable();
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]), "duplicate vertex");
+        let linking_edges: usize = self.steps.iter().map(|s| s.linking.len()).sum();
+        assert_eq!(linking_edges, query.n_edges(), "edges covered exactly once");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_graph::GraphBuilder;
+
+    fn cand(u: u32, n: usize) -> CandidateSet {
+        CandidateSet {
+            query_vertex: u,
+            list: (0..n as u32).collect(),
+        }
+    }
+
+    /// Triangle query with an extra pendant.
+    fn query() -> Graph {
+        let mut b = GraphBuilder::new();
+        let u0 = b.add_vertex(0);
+        let u1 = b.add_vertex(1);
+        let u2 = b.add_vertex(2);
+        let u3 = b.add_vertex(3);
+        b.add_edge(u0, u1, 0);
+        b.add_edge(u1, u2, 1);
+        b.add_edge(u0, u2, 0);
+        b.add_edge(u2, u3, 2);
+        b.build()
+    }
+
+    fn data() -> Graph {
+        // Label frequencies: label 0 common, 1 mid, 2 rare.
+        let mut b = GraphBuilder::new();
+        let vs: Vec<u32> = (0..10).map(|i| b.add_vertex(i % 4)).collect();
+        for i in 0..8 {
+            b.add_edge(vs[i], vs[i + 1], 0);
+        }
+        b.add_edge(vs[0], vs[2], 1);
+        b.add_edge(vs[1], vs[3], 1);
+        b.add_edge(vs[4], vs[6], 2);
+        b.build()
+    }
+
+    #[test]
+    fn first_pick_minimizes_score() {
+        let q = query();
+        let d = data();
+        // u2 has 2 candidates and degree 3 → lowest score.
+        let cands = vec![cand(0, 10), cand(1, 10), cand(2, 2), cand(3, 10)];
+        let plan = plan_join(&q, &d, &cands);
+        assert_eq!(plan.order[0], 2);
+        plan.check_covers(&q);
+    }
+
+    #[test]
+    fn all_edges_covered_exactly_once() {
+        let q = query();
+        let d = data();
+        let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5), cand(3, 5)];
+        let plan = plan_join(&q, &d, &cands);
+        plan.check_covers(&q);
+        // The triangle closing step must carry two linking edges.
+        let multi = plan.steps.iter().find(|s| s.linking.len() == 2);
+        assert!(multi.is_some(), "triangle closure needs 2 linking edges");
+    }
+
+    #[test]
+    fn linking_columns_point_into_prefix() {
+        let q = query();
+        let d = data();
+        let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5), cand(3, 5)];
+        let plan = plan_join(&q, &d, &cands);
+        for (i, step) in plan.steps.iter().enumerate() {
+            for &(col, _) in &step.linking {
+                assert!(col <= i, "column {col} not yet materialized at step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_enforced() {
+        let q = query();
+        let d = data();
+        // The pendant u3 has the lowest score, so it seeds the order; every
+        // later vertex must connect to the already-ordered prefix.
+        let cands = vec![cand(0, 100), cand(1, 100), cand(2, 100), cand(3, 1)];
+        let plan = plan_join(&q, &d, &cands);
+        assert_eq!(plan.order[0], 3);
+        assert_eq!(plan.order[1], 2, "u2 is u3's only neighbor");
+        for (i, &u) in plan.order.iter().enumerate().skip(1) {
+            let connected = q
+                .neighbors(u)
+                .iter()
+                .any(|&(n, _)| plan.order[..i].contains(&n));
+            assert!(connected, "order[{i}]={u} not connected to prefix");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_query_panics() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(0);
+        let c = b.add_vertex(0);
+        b.add_edge(a, c, 0);
+        b.add_vertex(0); // isolated vertex
+        let q = b.build();
+        let d = data();
+        let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5)];
+        plan_join(&q, &d, &cands);
+    }
+
+    #[test]
+    fn single_vertex_plan() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        let q = b.build();
+        let d = data();
+        let plan = plan_join(&q, &d, &[cand(0, 3)]);
+        assert_eq!(plan.order, vec![0]);
+        assert!(plan.steps.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-query run statistics — the measurement columns of the paper's tables.
+
+use gsi_gpu_sim::StatsSnapshot;
+use std::time::Duration;
+
+/// Everything a single query run reports.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Filtering-phase wall time.
+    pub filter_time: Duration,
+    /// Joining-phase wall time.
+    pub join_time: Duration,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+    /// Device-ledger delta over the whole query (GLD, GST, kernels, …).
+    pub device: StatsSnapshot,
+    /// Device-ledger delta of the filtering phase only.
+    pub filter_device: StatsSnapshot,
+    /// Smallest candidate-set size (the paper's minimum `|C(u)|`).
+    pub min_candidate: usize,
+    /// Number of matches found.
+    pub n_matches: usize,
+    /// Peak intermediate-table row count across join iterations.
+    pub max_intermediate_rows: usize,
+    /// The run aborted (intermediate-table guard or timeout).
+    pub timed_out: bool,
+}
+
+impl RunStats {
+    /// Global-memory load transactions (the paper's GLD).
+    pub fn gld(&self) -> u64 {
+        self.device.gld_transactions
+    }
+
+    /// Global-memory store transactions (the paper's GST).
+    pub fn gst(&self) -> u64 {
+        self.device.gst_transactions
+    }
+
+    /// Kernel launches.
+    pub fn kernels(&self) -> u64 {
+        self.device.kernel_launches
+    }
+
+    /// Join-phase GLD (total minus filtering).
+    pub fn join_gld(&self) -> u64 {
+        self.device.gld_transactions - self.filter_device.gld_transactions
+    }
+
+    /// Join-phase GST (total minus filtering).
+    pub fn join_gst(&self) -> u64 {
+        self.device.gst_transactions - self.filter_device.gst_transactions
+    }
+
+    /// Merge another run into an accumulating aggregate (used by the bench
+    /// harness to average over the paper's 100 queries per configuration).
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.filter_time += other.filter_time;
+        self.join_time += other.join_time;
+        self.total_time += other.total_time;
+        self.device.gld_transactions += other.device.gld_transactions;
+        self.device.gst_transactions += other.device.gst_transactions;
+        self.device.kernel_launches += other.device.kernel_launches;
+        self.device.warp_tasks += other.device.warp_tasks;
+        self.device.work_units += other.device.work_units;
+        self.device.device_allocs += other.device.device_allocs;
+        self.device.device_alloc_bytes += other.device.device_alloc_bytes;
+        self.device.idle_lane_work += other.device.idle_lane_work;
+        self.filter_device.gld_transactions += other.filter_device.gld_transactions;
+        self.filter_device.gst_transactions += other.filter_device.gst_transactions;
+        self.filter_device.kernel_launches += other.filter_device.kernel_launches;
+        self.min_candidate += other.min_candidate;
+        self.n_matches += other.n_matches;
+        self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);
+        self.timed_out |= other.timed_out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = RunStats::default();
+        s.device.gld_transactions = 100;
+        s.device.gst_transactions = 40;
+        s.filter_device.gld_transactions = 30;
+        s.filter_device.gst_transactions = 10;
+        assert_eq!(s.gld(), 100);
+        assert_eq!(s.join_gld(), 70);
+        assert_eq!(s.join_gst(), 30);
+    }
+
+    #[test]
+    fn accumulate_sums_and_maxes() {
+        let mut a = RunStats {
+            n_matches: 3,
+            max_intermediate_rows: 10,
+            ..Default::default()
+        };
+        let b = RunStats {
+            n_matches: 4,
+            max_intermediate_rows: 7,
+            timed_out: true,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.n_matches, 7);
+        assert_eq!(a.max_intermediate_rows, 10);
+        assert!(a.timed_out);
+    }
+}

@@ -1,0 +1,143 @@
+//! The intermediate result table `M` (Table I: "each row represents a
+//! partial answer, each column corresponds to a query variable").
+//!
+//! Stored row-major in simulated global memory: a warp reading its row
+//! touches `⌈cols·4 / 128⌉` segments, and the link kernel writes extended
+//! rows contiguously — exactly the paper's layout.
+
+use gsi_gpu_sim::Gpu;
+use gsi_graph::VertexId;
+
+/// A dense row-major table of data-vertex ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchTable {
+    n_cols: usize,
+    data: Vec<VertexId>,
+}
+
+impl MatchTable {
+    /// An empty table with `n_cols` columns.
+    pub fn new(n_cols: usize) -> Self {
+        assert!(n_cols > 0, "a match table needs at least one column");
+        Self {
+            n_cols,
+            data: Vec::new(),
+        }
+    }
+
+    /// A single-column table seeded from a candidate list (Algorithm 2
+    /// line 7: `M = C(u_c)`).
+    pub fn from_candidates(cands: &[VertexId]) -> Self {
+        Self {
+            n_cols: 1,
+            data: cands.to_vec(),
+        }
+    }
+
+    /// Build from raw parts (the link kernel's output).
+    pub fn from_raw(n_cols: usize, data: Vec<VertexId>) -> Self {
+        assert!(n_cols > 0);
+        assert_eq!(data.len() % n_cols, 0, "ragged table");
+        Self { n_cols, data }
+    }
+
+    /// Number of columns (matched query vertices).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of rows (partial answers).
+    pub fn n_rows(&self) -> usize {
+        self.data.len() / self.n_cols
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i` as a slice of data vertices (host view).
+    pub fn row(&self, i: usize) -> &[VertexId] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Raw backing storage.
+    pub fn data(&self) -> &[VertexId] {
+        &self.data
+    }
+
+    /// Append a row (host-side construction; device writes are charged by
+    /// the link kernel through [`MatchTable::charge_row_write`]).
+    pub fn push_row(&mut self, row: &[VertexId]) {
+        debug_assert_eq!(row.len(), self.n_cols);
+        self.data.extend_from_slice(row);
+    }
+
+    /// Bytes of simulated global memory the table occupies.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Charge a warp's read of row `i` (Algorithm 3 line 18: "read `m_i`
+    /// into shared memory").
+    pub fn charge_row_read(&self, gpu: &Gpu, i: usize) {
+        gpu.stats().gld_range(i * self.n_cols, self.n_cols, 4);
+    }
+
+    /// Charge a warp's read of a single cell (row `i`, column `c`) — used by
+    /// kernels that only need one column, e.g. the GBA count kernel.
+    pub fn charge_cell_read(&self, gpu: &Gpu, i: usize, c: usize) {
+        gpu.stats().gld_gather([i * self.n_cols + c], 4);
+    }
+
+    /// Charge the store of one output row of `n_cols` words at row `i` of a
+    /// table with this shape.
+    pub fn charge_row_write(&self, gpu: &Gpu, i: usize) {
+        gpu.stats().gst_range(i * self.n_cols, self.n_cols, 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn seed_from_candidates() {
+        let m = MatchTable::from_candidates(&[3, 5, 9]);
+        assert_eq!(m.n_cols(), 1);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.row(1), &[5]);
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut m = MatchTable::new(3);
+        m.push_row(&[1, 2, 3]);
+        m.push_row(&[4, 5, 6]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        assert_eq!(m.size_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_raw_rejected() {
+        MatchTable::from_raw(3, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn charges_scale_with_row_width() {
+        let gpu = Gpu::new(DeviceConfig::test_device());
+        let m = MatchTable::from_raw(40, (0..400).collect());
+        gpu.reset_stats();
+        m.charge_row_read(&gpu, 0);
+        // 40 words = 160B from an aligned start: 2 transactions.
+        assert_eq!(gpu.stats().snapshot().gld_transactions, 2);
+        m.charge_cell_read(&gpu, 3, 5);
+        assert_eq!(gpu.stats().snapshot().gld_transactions, 3);
+        m.charge_row_write(&gpu, 1);
+        assert!(gpu.stats().snapshot().gst_transactions >= 2);
+    }
+}

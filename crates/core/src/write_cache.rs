@@ -1,0 +1,143 @@
+//! The per-warp 128-byte write cache (§V).
+//!
+//! "We also add a write cache to save write transactions, as there are
+//! enormous invalid intermediate results which do not need to be written
+//! back. It is exactly 128B for each warp … Valid elements are added to
+//! cache first … Only when it is full, the warp flushes its cached content
+//! to global memory using exactly one memory transaction."
+//!
+//! Without the cache, each valid element is written the moment it is found —
+//! a scattered single-word store, one transaction each (Table VII's
+//! "no cache" column).
+
+use gsi_gpu_sim::Gpu;
+
+/// Elements of 4 bytes fitting one 128-byte cache line.
+const CACHE_ELEMS: usize = 32;
+
+/// Accounting-only output channel for one warp's join results.
+///
+/// `out_base` is the element offset of the warp's buffer in the destination
+/// global buffer; `None` means count-only (no stores happen at all — the
+/// two-step scheme's first pass).
+#[derive(Debug)]
+pub struct WriteCache<'a> {
+    gpu: &'a Gpu,
+    enabled: bool,
+    out_base: Option<usize>,
+    pending: usize,
+    written: usize,
+}
+
+impl<'a> WriteCache<'a> {
+    /// New channel. `enabled` selects cached (batched) vs direct stores.
+    pub fn new(gpu: &'a Gpu, enabled: bool, out_base: Option<usize>) -> Self {
+        Self {
+            gpu,
+            enabled,
+            out_base,
+            pending: 0,
+            written: 0,
+        }
+    }
+
+    /// Record one valid output element.
+    pub fn push(&mut self) {
+        let Some(base) = self.out_base else {
+            self.written += 1; // count-only
+            return;
+        };
+        if self.enabled {
+            self.pending += 1;
+            if self.pending == CACHE_ELEMS {
+                self.flush(base);
+            }
+        } else {
+            // Direct store: one scattered word, one transaction.
+            self.gpu.stats().gst_scatter([base + self.written], 4);
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self, base: usize) {
+        self.gpu
+            .stats()
+            .gst_range(base + self.written, self.pending, 4);
+        self.written += self.pending;
+        self.pending = 0;
+    }
+
+    /// Flush any remainder; returns the total elements emitted.
+    pub fn finish(mut self) -> usize {
+        if self.pending > 0 {
+            if let Some(base) = self.out_base {
+                self.flush(base);
+            }
+        }
+        self.written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_gpu_sim::DeviceConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::test_device())
+    }
+
+    #[test]
+    fn cached_writes_batch_into_few_transactions() {
+        let g = gpu();
+        let mut wc = WriteCache::new(&g, true, Some(0));
+        for _ in 0..100 {
+            wc.push();
+        }
+        assert_eq!(wc.finish(), 100);
+        // 100 elements, cache flushes at 32: 3 full lines + remainder = 4.
+        assert_eq!(g.stats().snapshot().gst_transactions, 4);
+    }
+
+    #[test]
+    fn uncached_writes_cost_one_transaction_each() {
+        let g = gpu();
+        let mut wc = WriteCache::new(&g, false, Some(0));
+        for _ in 0..100 {
+            wc.push();
+        }
+        assert_eq!(wc.finish(), 100);
+        assert_eq!(g.stats().snapshot().gst_transactions, 100);
+    }
+
+    #[test]
+    fn count_only_mode_stores_nothing() {
+        let g = gpu();
+        let mut wc = WriteCache::new(&g, true, None);
+        for _ in 0..50 {
+            wc.push();
+        }
+        assert_eq!(wc.finish(), 50);
+        assert_eq!(g.stats().snapshot().gst_transactions, 0);
+    }
+
+    #[test]
+    fn unaligned_base_still_counts_spans() {
+        let g = gpu();
+        // Base offset 16 words: a 32-element flush straddles two segments.
+        let mut wc = WriteCache::new(&g, true, Some(16));
+        for _ in 0..32 {
+            wc.push();
+        }
+        assert_eq!(wc.finish(), 32);
+        assert_eq!(g.stats().snapshot().gst_transactions, 2);
+    }
+
+    #[test]
+    fn empty_finish_is_free() {
+        let g = gpu();
+        let wc = WriteCache::new(&g, true, Some(0));
+        assert_eq!(wc.finish(), 0);
+        assert_eq!(g.stats().snapshot().gst_transactions, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # gsi-datasets — synthetic stand-ins for the paper's evaluation datasets
+//!
+//! The paper evaluates on enron, gowalla, road_central (SNAP), DBpedia and
+//! WatDiv (Table III), assigning vertex/edge labels "following the power-law
+//! distribution" since the raw graphs are unlabeled (except RDF predicates).
+//! Downloading those corpora is not possible here, so this crate generates
+//! structural stand-ins matched to Table III's statistics: the same graph
+//! family (scale-free vs mesh), the same `|V|`, `|E|`, `|L_V|`, `|L_E|`
+//! targets, and Zipf-distributed labels — everything the paper's
+//! experimental effects depend on.
+//!
+//! A `scale` knob shrinks the graphs proportionally (`scale = 1.0` is the
+//! paper's size); the benchmark harness defaults the large graphs to scaled
+//! sizes so a full reproduction run finishes on a laptop.
+
+pub mod build;
+pub mod spec;
+pub mod stats;
+
+pub use build::build;
+pub use spec::{DatasetKind, DatasetSpec};
+pub use stats::{statistics, GraphStatistics};

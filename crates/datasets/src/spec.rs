@@ -1,0 +1,166 @@
+//! Dataset descriptors mirroring Table III.
+
+/// The five evaluation datasets of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Enron email network: 69 K vertices, 274 K edges, 10/100 labels,
+    /// real, scale-free.
+    Enron,
+    /// Gowalla location-based social network: 196 K / 1.9 M, 100/100 labels,
+    /// real, scale-free.
+    Gowalla,
+    /// road_central USA: 14 M / 16 M, 1 K/1 K labels, real, mesh-like
+    /// (max degree 8).
+    RoadCentral,
+    /// DBpedia RDF: 22 M / 170 M, 1 K/57 K labels, real, scale-free.
+    DBpedia,
+    /// WatDiv synthetic RDF benchmark: 10 M / 109 M, 1 K/86 labels,
+    /// scale-free.
+    WatDiv,
+}
+
+impl DatasetKind {
+    /// All five datasets, in the paper's table order.
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::Enron,
+        DatasetKind::Gowalla,
+        DatasetKind::RoadCentral,
+        DatasetKind::DBpedia,
+        DatasetKind::WatDiv,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Enron => "enron",
+            DatasetKind::Gowalla => "gowalla",
+            DatasetKind::RoadCentral => "road",
+            DatasetKind::DBpedia => "DBpedia",
+            DatasetKind::WatDiv => "WatDiv",
+        }
+    }
+
+    /// Table III's target statistics at full scale:
+    /// `(|V|, |E|, |L_V|, |L_E|, family)`.
+    pub fn full_target(&self) -> (usize, usize, usize, usize, Family) {
+        match self {
+            DatasetKind::Enron => (69_000, 274_000, 10, 100, Family::ScaleFree),
+            DatasetKind::Gowalla => (196_000, 1_900_000, 100, 100, Family::ScaleFree),
+            DatasetKind::RoadCentral => (14_000_000, 16_000_000, 1_000, 1_000, Family::Mesh),
+            DatasetKind::DBpedia => (22_000_000, 170_000_000, 1_000, 57_000, Family::ScaleFree),
+            DatasetKind::WatDiv => (10_000_000, 109_000_000, 1_000, 86, Family::ScaleFree),
+        }
+    }
+
+    /// Default scale used by the benchmark harness so the full reproduction
+    /// finishes on a laptop (the small graphs run at paper size).
+    pub fn default_scale(&self) -> f64 {
+        match self {
+            DatasetKind::Enron => 0.5,
+            DatasetKind::Gowalla => 0.25,
+            DatasetKind::RoadCentral => 0.02,
+            DatasetKind::DBpedia => 0.004,
+            DatasetKind::WatDiv => 0.008,
+        }
+    }
+}
+
+/// Structural family of a dataset (Table III's "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Skewed, hub-dominated degree distribution ("s").
+    ScaleFree,
+    /// Near-constant small degree ("m").
+    Mesh,
+}
+
+/// A concrete dataset request: kind, scale and RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Which dataset family to generate.
+    pub kind: DatasetKind,
+    /// Linear size factor; 1.0 reproduces Table III's `|V|`/`|E|`.
+    pub scale: f64,
+    /// Generator seed (fixed seeds make every experiment reproducible).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The dataset at full paper scale.
+    pub fn full(kind: DatasetKind) -> Self {
+        Self {
+            kind,
+            scale: 1.0,
+            seed: 0x6510 + kind as u64,
+        }
+    }
+
+    /// The dataset at the harness default scale.
+    pub fn bench_default(kind: DatasetKind) -> Self {
+        Self {
+            scale: kind.default_scale(),
+            ..Self::full(kind)
+        }
+    }
+
+    /// The dataset at an explicit scale.
+    pub fn scaled(kind: DatasetKind, scale: f64) -> Self {
+        Self {
+            scale,
+            ..Self::full(kind)
+        }
+    }
+
+    /// Scaled `(n_vertices, n_edges, n_vlabels, n_elabels)` targets. Label
+    /// universes are capped by the vertex/edge counts at tiny scales.
+    pub fn targets(&self) -> (usize, usize, usize, usize) {
+        let (v, e, lv, le, _) = self.kind.full_target();
+        let sv = ((v as f64 * self.scale) as usize).max(16);
+        let se = ((e as f64 * self.scale) as usize).max(16);
+        (sv, se, lv.min(sv), le.min(se))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = DatasetKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["enron", "gowalla", "road", "DBpedia", "WatDiv"]);
+    }
+
+    #[test]
+    fn full_targets_match_table3() {
+        let (v, e, lv, le, fam) = DatasetKind::DBpedia.full_target();
+        assert_eq!((v, e, lv, le), (22_000_000, 170_000_000, 1_000, 57_000));
+        assert_eq!(fam, Family::ScaleFree);
+        let (_, _, _, _, fam) = DatasetKind::RoadCentral.full_target();
+        assert_eq!(fam, Family::Mesh);
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let spec = DatasetSpec::scaled(DatasetKind::Gowalla, 0.1);
+        let (v, e, lv, le) = spec.targets();
+        assert_eq!(v, 19_600);
+        assert_eq!(e, 190_000);
+        assert_eq!(lv, 100);
+        assert_eq!(le, 100);
+    }
+
+    #[test]
+    fn tiny_scale_caps_labels() {
+        let spec = DatasetSpec::scaled(DatasetKind::DBpedia, 0.000_001);
+        let (v, _, lv, _) = spec.targets();
+        assert!(lv <= v);
+    }
+
+    #[test]
+    fn seeds_differ_per_dataset() {
+        let a = DatasetSpec::full(DatasetKind::Enron).seed;
+        let b = DatasetSpec::full(DatasetKind::WatDiv).seed;
+        assert_ne!(a, b);
+    }
+}

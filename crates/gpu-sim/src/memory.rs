@@ -1,0 +1,180 @@
+//! Simulated global-memory buffers with transaction accounting.
+//!
+//! A [`DeviceVec`] behaves like device global memory: element 0 is assumed to
+//! sit on a 128-byte transaction boundary (as `cudaMalloc` guarantees), and
+//! every *warp-visible* access reports the coalesced transaction count to the
+//! device ledger. Host-side accessors (`as_slice`, indexing) are free — they
+//! model the algorithm author's view, not a device access — so structures can
+//! be built and verified without perturbing measurements.
+
+use crate::device::Gpu;
+use crate::stats::GpuStats;
+use std::sync::Arc;
+
+/// A global-memory buffer of `T` with warp-access accounting.
+#[derive(Debug, Clone)]
+pub struct DeviceVec<T> {
+    data: Vec<T>,
+    stats: Arc<GpuStats>,
+}
+
+impl<T: Copy> DeviceVec<T> {
+    /// Allocate from an existing host vector (counts one device allocation).
+    pub fn from_vec(gpu: &Gpu, data: Vec<T>) -> Self {
+        let stats = gpu.stats();
+        stats.record_alloc((data.len() * std::mem::size_of::<T>()) as u64);
+        Self {
+            data,
+            stats: Arc::clone(stats_arc(gpu)),
+        }
+    }
+
+    /// Allocate `len` zero-initialized elements (counts one device allocation).
+    pub fn zeroed(gpu: &Gpu, len: usize) -> Self
+    where
+        T: Default,
+    {
+        Self::from_vec(gpu, vec![T::default(); len])
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Host view of the contents (no transactions charged).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable host view (no transactions charged).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    fn elem_bytes() -> usize {
+        std::mem::size_of::<T>()
+    }
+
+    /// Warp-coalesced read of `len` consecutive elements starting at `start`.
+    /// Charges one GLD transaction per 128-byte segment spanned.
+    pub fn warp_read(&self, start: usize, len: usize) -> &[T] {
+        self.stats.gld_range(start, len, Self::elem_bytes());
+        &self.data[start..start + len]
+    }
+
+    /// Warp-coalesced write of `src` at `start`. Charges GST transactions
+    /// for the spanned segments.
+    pub fn warp_write(&mut self, start: usize, src: &[T]) {
+        self.stats.gst_range(start, src.len(), Self::elem_bytes());
+        self.data[start..start + src.len()].copy_from_slice(src);
+    }
+
+    /// Warp gather of scattered elements; charges one GLD transaction per
+    /// distinct 128-byte segment among the (≤ 32) indices.
+    pub fn warp_gather(&self, indices: &[usize]) -> Vec<T> {
+        debug_assert!(indices.len() <= crate::warp::WARP_SIZE);
+        self.stats.gld_gather(indices.iter().copied(), Self::elem_bytes());
+        indices.iter().map(|&i| self.data[i]).collect()
+    }
+
+    /// Single-lane read (one transaction — the degenerate gather).
+    pub fn warp_read_one(&self, index: usize) -> T {
+        self.stats.gld_gather([index], Self::elem_bytes());
+        self.data[index]
+    }
+
+    /// Single-lane write (one transaction).
+    pub fn warp_write_one(&mut self, index: usize, value: T) {
+        self.stats.gst_scatter([index], Self::elem_bytes());
+        self.data[index] = value;
+    }
+}
+
+fn stats_arc(gpu: &Gpu) -> &Arc<GpuStats> {
+    gpu.stats_arc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::test_device())
+    }
+
+    #[test]
+    fn from_vec_records_alloc() {
+        let g = gpu();
+        let v: DeviceVec<u32> = DeviceVec::from_vec(&g, vec![1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        let snap = g.stats().snapshot();
+        assert_eq!(snap.device_allocs, 1);
+        assert_eq!(snap.device_alloc_bytes, 12);
+    }
+
+    #[test]
+    fn warp_read_counts_segments() {
+        let g = gpu();
+        let v: DeviceVec<u32> = DeviceVec::from_vec(&g, (0..256).collect());
+        g.reset_stats();
+        let s = v.warp_read(0, 32); // exactly one 128B segment
+        assert_eq!(s.len(), 32);
+        assert_eq!(g.stats().snapshot().gld_transactions, 1);
+        v.warp_read(16, 32); // straddles a boundary
+        assert_eq!(g.stats().snapshot().gld_transactions, 3);
+    }
+
+    #[test]
+    fn warp_write_counts_and_mutates() {
+        let g = gpu();
+        let mut v: DeviceVec<u32> = DeviceVec::zeroed(&g, 64);
+        g.reset_stats();
+        v.warp_write(0, &[7; 32]);
+        assert_eq!(v.as_slice()[31], 7);
+        assert_eq!(g.stats().snapshot().gst_transactions, 1);
+    }
+
+    #[test]
+    fn gather_distinct_segments() {
+        let g = gpu();
+        let v: DeviceVec<u32> = DeviceVec::from_vec(&g, (0..4096).collect());
+        g.reset_stats();
+        // Four indices in four different 128-byte segments.
+        let out = v.warp_gather(&[0, 100, 200, 300]);
+        assert_eq!(out, vec![0, 100, 200, 300]);
+        assert_eq!(g.stats().snapshot().gld_transactions, 4);
+    }
+
+    #[test]
+    fn single_lane_ops() {
+        let g = gpu();
+        let mut v: DeviceVec<u32> = DeviceVec::zeroed(&g, 8);
+        g.reset_stats();
+        v.warp_write_one(3, 42);
+        assert_eq!(v.warp_read_one(3), 42);
+        let snap = g.stats().snapshot();
+        assert_eq!(snap.gst_transactions, 1);
+        assert_eq!(snap.gld_transactions, 1);
+    }
+
+    #[test]
+    fn host_access_is_free() {
+        let g = gpu();
+        let v: DeviceVec<u32> = DeviceVec::from_vec(&g, vec![1, 2, 3]);
+        g.reset_stats();
+        assert_eq!(v.as_slice().iter().sum::<u32>(), 6);
+        assert_eq!(g.stats().snapshot().gld_transactions, 0);
+    }
+}

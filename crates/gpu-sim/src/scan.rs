@@ -1,0 +1,87 @@
+//! Device-wide exclusive prefix-sum scan.
+//!
+//! The join pipeline uses exclusive scans twice per iteration: to turn
+//! per-row neighbor-list bounds into GBA offsets (Algorithm 4 line 5) and to
+//! turn per-row valid counts into output offsets for the new intermediate
+//! table (Algorithm 3 line 14). On hardware this is a single device-wide
+//! kernel (e.g. CUB's `DeviceScan`); the simulator charges it accordingly:
+//! one kernel launch, one coalesced read and one coalesced write of the
+//! array, and `n` work units.
+
+use crate::device::Gpu;
+
+/// Exclusive prefix sum of `input`, returning `input.len() + 1` offsets —
+/// `out[i]` is the sum of `input[..i]`, and `out[n]` is the grand total.
+///
+/// Charges the device ledger as a single scan kernel would. Panics if the
+/// total overflows `u32` (device offset arrays are 4-byte, §V "each offset
+/// only needs 4B").
+pub fn exclusive_prefix_sum(gpu: &Gpu, input: &[u32]) -> Vec<u32> {
+    let stats = gpu.stats();
+    stats.record_kernel_launch();
+    gpu.charge_launch_overhead();
+    stats.gld_range(0, input.len(), 4);
+    stats.gst_range(0, input.len() + 1, 4);
+    stats.add_work(input.len() as u64);
+
+    let mut out = Vec::with_capacity(input.len() + 1);
+    let mut acc: u64 = 0;
+    for &x in input {
+        out.push(u32::try_from(acc).expect("prefix sum overflows 4-byte device offsets"));
+        acc += u64::from(x);
+    }
+    out.push(u32::try_from(acc).expect("prefix sum overflows 4-byte device offsets"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::test_device())
+    }
+
+    #[test]
+    fn scan_basics() {
+        let g = gpu();
+        assert_eq!(exclusive_prefix_sum(&g, &[]), vec![0]);
+        assert_eq!(exclusive_prefix_sum(&g, &[5]), vec![0, 5]);
+        assert_eq!(exclusive_prefix_sum(&g, &[1, 3, 2]), vec![0, 1, 4, 6]);
+    }
+
+    #[test]
+    fn scan_matches_paper_example() {
+        // Fig. 9(a): counts of L^a_i = [3,1,2,2,...,3] — spot-check the head.
+        let g = gpu();
+        let counts = [3u32, 1, 2, 2];
+        assert_eq!(exclusive_prefix_sum(&g, &counts), vec![0, 3, 4, 6, 8]);
+    }
+
+    #[test]
+    fn scan_charges_one_kernel_and_memory() {
+        let g = gpu();
+        let input = vec![1u32; 64]; // 256B: 2 read txns; 65 outputs: 3 write txns
+        g.reset_stats();
+        exclusive_prefix_sum(&g, &input);
+        let snap = g.stats().snapshot();
+        assert_eq!(snap.kernel_launches, 1);
+        assert_eq!(snap.gld_transactions, 2);
+        assert_eq!(snap.gst_transactions, 3);
+        assert_eq!(snap.work_units, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn scan_overflow_panics() {
+        let g = gpu();
+        exclusive_prefix_sum(&g, &[u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn scan_zeroes() {
+        let g = gpu();
+        assert_eq!(exclusive_prefix_sum(&g, &[0, 0, 0]), vec![0, 0, 0, 0]);
+    }
+}

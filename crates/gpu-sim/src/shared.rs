@@ -1,0 +1,131 @@
+//! Per-block shared memory: a fast, capacity-limited scratch arena.
+//!
+//! On real hardware, shared memory is a 48 KB programmable cache per SM whose
+//! access latency rivals registers (§II-B). In the simulator, *contents* live
+//! in ordinary host memory (free to access, like the hardware's near-register
+//! latency), but **capacity is enforced**: kernels must claim their buffers
+//! through [`SharedMem`] and over-subscription panics, which keeps simulated
+//! kernels honest about what would actually fit on a Titan XP.
+
+/// Capacity tracker for one block's shared memory.
+#[derive(Debug)]
+pub struct SharedMem {
+    capacity: usize,
+    used: usize,
+    high_water: usize,
+}
+
+impl SharedMem {
+    /// A block arena with `capacity` bytes (48 KB on the paper's Titan XP).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently claimed.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Largest concurrent usage observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Claim `bytes`; returns `false` (claiming nothing) if it would not fit.
+    pub fn try_claim(&mut self, bytes: usize) -> bool {
+        if bytes > self.remaining() {
+            return false;
+        }
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        true
+    }
+
+    /// Claim `bytes`, panicking on over-subscription — the simulated analogue
+    /// of a kernel that fails to launch because its shared-memory request
+    /// exceeds the device limit.
+    pub fn claim(&mut self, bytes: usize) {
+        assert!(
+            self.try_claim(bytes),
+            "shared memory over-subscribed: requested {bytes}B with {}B of {}B free",
+            self.remaining(),
+            self.capacity
+        );
+    }
+
+    /// Release `bytes` previously claimed.
+    pub fn release(&mut self, bytes: usize) {
+        debug_assert!(bytes <= self.used, "releasing more than claimed");
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Allocate a zeroed `u32` scratch buffer from this arena, claiming its
+    /// bytes. The caller releases the claim by dropping the buffer length via
+    /// [`SharedMem::release`] when the block finishes with it.
+    pub fn alloc_u32(&mut self, len: usize) -> Vec<u32> {
+        self.claim(len * 4);
+        vec![0u32; len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_and_releases() {
+        let mut sm = SharedMem::new(1024);
+        sm.claim(512);
+        assert_eq!(sm.used(), 512);
+        assert_eq!(sm.remaining(), 512);
+        sm.release(256);
+        assert_eq!(sm.used(), 256);
+        assert_eq!(sm.high_water(), 512);
+    }
+
+    #[test]
+    fn try_claim_refuses_oversubscription() {
+        let mut sm = SharedMem::new(100);
+        assert!(sm.try_claim(100));
+        assert!(!sm.try_claim(1));
+        assert_eq!(sm.used(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-subscribed")]
+    fn claim_panics_when_full() {
+        let mut sm = SharedMem::new(10);
+        sm.claim(11);
+    }
+
+    #[test]
+    fn alloc_u32_accounts_bytes() {
+        let mut sm = SharedMem::new(48 * 1024);
+        let buf = sm.alloc_u32(32); // one 128B write-cache line
+        assert_eq!(buf.len(), 32);
+        assert_eq!(sm.used(), 128);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut sm = SharedMem::new(1000);
+        sm.claim(700);
+        sm.release(700);
+        sm.claim(100);
+        assert_eq!(sm.high_water(), 700);
+    }
+}

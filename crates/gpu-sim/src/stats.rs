@@ -1,0 +1,337 @@
+//! Transaction and work accounting — the simulator's measurement core.
+//!
+//! The paper's evaluation (Tables VI, VII, XI) reports *global memory load
+//! transactions* (GLD), *global memory store transactions* (GST) and query
+//! time. [`GpuStats`] is the shared ledger those numbers come from: every
+//! simulated memory access computes how many 128-byte transactions a real
+//! warp would have issued (per the coalescing rules of §II-B, Figs. 5–6) and
+//! adds them here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters for one simulated device.
+///
+/// All counters use relaxed ordering: they are statistics, not
+/// synchronization. Accesses are batched (one update per 128-byte segment
+/// batch), so contention stays negligible.
+#[derive(Debug)]
+pub struct GpuStats {
+    transaction_bytes: u64,
+    gld: AtomicU64,
+    gst: AtomicU64,
+    kernel_launches: AtomicU64,
+    warp_tasks: AtomicU64,
+    work_units: AtomicU64,
+    device_allocs: AtomicU64,
+    device_alloc_bytes: AtomicU64,
+    idle_lane_work: AtomicU64,
+}
+
+impl GpuStats {
+    /// New zeroed ledger for a device with the given transaction width.
+    pub fn new(transaction_bytes: usize) -> Self {
+        Self {
+            transaction_bytes: transaction_bytes as u64,
+            gld: AtomicU64::new(0),
+            gst: AtomicU64::new(0),
+            kernel_launches: AtomicU64::new(0),
+            warp_tasks: AtomicU64::new(0),
+            work_units: AtomicU64::new(0),
+            device_allocs: AtomicU64::new(0),
+            device_alloc_bytes: AtomicU64::new(0),
+            idle_lane_work: AtomicU64::new(0),
+        }
+    }
+
+    /// Width of one global-memory transaction in bytes (128 on CUDA devices).
+    pub fn transaction_bytes(&self) -> u64 {
+        self.transaction_bytes
+    }
+
+    // ---- raw increments -------------------------------------------------
+
+    /// Record `n` global-memory load transactions.
+    pub fn add_gld(&self, n: u64) {
+        self.gld.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` global-memory store transactions.
+    pub fn add_gst(&self, n: u64) {
+        self.gst.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one kernel launch.
+    pub fn record_kernel_launch(&self) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` warp tasks (one per intermediate-table row handled).
+    pub fn add_warp_tasks(&self, n: u64) {
+        self.warp_tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` abstract work units (elements processed by lanes).
+    pub fn add_work(&self, n: u64) {
+        self.work_units.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a device allocation request of `bytes` (Prealloc-Combine's GBA
+    /// argument in §V is about *reducing the number of allocation requests*).
+    pub fn record_alloc(&self, bytes: u64) {
+        self.device_allocs.fetch_add(1, Ordering::Relaxed);
+        self.device_alloc_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record wasted SIMD lanes (warp divergence / thread underutilization,
+    /// e.g. CSR label scans where lanes holding wrong-label edges idle).
+    pub fn add_idle_lanes(&self, n: u64) {
+        self.idle_lane_work.fetch_add(n, Ordering::Relaxed);
+    }
+
+    // ---- coalescing-aware accounting ------------------------------------
+
+    /// Transactions needed for a *consecutive* access of `len` elements of
+    /// `elem_bytes` bytes starting at element offset `offset` in a buffer
+    /// whose element 0 is 128-byte aligned (Fig. 5: coalesced access).
+    ///
+    /// Returns 0 for empty ranges.
+    pub fn span_transactions(&self, offset: usize, len: usize, elem_bytes: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let tb = self.transaction_bytes;
+        let start = (offset * elem_bytes) as u64;
+        let end = ((offset + len) * elem_bytes) as u64 - 1;
+        end / tb - start / tb + 1
+    }
+
+    /// Record a coalesced warp load of a consecutive element range.
+    pub fn gld_range(&self, offset: usize, len: usize, elem_bytes: usize) -> u64 {
+        let n = self.span_transactions(offset, len, elem_bytes);
+        self.add_gld(n);
+        n
+    }
+
+    /// Record a coalesced warp store of a consecutive element range.
+    pub fn gst_range(&self, offset: usize, len: usize, elem_bytes: usize) -> u64 {
+        let n = self.span_transactions(offset, len, elem_bytes);
+        self.add_gst(n);
+        n
+    }
+
+    /// Transactions needed for a warp *gather*: up to 32 scattered element
+    /// reads collapse into one transaction per distinct 128-byte segment
+    /// (Fig. 6: uncoalesced access touches more segments).
+    ///
+    /// Ascending address sequences (the common case: a warp's lanes walk a
+    /// table in index order) are counted in a single pass; out-of-order
+    /// sequences fall back to a small distinct-set scan.
+    pub fn gather_transactions<I>(&self, offsets: I, elem_bytes: usize) -> u64
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let tb = self.transaction_bytes;
+        let mut segs = [u64::MAX; crate::warp::WARP_SIZE];
+        let mut n = 0usize;
+        let mut last = u64::MAX;
+        let mut sorted = true;
+        for off in offsets {
+            let seg = (off * elem_bytes) as u64 / tb;
+            if sorted {
+                if last == u64::MAX || seg > last {
+                    debug_assert!(n < segs.len(), "gather wider than a warp");
+                    segs[n] = seg;
+                    n += 1;
+                    last = seg;
+                    continue;
+                }
+                if seg == last {
+                    continue;
+                }
+                sorted = false; // out of order: switch to distinct-set mode
+            }
+            if !segs[..n].contains(&seg) {
+                debug_assert!(n < segs.len(), "gather wider than a warp");
+                segs[n] = seg;
+                n += 1;
+            }
+        }
+        n as u64
+    }
+
+    /// Record a warp gather load of scattered elements.
+    pub fn gld_gather<I>(&self, offsets: I, elem_bytes: usize) -> u64
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let n = self.gather_transactions(offsets, elem_bytes);
+        self.add_gld(n);
+        n
+    }
+
+    /// Record a warp scatter store of scattered elements.
+    pub fn gst_scatter<I>(&self, offsets: I, elem_bytes: usize) -> u64
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let n = self.gather_transactions(offsets, elem_bytes);
+        self.add_gst(n);
+        n
+    }
+
+    // ---- snapshots -------------------------------------------------------
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            gld_transactions: self.gld.load(Ordering::Relaxed),
+            gst_transactions: self.gst.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            warp_tasks: self.warp_tasks.load(Ordering::Relaxed),
+            work_units: self.work_units.load(Ordering::Relaxed),
+            device_allocs: self.device_allocs.load(Ordering::Relaxed),
+            device_alloc_bytes: self.device_alloc_bytes.load(Ordering::Relaxed),
+            idle_lane_work: self.idle_lane_work.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.gld.store(0, Ordering::Relaxed);
+        self.gst.store(0, Ordering::Relaxed);
+        self.kernel_launches.store(0, Ordering::Relaxed);
+        self.warp_tasks.store(0, Ordering::Relaxed);
+        self.work_units.store(0, Ordering::Relaxed);
+        self.device_allocs.store(0, Ordering::Relaxed);
+        self.device_alloc_bytes.store(0, Ordering::Relaxed);
+        self.idle_lane_work.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`GpuStats`], with `-` for computing deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Global-memory load transactions (the paper's "GLD").
+    pub gld_transactions: u64,
+    /// Global-memory store transactions (the paper's "GST").
+    pub gst_transactions: u64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+    /// Warp tasks executed.
+    pub warp_tasks: u64,
+    /// Abstract work units (lane-elements processed).
+    pub work_units: u64,
+    /// Device allocation requests.
+    pub device_allocs: u64,
+    /// Bytes requested from the device allocator.
+    pub device_alloc_bytes: u64,
+    /// Wasted SIMD lane slots (divergence / underutilization).
+    pub idle_lane_work: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            gld_transactions: self.gld_transactions - rhs.gld_transactions,
+            gst_transactions: self.gst_transactions - rhs.gst_transactions,
+            kernel_launches: self.kernel_launches - rhs.kernel_launches,
+            warp_tasks: self.warp_tasks - rhs.warp_tasks,
+            work_units: self.work_units - rhs.work_units,
+            device_allocs: self.device_allocs - rhs.device_allocs,
+            device_alloc_bytes: self.device_alloc_bytes - rhs.device_alloc_bytes,
+            idle_lane_work: self.idle_lane_work - rhs.idle_lane_work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> GpuStats {
+        GpuStats::new(128)
+    }
+
+    #[test]
+    fn span_single_transaction() {
+        // 32 u32 = 128B exactly, aligned: one transaction (Fig. 5).
+        assert_eq!(stats().span_transactions(0, 32, 4), 1);
+    }
+
+    #[test]
+    fn span_unaligned_crosses_boundary() {
+        // 32 u32 starting at element 16: bytes 64..192 span two segments.
+        assert_eq!(stats().span_transactions(16, 32, 4), 2);
+    }
+
+    #[test]
+    fn span_empty_is_zero() {
+        assert_eq!(stats().span_transactions(7, 0, 4), 0);
+    }
+
+    #[test]
+    fn span_large_range() {
+        // 1000 u32 = 4000B starting aligned: ceil plus boundary = 32 segments.
+        assert_eq!(stats().span_transactions(0, 1000, 4), 32);
+    }
+
+    #[test]
+    fn span_single_element() {
+        assert_eq!(stats().span_transactions(1_000_000, 1, 4), 1);
+    }
+
+    #[test]
+    fn gather_same_segment_is_one() {
+        // All addresses inside one 128B segment: one transaction.
+        let s = stats();
+        assert_eq!(s.gather_transactions([0usize, 5, 17, 31], 4), 1);
+    }
+
+    #[test]
+    fn gather_distinct_segments() {
+        // Stride of 32 u32 = 128B: every lane in its own segment (Fig. 6).
+        let s = stats();
+        let offs: Vec<usize> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(s.gather_transactions(offs, 4), 32);
+    }
+
+    #[test]
+    fn gather_empty() {
+        assert_eq!(stats().gather_transactions(std::iter::empty(), 4), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = stats();
+        s.gld_range(0, 64, 4);
+        s.gst_range(0, 32, 4);
+        s.record_kernel_launch();
+        s.add_warp_tasks(3);
+        s.add_work(100);
+        s.record_alloc(4096);
+        s.add_idle_lanes(12);
+        let snap = s.snapshot();
+        assert_eq!(snap.gld_transactions, 2);
+        assert_eq!(snap.gst_transactions, 1);
+        assert_eq!(snap.kernel_launches, 1);
+        assert_eq!(snap.warp_tasks, 3);
+        assert_eq!(snap.work_units, 100);
+        assert_eq!(snap.device_allocs, 1);
+        assert_eq!(snap.device_alloc_bytes, 4096);
+        assert_eq!(snap.idle_lane_work, 12);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = stats();
+        s.add_gld(10);
+        let before = s.snapshot();
+        s.add_gld(7);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.gld_transactions, 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! Warp-level helpers: SIMD batch iteration and divergence accounting.
+//!
+//! Simulated kernels are written *warp-centric*, exactly as the paper's
+//! kernels assign "a unique warp `w_i` to deal with row `m_i`" (Algorithm 3).
+//! A warp processes data in lockstep batches of [`WARP_SIZE`] elements; when
+//! fewer than 32 lanes have useful work the remainder is *divergence /
+//! underutilization* (§II-B), which the simulator can account via
+//! [`crate::stats::GpuStats::add_idle_lanes`].
+
+use std::ops::Range;
+
+/// Threads per warp (CUDA fixes this at 32).
+pub const WARP_SIZE: usize = 32;
+
+/// Iterate over `0..len` in warp-sized batches, yielding index ranges.
+///
+/// ```
+/// use gsi_gpu_sim::warp::warp_batches;
+/// let batches: Vec<_> = warp_batches(70).collect();
+/// assert_eq!(batches, vec![0..32, 32..64, 64..70]);
+/// ```
+pub fn warp_batches(len: usize) -> impl Iterator<Item = Range<usize>> {
+    (0..len.div_ceil(WARP_SIZE)).map(move |b| {
+        let start = b * WARP_SIZE;
+        start..(start + WARP_SIZE).min(len)
+    })
+}
+
+/// Number of warp-sized SIMD steps needed to cover `len` lanes of work.
+pub fn warp_steps(len: usize) -> usize {
+    len.div_ceil(WARP_SIZE)
+}
+
+/// Idle lane slots when a warp covers `len` elements: the last batch leaves
+/// `32 - len % 32` lanes inactive (zero when `len` is a multiple of 32).
+pub fn idle_lanes(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        warp_steps(len) * WARP_SIZE - len
+    }
+}
+
+/// Divergence accounting for a predicated warp pass: given how many of the
+/// `active` lanes take the branch, the remaining lanes stall for the branch
+/// body (SIMD lockstep, §II-B "warp divergence").
+pub fn divergent_idle(active: usize, taking_branch: usize) -> usize {
+    debug_assert!(taking_branch <= active);
+    if taking_branch == 0 {
+        0
+    } else {
+        active - taking_branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_exact_multiple() {
+        let b: Vec<_> = warp_batches(64).collect();
+        assert_eq!(b, vec![0..32, 32..64]);
+    }
+
+    #[test]
+    fn batches_empty() {
+        assert_eq!(warp_batches(0).count(), 0);
+    }
+
+    #[test]
+    fn batches_partial_tail() {
+        let b: Vec<_> = warp_batches(33).collect();
+        assert_eq!(b, vec![0..32, 32..33]);
+    }
+
+    #[test]
+    fn steps() {
+        assert_eq!(warp_steps(0), 0);
+        assert_eq!(warp_steps(1), 1);
+        assert_eq!(warp_steps(32), 1);
+        assert_eq!(warp_steps(33), 2);
+    }
+
+    #[test]
+    fn idle_lane_count() {
+        assert_eq!(idle_lanes(0), 0);
+        assert_eq!(idle_lanes(32), 0);
+        assert_eq!(idle_lanes(1), 31);
+        assert_eq!(idle_lanes(33), 31);
+    }
+
+    #[test]
+    fn divergence() {
+        assert_eq!(divergent_idle(32, 32), 0);
+        assert_eq!(divergent_idle(32, 1), 31);
+        // If no lane takes the branch the body is skipped entirely.
+        assert_eq!(divergent_idle(32, 0), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::graph::Graph;
+use crate::types::{Edge, EdgeLabel, VertexId, VertexLabel, INVALID_VERTEX};
+use std::collections::HashMap;
+
+/// Accumulates vertices and undirected labeled edges, then freezes into an
+/// immutable [`Graph`].
+///
+/// * Self-loops are rejected (the paper's datasets and query generator never
+///   produce them, and Definition 2 pairs distinct vertices).
+/// * Exact duplicate edges `(u, v, l)` are deduplicated; parallel edges with
+///   *different* labels between the same endpoints are kept (RDF graphs rely
+///   on this).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    vlabels: Vec<VertexLabel>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder pre-sized for `n` vertices and `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self {
+            vlabels: Vec::with_capacity(n),
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Add a vertex with the given label; returns its id.
+    pub fn add_vertex(&mut self, label: VertexLabel) -> VertexId {
+        let id = self.vlabels.len() as VertexId;
+        assert!(id < INVALID_VERTEX, "vertex id space exhausted");
+        self.vlabels.push(label);
+        id
+    }
+
+    /// Add `n` vertices sharing one label; returns the first new id.
+    pub fn add_vertices(&mut self, n: usize, label: VertexLabel) -> VertexId {
+        let first = self.vlabels.len() as VertexId;
+        self.vlabels.extend(std::iter::repeat(label).take(n));
+        first
+    }
+
+    /// Number of vertices added so far.
+    pub fn n_vertices(&self) -> usize {
+        self.vlabels.len()
+    }
+
+    /// Add an undirected edge `u –l– v`. Panics on unknown endpoints or a
+    /// self-loop. Duplicate `(u, v, l)` triples are removed at build time.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, label: EdgeLabel) {
+        let n = self.vlabels.len() as VertexId;
+        assert!(u < n && v < n, "edge endpoint out of range");
+        assert_ne!(u, v, "self-loops are not supported");
+        self.edges.push(Edge { u, v, label }.canonical());
+    }
+
+    /// Freeze into an immutable [`Graph`].
+    pub fn build(mut self) -> Graph {
+        let n = self.vlabels.len();
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degrees = vec![0usize; n];
+        for e in &self.edges {
+            degrees[e.u as usize] += 1;
+            degrees[e.v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut adj = vec![(0 as VertexId, 0 as EdgeLabel); acc];
+        let mut cursor = offsets[..n].to_vec();
+        for e in &self.edges {
+            adj[cursor[e.u as usize]] = (e.v, e.label);
+            cursor[e.u as usize] += 1;
+            adj[cursor[e.v as usize]] = (e.u, e.label);
+            cursor[e.v as usize] += 1;
+        }
+        // Sort each vertex's slice by (edge label, neighbor).
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable_by_key(|&(nb, l)| (l, nb));
+        }
+
+        let mut elabel_freq: HashMap<EdgeLabel, usize> = HashMap::new();
+        for e in &self.edges {
+            *elabel_freq.entry(e.label).or_insert(0) += 1;
+        }
+        let mut vlabel_freq: HashMap<VertexLabel, usize> = HashMap::new();
+        for &l in &self.vlabels {
+            *vlabel_freq.entry(l).or_insert(0) += 1;
+        }
+
+        Graph {
+            vlabels: self.vlabels,
+            offsets,
+            adj,
+            n_edges: self.edges.len(),
+            elabel_freq,
+            vlabel_freq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(0);
+        let v = b.add_vertex(1);
+        b.add_edge(u, v, 7);
+        b.add_edge(v, u, 7); // same undirected edge
+        b.add_edge(u, v, 7); // exact duplicate
+        let g = b.build();
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.degree(u), 1);
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_labels_survive() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(0);
+        let v = b.add_vertex(1);
+        b.add_edge(u, v, 1);
+        b.add_edge(u, v, 2);
+        let g = b.build();
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.degree(u), 2);
+        assert_eq!(g.edge_labels_between(u, v), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(0);
+        b.add_edge(u, u, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_endpoint_rejected() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(0);
+        b.add_edge(u, 5, 0);
+    }
+
+    #[test]
+    fn adjacency_sorted_by_label_then_neighbor() {
+        let mut b = GraphBuilder::new();
+        let c = b.add_vertex(0);
+        let xs: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        b.add_edge(c, xs[3], 1);
+        b.add_edge(c, xs[0], 2);
+        b.add_edge(c, xs[2], 1);
+        b.add_edge(c, xs[1], 0);
+        let g = b.build();
+        let ns: Vec<_> = g.neighbors(c).to_vec();
+        assert_eq!(ns, vec![(xs[1], 0), (xs[2], 1), (xs[3], 1), (xs[0], 2)]);
+    }
+
+    #[test]
+    fn add_vertices_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_vertices(5, 3);
+        assert_eq!(first, 0);
+        assert_eq!(b.n_vertices(), 5);
+        let g = b.build();
+        assert_eq!(g.vlabel_freq(3), 5);
+    }
+}

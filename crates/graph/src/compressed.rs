@@ -1,0 +1,173 @@
+//! Compressed Representation (§IV, Fig. 11(b)): per-label CSR with a
+//! binary-searched vertex-ID layer.
+//!
+//! Space drops to `O(|E|)` (only vertices present in the partition get an
+//! entry), but locating `N(v, l)` needs `⌈log(|V(G,l)|+1)⌉ + 2` memory
+//! transactions: each binary-search probe touches a different 128-byte
+//! segment of the vertex-ID layer, and those latencies serialize.
+
+use crate::graph::Graph;
+use crate::partition::partition_by_label;
+use crate::storage::{LabeledStore, Neighbors, StorageKind};
+use crate::types::{EdgeLabel, VertexId};
+use gsi_gpu_sim::Gpu;
+use std::borrow::Cow;
+
+#[derive(Debug, Clone)]
+struct CompressedLayer {
+    label: EdgeLabel,
+    /// Sorted ids of vertices present in the partition.
+    vertex_ids: Vec<VertexId>,
+    /// Offsets parallel to `vertex_ids`, length `k + 1`.
+    offsets: Vec<u32>,
+    column_index: Vec<VertexId>,
+}
+
+/// Compressed Representation over all edge labels.
+#[derive(Debug, Clone)]
+pub struct CompressedStore {
+    layers: Vec<CompressedLayer>,
+}
+
+impl CompressedStore {
+    /// Build one compressed layer per distinct edge label.
+    pub fn build(g: &Graph) -> Self {
+        let layers = partition_by_label(g)
+            .into_iter()
+            .map(|p| CompressedLayer {
+                label: p.label,
+                vertex_ids: p.vertices,
+                offsets: p.offsets.iter().map(|&o| o as u32).collect(),
+                column_index: p.neighbors,
+            })
+            .collect();
+        Self { layers }
+    }
+
+    fn layer(&self, l: EdgeLabel) -> Option<&CompressedLayer> {
+        self.layers
+            .binary_search_by_key(&l, |layer| layer.label)
+            .ok()
+            .map(|i| &self.layers[i])
+    }
+
+    /// Binary-search `v` in the layer's vertex-ID array, charging one
+    /// transaction per probe (each probe is a dependent scattered read).
+    fn locate(&self, gpu: &Gpu, v: VertexId, l: EdgeLabel) -> Option<(usize, usize, &CompressedLayer)> {
+        let layer = self.layer(l)?;
+        let stats = gpu.stats();
+        let mut lo = 0usize;
+        let mut hi = layer.vertex_ids.len();
+        let mut found = None;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            stats.gld_gather([mid], 4);
+            match layer.vertex_ids[mid].cmp(&v) {
+                std::cmp::Ordering::Equal => {
+                    found = Some(mid);
+                    break;
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        let i = found?;
+        // Read the offset pair (adjacent words: one more transaction).
+        stats.gld_range(i, 2, 4);
+        Some((layer.offsets[i] as usize, layer.offsets[i + 1] as usize, layer))
+    }
+}
+
+impl LabeledStore for CompressedStore {
+    fn kind(&self) -> StorageKind {
+        StorageKind::Compressed
+    }
+
+    fn neighbors_with_label(&self, gpu: &Gpu, v: VertexId, l: EdgeLabel) -> Neighbors<'_> {
+        match self.locate(gpu, v, l) {
+            Some((s, e, layer)) => Neighbors {
+                list: Cow::Borrowed(&layer.column_index[s..e]),
+                in_global: true,
+                ci_offset: s,
+            },
+            None => Neighbors::empty(),
+        }
+    }
+
+    fn neighbor_count(&self, gpu: &Gpu, v: VertexId, l: EdgeLabel) -> usize {
+        self.locate(gpu, v, l).map_or(0, |(s, e, _)| e - s)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| 4 * (l.vertex_ids.len() + l.offsets.len() + l.column_index.len()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_example_data, random_labeled};
+    use gsi_gpu_sim::DeviceConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::test_device())
+    }
+
+    #[test]
+    fn matches_ground_truth() {
+        let g = random_labeled(150, 500, 3, 6, 11);
+        let store = CompressedStore::build(&g);
+        let gpu = gpu();
+        for v in 0..g.n_vertices() as u32 {
+            for l in 0..6 {
+                let truth: Vec<_> = g.neighbors_with_label(v, l).collect();
+                let got = store.neighbors_with_label(&gpu, v, l);
+                assert_eq!(&*got.list, truth.as_slice(), "v={v} l={l}");
+                assert_eq!(store.neighbor_count(&gpu, v, l), truth.len());
+            }
+        }
+    }
+
+    #[test]
+    fn locate_cost_is_logarithmic() {
+        let g = paper_example_data();
+        let store = CompressedStore::build(&g);
+        let gpu = gpu();
+        gpu.reset_stats();
+        // a-partition has 202 present vertices: ≲ log2(202)+2 ≈ 10 probes.
+        let n = store.neighbors_with_label(&gpu, 0, 0);
+        assert_eq!(n.len(), 100);
+        let gld = gpu.stats().snapshot().gld_transactions;
+        assert!((2..=10).contains(&gld), "gld={gld}");
+    }
+
+    #[test]
+    fn space_is_edge_linear() {
+        // With many edge labels, BR's |L_E|·|V| offset layers dominate while
+        // CR stays O(|E|) — the comparison in Table II.
+        let g = random_labeled(400, 800, 3, 25, 13);
+        let store = CompressedStore::build(&g);
+        let br = crate::basic::BasicStore::build(&g);
+        assert!(
+            store.space_bytes() < br.space_bytes() / 2,
+            "CR {} vs BR {}",
+            store.space_bytes(),
+            br.space_bytes()
+        );
+    }
+
+    #[test]
+    fn absent_vertex_or_label_is_empty() {
+        let g = paper_example_data();
+        let store = CompressedStore::build(&g);
+        let gpu = gpu();
+        // v3 (a C vertex with only an a-edge) has no b-neighbors: v in graph
+        // but absent from the b-partition.
+        let n = store.neighbors_with_label(&gpu, 105, 1);
+        assert!(n.is_empty());
+        assert!(store.neighbors_with_label(&gpu, 0, 42).is_empty());
+    }
+}

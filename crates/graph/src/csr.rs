@@ -1,0 +1,198 @@
+//! Traditional 3-layer CSR (§IV, Fig. 10) — the structure GpSM and
+//! GunrockSM use, and GSI-'s baseline in Table VI.
+//!
+//! Extracting `N(v, l)` requires scanning *all* neighbors of `v` and
+//! checking each edge label: every element of both the column-index and the
+//! edge-value layer is pulled through global memory, and lanes whose edge
+//! carries the wrong label idle (thread underutilization — the idle-lane
+//! counter captures exactly this waste).
+
+use crate::graph::Graph;
+use crate::storage::{LabeledStore, Neighbors, StorageKind};
+use crate::types::{EdgeLabel, VertexId};
+use gsi_gpu_sim::Gpu;
+use std::borrow::Cow;
+
+/// Whole-graph 3-layer CSR: row offset / column index / edge value.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    row_offsets: Vec<u32>,
+    column_index: Vec<VertexId>,
+    edge_value: Vec<EdgeLabel>,
+}
+
+impl Csr {
+    /// Build from a logical graph. Within each row, entries keep the
+    /// `(label, neighbor)` order of [`Graph::neighbors`], so `N(v, l)` is a
+    /// contiguous run *after* the scan finds it — but the scan itself cannot
+    /// exploit that on a GPU without per-label indexing, which is the whole
+    /// point of PCSR.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.n_vertices();
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut column_index = Vec::with_capacity(2 * g.n_edges());
+        let mut edge_value = Vec::with_capacity(2 * g.n_edges());
+        row_offsets.push(0);
+        for v in 0..n as VertexId {
+            for &(nbr, l) in g.neighbors(v) {
+                column_index.push(nbr);
+                edge_value.push(l);
+            }
+            row_offsets.push(column_index.len() as u32);
+        }
+        Self {
+            row_offsets,
+            column_index,
+            edge_value,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of directed adjacency entries.
+    pub fn n_entries(&self) -> usize {
+        self.column_index.len()
+    }
+
+    /// Charge the locate + full-row scan and return the row bounds.
+    fn scan_row(&self, gpu: &Gpu, v: VertexId) -> (usize, usize) {
+        let stats = gpu.stats();
+        // Locate: the warp leader reads row_offsets[v] and row_offsets[v+1]
+        // (adjacent words — almost always one transaction).
+        stats.gld_range(v as usize, 2, 4);
+        let start = self.row_offsets[v as usize] as usize;
+        let end = self.row_offsets[v as usize + 1] as usize;
+        // Scan: stream the whole row of both ci and edge-value layers.
+        stats.gld_range(start, end - start, 4); // column index
+        stats.gld_range(start, end - start, 4); // edge value
+        stats.add_work(2 * (end - start) as u64);
+        (start, end)
+    }
+}
+
+impl LabeledStore for Csr {
+    fn kind(&self) -> StorageKind {
+        StorageKind::Csr
+    }
+
+    fn neighbors_with_label(&self, gpu: &Gpu, v: VertexId, l: EdgeLabel) -> Neighbors<'_> {
+        let (start, end) = self.scan_row(gpu, v);
+        let mut out = Vec::new();
+        for i in start..end {
+            if self.edge_value[i] == l {
+                out.push(self.column_index[i]);
+            }
+        }
+        // Lanes that held wrong-label edges produced nothing: idle.
+        gpu.stats()
+            .add_idle_lanes(((end - start) - out.len()) as u64);
+        Neighbors {
+            list: Cow::Owned(out),
+            in_global: false, // already staged into shared memory by the scan
+            ci_offset: 0,
+        }
+    }
+
+    fn neighbor_count(&self, gpu: &Gpu, v: VertexId, l: EdgeLabel) -> usize {
+        // Counting still requires the full scan — CSR has no shortcut.
+        let (start, end) = self.scan_row(gpu, v);
+        (start..end).filter(|&i| self.edge_value[i] == l).count()
+    }
+
+    fn space_bytes(&self) -> usize {
+        4 * (self.row_offsets.len() + self.column_index.len() + self.edge_value.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_example_data, random_labeled};
+    use gsi_gpu_sim::DeviceConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::test_device())
+    }
+
+    #[test]
+    fn matches_ground_truth_on_paper_example() {
+        let g = paper_example_data();
+        let csr = Csr::build(&g);
+        let gpu = gpu();
+        for v in 0..g.n_vertices() as u32 {
+            for l in [0, 1] {
+                let truth: Vec<_> = g.neighbors_with_label(v, l).collect();
+                let got = csr.neighbors_with_label(&gpu, v, l);
+                assert_eq!(&*got.list, truth.as_slice(), "v={v} l={l}");
+                assert_eq!(csr.neighbor_count(&gpu, v, l), truth.len());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_ground_truth_randomized() {
+        let g = random_labeled(200, 600, 4, 5, 42);
+        let csr = Csr::build(&g);
+        let gpu = gpu();
+        for v in 0..g.n_vertices() as u32 {
+            for l in 0..5 {
+                let truth: Vec<_> = g.neighbors_with_label(v, l).collect();
+                let got = csr.neighbors_with_label(&gpu, v, l);
+                assert_eq!(&*got.list, truth.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn scan_charges_full_row() {
+        let g = paper_example_data();
+        let csr = Csr::build(&g);
+        let gpu = gpu();
+        gpu.reset_stats();
+        // v0 has 101 neighbors; extracting the single b-neighbor still
+        // streams the whole row twice (ci + edge values).
+        let got = csr.neighbors_with_label(&gpu, 0, 1);
+        assert_eq!(got.len(), 1);
+        let snap = gpu.stats().snapshot();
+        // ≥ 2×ceil(101·4/128) = 8 transactions for the row alone.
+        assert!(snap.gld_transactions >= 8, "gld={}", snap.gld_transactions);
+        // 100 of 101 lanes wasted.
+        assert_eq!(snap.idle_lane_work, 100);
+    }
+
+    #[test]
+    fn count_costs_as_much_as_extraction() {
+        let g = paper_example_data();
+        let csr = Csr::build(&g);
+        let gpu = gpu();
+        gpu.reset_stats();
+        csr.neighbor_count(&gpu, 0, 0);
+        let count_gld = gpu.stats().snapshot().gld_transactions;
+        gpu.reset_stats();
+        csr.neighbors_with_label(&gpu, 0, 0);
+        let extract_gld = gpu.stats().snapshot().gld_transactions;
+        assert_eq!(count_gld, extract_gld);
+    }
+
+    #[test]
+    fn space_is_linear_in_edges() {
+        let g = paper_example_data();
+        let csr = Csr::build(&g);
+        let expected = 4 * ((g.n_vertices() + 1) + 2 * g.n_edges() + 2 * g.n_edges());
+        assert_eq!(csr.space_bytes(), expected);
+        assert_eq!(csr.n_vertices(), g.n_vertices());
+        assert_eq!(csr.n_entries(), 2 * g.n_edges());
+    }
+
+    #[test]
+    fn missing_label_yields_empty() {
+        let g = paper_example_data();
+        let csr = Csr::build(&g);
+        let gpu = gpu();
+        let got = csr.neighbors_with_label(&gpu, 5, 99);
+        assert!(got.is_empty());
+    }
+}

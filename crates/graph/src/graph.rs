@@ -1,0 +1,279 @@
+//! The host-side logical graph.
+//!
+//! [`Graph`] is an immutable, undirected, vertex- and edge-labeled graph in
+//! CSR form. Each vertex's adjacency is sorted by `(edge label, neighbor)`,
+//! which gives `O(log d)` host-side `N(v, l)` slicing (used by the CPU
+//! baselines and as ground truth for the device structures) and makes
+//! label-partitioned construction (§IV) a linear pass.
+
+use crate::types::{EdgeLabel, VertexId, VertexLabel};
+use std::collections::HashMap;
+
+/// An immutable labeled undirected graph.
+///
+/// Build one with [`crate::builder::GraphBuilder`] or the generators in
+/// [`crate::generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    pub(crate) vlabels: Vec<VertexLabel>,
+    /// CSR offsets, length `n + 1`.
+    pub(crate) offsets: Vec<usize>,
+    /// Flattened adjacency: `(neighbor, edge label)`, sorted by
+    /// `(edge label, neighbor)` within each vertex's range.
+    pub(crate) adj: Vec<(VertexId, EdgeLabel)>,
+    /// Number of undirected edges (each stored twice in `adj`).
+    pub(crate) n_edges: usize,
+    /// Edge-label frequency: occurrences of each label among undirected edges.
+    pub(crate) elabel_freq: HashMap<EdgeLabel, usize>,
+    /// Vertex-label frequency.
+    pub(crate) vlabel_freq: HashMap<VertexLabel, usize>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.vlabels.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Label of vertex `v`.
+    pub fn vlabel(&self, v: VertexId) -> VertexLabel {
+        self.vlabels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    pub fn vlabels(&self) -> &[VertexLabel] {
+        &self.vlabels
+    }
+
+    /// Degree of `v` (parallel edges with distinct labels each count).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Largest degree in the graph (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Full adjacency of `v`: `(neighbor, edge label)` pairs sorted by
+    /// `(edge label, neighbor)`.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeLabel)] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Neighbors of `v` reachable over an edge labeled `l` — the paper's
+    /// `N(v, l)` — as a sorted sub-slice of the adjacency (host-side ground
+    /// truth; device structures are measured against this).
+    pub fn neighbors_with_label(&self, v: VertexId, l: EdgeLabel) -> impl Iterator<Item = VertexId> + '_ {
+        let all = self.neighbors(v);
+        let start = all.partition_point(|&(_, el)| el < l);
+        let end = all.partition_point(|&(_, el)| el <= l);
+        all[start..end].iter().map(|&(n, _)| n)
+    }
+
+    /// Number of `l`-labeled edges incident to `v`.
+    pub fn degree_with_label(&self, v: VertexId, l: EdgeLabel) -> usize {
+        let all = self.neighbors(v);
+        all.partition_point(|&(_, el)| el <= l) - all.partition_point(|&(_, el)| el < l)
+    }
+
+    /// Whether an edge `u –l– v` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId, l: EdgeLabel) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a)
+            .binary_search_by(|&(n, el)| (el, n).cmp(&(l, b)))
+            .is_ok()
+    }
+
+    /// Whether any edge connects `u` and `v` (regardless of label).
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).iter().any(|&(n, _)| n == b)
+    }
+
+    /// All labels on edges between `u` and `v`.
+    pub fn edge_labels_between(&self, u: VertexId, v: VertexId) -> Vec<EdgeLabel> {
+        self.neighbors(u)
+            .iter()
+            .filter(|&&(n, _)| n == v)
+            .map(|&(_, l)| l)
+            .collect()
+    }
+
+    /// `freq(l)`: how many undirected edges carry label `l` (Algorithm 2
+    /// uses this to score join candidates; Algorithm 4 picks the first edge
+    /// by minimum frequency).
+    pub fn elabel_freq(&self, l: EdgeLabel) -> usize {
+        self.elabel_freq.get(&l).copied().unwrap_or(0)
+    }
+
+    /// How many vertices carry vertex label `l`.
+    pub fn vlabel_freq(&self, l: VertexLabel) -> usize {
+        self.vlabel_freq.get(&l).copied().unwrap_or(0)
+    }
+
+    /// Distinct edge labels present, sorted.
+    pub fn edge_labels(&self) -> Vec<EdgeLabel> {
+        let mut ls: Vec<EdgeLabel> = self.elabel_freq.keys().copied().collect();
+        ls.sort_unstable();
+        ls
+    }
+
+    /// Distinct vertex labels present, sorted.
+    pub fn vertex_labels(&self) -> Vec<VertexLabel> {
+        let mut ls: Vec<VertexLabel> = self.vlabel_freq.keys().copied().collect();
+        ls.sort_unstable();
+        ls
+    }
+
+    /// Number of distinct edge labels (the paper's `|L_E|`).
+    pub fn n_edge_labels(&self) -> usize {
+        self.elabel_freq.len()
+    }
+
+    /// Number of distinct vertex labels (the paper's `|L_V|`).
+    pub fn n_vertex_labels(&self) -> usize {
+        self.vlabel_freq.len()
+    }
+
+    /// All undirected edges, canonicalized (`u <= v`), sorted.
+    pub fn edges(&self) -> Vec<crate::types::Edge> {
+        let mut out = Vec::with_capacity(self.n_edges);
+        for u in 0..self.n_vertices() as VertexId {
+            for &(v, l) in self.neighbors(u) {
+                if u <= v {
+                    out.push(crate::types::Edge { u, v, label: l });
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether the graph is connected (true for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n_vertices();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as VertexId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(w, _) in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::fixtures::{paper_example_data, paper_example_query};
+
+    #[test]
+    fn paper_example_query_shape() {
+        let q = paper_example_query();
+        assert_eq!(q.n_vertices(), 4);
+        assert_eq!(q.n_edges(), 4);
+        assert!(q.is_connected());
+        assert_eq!(q.vlabel(0), 0);
+        assert_eq!(q.degree(1), 3); // u1 joins u0, u2, u3
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let g = paper_example_data();
+        assert_eq!(g.n_vertices(), 202);
+        // 100 (v0–B) + 1 (v0–v201) + 100 (B–C own) + 100 (B–v201)
+        assert_eq!(g.n_edges(), 301);
+        assert_eq!(g.vlabel(0), 0);
+        assert_eq!(g.degree(0), 101);
+        assert_eq!(g.elabel_freq(0), 300);
+        assert_eq!(g.elabel_freq(1), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn neighbors_with_label_slices() {
+        let g = paper_example_data();
+        let n_a: Vec<_> = g.neighbors_with_label(0, 0).collect();
+        assert_eq!(n_a.len(), 100);
+        assert!(n_a.iter().all(|&v| (1..=100).contains(&v)));
+        let n_b: Vec<_> = g.neighbors_with_label(0, 1).collect();
+        assert_eq!(n_b, vec![201]);
+        assert_eq!(g.neighbors_with_label(0, 99).count(), 0);
+        assert_eq!(g.degree_with_label(0, 0), 100);
+    }
+
+    #[test]
+    fn has_edge_and_labels_between() {
+        let g = paper_example_data();
+        assert!(g.has_edge(0, 1, 0));
+        assert!(!g.has_edge(0, 1, 1));
+        assert!(g.has_edge(0, 201, 1));
+        assert!(g.connected(0, 201));
+        assert!(!g.connected(1, 2));
+        assert_eq!(g.edge_labels_between(0, 201), vec![1]);
+    }
+
+    #[test]
+    fn edges_are_canonical_and_complete() {
+        let g = paper_example_data();
+        let es = g.edges();
+        assert_eq!(es.len(), g.n_edges());
+        assert!(es.iter().all(|e| e.u <= e.v));
+        assert!(es.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn label_inventories() {
+        let g = paper_example_data();
+        assert_eq!(g.vertex_labels(), vec![0, 1, 2]);
+        assert_eq!(g.edge_labels(), vec![0, 1]);
+        assert_eq!(g.n_vertex_labels(), 3);
+        assert_eq!(g.n_edge_labels(), 2);
+        assert_eq!(g.vlabel_freq(1), 100);
+        assert_eq!(g.vlabel_freq(2), 101);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(0);
+        let c = b.add_vertex(0);
+        b.add_vertex(0); // isolated
+        b.add_edge(a, c, 0);
+        let g = b.build();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = paper_example_data();
+        assert_eq!(g.max_degree(), 101); // v201: 100 a-edges + 1 b-edge
+    }
+}

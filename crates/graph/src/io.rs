@@ -1,0 +1,311 @@
+//! Plain-text graph interchange format.
+//!
+//! ```text
+//! # comment
+//! g <n_vertices>
+//! v <id> <vertex label>
+//! e <u> <v> <edge label>
+//! ```
+//!
+//! Vertices default to label 0 if no `v` line names them; ids must be below
+//! the count declared by the `g` line.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with its 1-based line number and a description.
+    Malformed { line: usize, reason: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Serialize a graph to the text format.
+pub fn to_text(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "g {}", g.n_vertices());
+    for v in 0..g.n_vertices() as u32 {
+        let _ = writeln!(out, "v {} {}", v, g.vlabel(v));
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "e {} {} {}", e.u, e.v, e.label);
+    }
+    out
+}
+
+/// Parse a graph from the text format.
+pub fn from_text(text: &str) -> Result<Graph, ParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut labels: Vec<u32> = Vec::new();
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+
+    let malformed = |line: usize, reason: &str| ParseError::Malformed {
+        line,
+        reason: reason.to_string(),
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        let mut next_u32 = |what: &str| -> Result<u32, ParseError> {
+            parts
+                .next()
+                .ok_or_else(|| malformed(line_no, &format!("missing {what}")))?
+                .parse::<u32>()
+                .map_err(|_| malformed(line_no, &format!("invalid {what}")))
+        };
+        match tag {
+            "g" => {
+                if builder.is_some() {
+                    return Err(malformed(line_no, "duplicate g line"));
+                }
+                let n = next_u32("vertex count")? as usize;
+                labels = vec![0; n];
+                builder = Some(GraphBuilder::with_capacity(n, 0));
+            }
+            "v" => {
+                if builder.is_none() {
+                    return Err(malformed(line_no, "v before g"));
+                }
+                let id = next_u32("vertex id")? as usize;
+                let label = next_u32("vertex label")?;
+                if id >= labels.len() {
+                    return Err(malformed(line_no, "vertex id out of range"));
+                }
+                labels[id] = label;
+            }
+            "e" => {
+                if builder.is_none() {
+                    return Err(malformed(line_no, "e before g"));
+                }
+                let u = next_u32("endpoint")?;
+                let v = next_u32("endpoint")?;
+                let l = next_u32("edge label")?;
+                if u as usize >= labels.len() || v as usize >= labels.len() {
+                    return Err(malformed(line_no, "edge endpoint out of range"));
+                }
+                if u == v {
+                    return Err(malformed(line_no, "self-loop"));
+                }
+                edges.push((u, v, l));
+            }
+            other => {
+                return Err(malformed(line_no, &format!("unknown tag '{other}'")));
+            }
+        }
+    }
+
+    let mut b = builder.ok_or_else(|| malformed(0, "missing g line"))?;
+    for &l in &labels {
+        b.add_vertex(l);
+    }
+    for (u, v, l) in edges {
+        b.add_edge(u, v, l);
+    }
+    Ok(b.build())
+}
+
+/// Write a graph to a file in the text format.
+pub fn write_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), ParseError> {
+    std::fs::write(path, to_text(g))?;
+    Ok(())
+}
+
+/// Read a graph from a text-format file.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    from_text(&std::fs::read_to_string(path)?)
+}
+
+/// Parse a SNAP-style edge list: one `u v` (or `u v edge-label`) pair per
+/// line, `#`-comments ignored, vertex ids arbitrary (compacted to dense ids
+/// in first-appearance order). Unlabeled inputs get vertex label 0 and edge
+/// label 0 — the paper labels such graphs synthetically afterwards (§VII-A);
+/// use [`crate::generate::LabelModel`] plus a rebuild for that.
+///
+/// Returns the graph and the dense-id → original-id mapping.
+pub fn from_edge_list(text: &str) -> Result<(Graph, Vec<u64>), ParseError> {
+    let mut ids: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut originals: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mut next_u64 = |what: &str| -> Result<u64, ParseError> {
+            parts
+                .next()
+                .ok_or(ParseError::Malformed {
+                    line: line_no,
+                    reason: format!("missing {what}"),
+                })?
+                .parse::<u64>()
+                .map_err(|_| ParseError::Malformed {
+                    line: line_no,
+                    reason: format!("invalid {what}"),
+                })
+        };
+        let u = next_u64("source")?;
+        let v = next_u64("target")?;
+        let label = match parts.next() {
+            Some(tok) => tok.parse::<u32>().map_err(|_| ParseError::Malformed {
+                line: line_no,
+                reason: "invalid edge label".into(),
+            })?,
+            None => 0,
+        };
+        if u == v {
+            continue; // SNAP graphs contain self-loops; the model excludes them
+        }
+        let mut dense = |orig: u64| -> u32 {
+            *ids.entry(orig).or_insert_with(|| {
+                originals.push(orig);
+                (originals.len() - 1) as u32
+            })
+        };
+        let (du, dv) = (dense(u), dense(v));
+        edges.push((du, dv, label));
+    }
+
+    let mut b = GraphBuilder::with_capacity(originals.len(), edges.len());
+    for _ in &originals {
+        b.add_vertex(0);
+    }
+    for (u, v, l) in edges {
+        b.add_edge(u, v, l);
+    }
+    Ok((b.build(), originals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(10);
+        let v = b.add_vertex(20);
+        let w = b.add_vertex(30);
+        b.add_edge(u, v, 1);
+        b.add_edge(v, w, 2);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let text = to_text(&g);
+        let g2 = from_text(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = from_text("# hello\n\ng 2\nv 0 5\nv 1 6\n\ne 0 1 3\n").unwrap();
+        assert_eq!(g.n_vertices(), 2);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.vlabel(0), 5);
+    }
+
+    #[test]
+    fn default_vertex_label_is_zero() {
+        let g = from_text("g 2\ne 0 1 0\n").unwrap();
+        assert_eq!(g.vlabel(0), 0);
+        assert_eq!(g.vlabel(1), 0);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = from_text("g 2\ne 0 5 1\n").unwrap_err();
+        match err {
+            ParseError::Malformed { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("out of range"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(from_text("v 0 1\n").is_err());
+        assert!(from_text("").is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_tag() {
+        assert!(from_text("g 2\ne 0 0 1\n").is_err());
+        assert!(from_text("g 1\nx 0\n").is_err());
+    }
+
+    #[test]
+    fn edge_list_parses_snap_style() {
+        let (g, originals) = from_edge_list(
+            "# comment line\n1000 2000\n2000 3000 7\n1000 1000\n3000 1000\n",
+        )
+        .unwrap();
+        assert_eq!(g.n_vertices(), 3);
+        assert_eq!(g.n_edges(), 3); // self-loop skipped
+        assert_eq!(originals, vec![1000, 2000, 3000]);
+        assert!(g.has_edge(0, 1, 0));
+        assert!(g.has_edge(1, 2, 7));
+        assert!(g.has_edge(2, 0, 0));
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(from_edge_list("1 x\n").is_err());
+        assert!(from_edge_list("1\n").is_err());
+        assert!(from_edge_list("1 2 notalabel\n").is_err());
+    }
+
+    #[test]
+    fn edge_list_empty_is_empty_graph() {
+        let (g, originals) = from_edge_list("# nothing\n").unwrap();
+        assert_eq!(g.n_vertices(), 0);
+        assert!(originals.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("gsi_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.graph");
+        write_file(&g, &path).unwrap();
+        let g2 = read_file(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+}

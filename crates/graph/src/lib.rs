@@ -1,0 +1,43 @@
+//! # gsi-graph — labeled graph substrate and GPU storage structures
+//!
+//! Everything the GSI engine ([Zeng et al., ICDE 2020]) needs to represent
+//! and store edge-labeled, vertex-labeled undirected graphs:
+//!
+//! * [`Graph`] — the host-side logical graph (adjacency sorted by edge label,
+//!   label frequencies, degrees), built through [`GraphBuilder`].
+//! * Storage structures for `N(v, l)` extraction on the simulated GPU, all
+//!   implementing [`storage::LabeledStore`]:
+//!   * [`csr::Csr`] — the traditional 3-layer CSR (row offset / column index
+//!     / edge value) that GpSM and GunrockSM use (§IV, Fig. 10);
+//!   * [`basic::BasicStore`] — per-label CSR with a full `|V|`-sized row
+//!     offset layer ("Basic Representation", Fig. 11(a));
+//!   * [`compressed::CompressedStore`] — per-label CSR with a binary-searched
+//!     vertex-ID layer ("Compressed Representation", Fig. 11(b));
+//!   * [`pcsr::PcsrStore`] — the paper's **PCSR** (Definition 4, Algorithm 1,
+//!     Fig. 11(c)): hashed groups of `GPN` pairs, one 128-byte transaction
+//!     per group probe, overflow chaining with Claim 1 guarantees.
+//! * Generators for synthetic graphs ([`generate`]) and the paper's
+//!   random-walk query workload ([`query_gen`]).
+//! * A plain-text interchange format ([`io`]).
+//!
+//! [Zeng et al., ICDE 2020]: https://arxiv.org/abs/1906.03420
+
+pub mod basic;
+pub mod builder;
+#[cfg(test)]
+pub(crate) mod fixtures;
+pub mod compressed;
+pub mod csr;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod partition;
+pub mod pcsr;
+pub mod query_gen;
+pub mod storage;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use storage::{LabeledStore, Neighbors, StorageKind};
+pub use types::{EdgeLabel, VertexId, VertexLabel};

@@ -1,0 +1,159 @@
+//! Edge label-partitioned subgraphs — the paper's `P(G, l)` (§IV).
+//!
+//! PCSR, the Basic Representation and the Compressed Representation all
+//! store one structure per *edge label partition*: the subgraph induced by
+//! all edges carrying label `l`, with the label itself dropped after
+//! partitioning. [`partition_by_label`] performs that split in one pass over
+//! the label-sorted adjacency.
+
+use crate::graph::Graph;
+use crate::types::{EdgeLabel, VertexId};
+
+/// One edge label-partitioned subgraph `P(G, l)` in adjacency-list form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelPartition {
+    /// The edge label this partition carries.
+    pub label: EdgeLabel,
+    /// Vertices with at least one `label`-edge, ascending.
+    pub vertices: Vec<VertexId>,
+    /// Offsets into `neighbors`, parallel to `vertices` (length
+    /// `vertices.len() + 1`).
+    pub offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    pub neighbors: Vec<VertexId>,
+}
+
+impl LabelPartition {
+    /// Number of vertices present in the partition (`|V(D)|`).
+    pub fn n_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed neighbor entries (`2 |E(D)|`).
+    pub fn n_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbor list of the `i`-th present vertex.
+    pub fn neighbor_slice(&self, i: usize) -> &[VertexId] {
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Host-side lookup of `N(v, label)`; empty if `v` is absent.
+    pub fn neighbors_of(&self, v: VertexId) -> &[VertexId] {
+        match self.vertices.binary_search(&v) {
+            Ok(i) => self.neighbor_slice(i),
+            Err(_) => &[],
+        }
+    }
+}
+
+/// Split `g` into one [`LabelPartition`] per distinct edge label, sorted by
+/// label.
+///
+/// Runs in `O(|V| + |E| + |L_E|)`: each vertex's adjacency is already sorted
+/// by `(label, neighbor)`, so one sweep appends every label run to its
+/// partition directly.
+pub fn partition_by_label(g: &Graph) -> Vec<LabelPartition> {
+    let labels = g.edge_labels();
+    let index_of: std::collections::HashMap<EdgeLabel, usize> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
+    let mut parts: Vec<LabelPartition> = labels
+        .iter()
+        .map(|&l| LabelPartition {
+            label: l,
+            vertices: Vec::new(),
+            offsets: vec![0],
+            neighbors: Vec::new(),
+        })
+        .collect();
+    for v in 0..g.n_vertices() as VertexId {
+        let adj = g.neighbors(v);
+        let mut i = 0;
+        while i < adj.len() {
+            let l = adj[i].1;
+            let part = &mut parts[index_of[&l]];
+            part.vertices.push(v);
+            while i < adj.len() && adj[i].1 == l {
+                part.neighbors.push(adj[i].0);
+                i += 1;
+            }
+            part.offsets.push(part.neighbors.len());
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> Graph {
+        // Fig. 1-like: edges labeled a=0 everywhere plus a couple of b=1.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(2);
+        let v3 = b.add_vertex(2);
+        b.add_edge(v0, v1, 0);
+        b.add_edge(v1, v2, 0);
+        b.add_edge(v0, v3, 1);
+        b.add_edge(v2, v3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn partitions_cover_all_edges() {
+        let g = sample();
+        let parts = partition_by_label(&g);
+        assert_eq!(parts.len(), 2);
+        let total_entries: usize = parts.iter().map(|p| p.n_entries()).sum();
+        assert_eq!(total_entries, 2 * g.n_edges());
+    }
+
+    #[test]
+    fn partition_vertices_are_present_only() {
+        let g = sample();
+        let parts = partition_by_label(&g);
+        let pa = &parts[0];
+        assert_eq!(pa.label, 0);
+        assert_eq!(pa.vertices, vec![0, 1, 2]); // v3 has no a-edges
+        let pb = &parts[1];
+        assert_eq!(pb.label, 1);
+        assert_eq!(pb.vertices, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn neighbors_match_ground_truth() {
+        let g = sample();
+        for p in partition_by_label(&g) {
+            for v in 0..g.n_vertices() as u32 {
+                let truth: Vec<_> = g.neighbors_with_label(v, p.label).collect();
+                assert_eq!(p.neighbors_of(v), truth.as_slice(), "v={v} l={}", p.label);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_partitions() {
+        let g = GraphBuilder::new().build();
+        assert!(partition_by_label(&g).is_empty());
+    }
+
+    #[test]
+    fn paper_example_partition_sizes() {
+        let g = crate::fixtures::paper_example_data();
+        let parts = partition_by_label(&g);
+        assert_eq!(parts.len(), 2);
+        // a-partition: 300 edges → 600 entries; b-partition: 1 edge → 2.
+        assert_eq!(parts[0].n_entries(), 600);
+        assert_eq!(parts[1].n_entries(), 2);
+        // P(G, b) has exactly the vertices {v0, v201} (paper: four vertices in
+        // their variant; our example wires one b-edge).
+        assert_eq!(parts[1].vertices, vec![0, 201]);
+    }
+}

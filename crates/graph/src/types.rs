@@ -1,0 +1,59 @@
+//! Core identifier types.
+//!
+//! Vertex ids and labels are `u32` throughout, matching the device layout
+//! (the paper assumes `|V(D)| < 2^32` in its PCSR analysis, and stores ids,
+//! offsets and labels as 4-byte words).
+
+/// A vertex identifier: dense, `0..n_vertices`.
+pub type VertexId = u32;
+
+/// A vertex label. The paper's filtering phase stores the raw label value in
+/// the first `K = 32` bits of each signature, so the full `u32` range is
+/// representable.
+pub type VertexLabel = u32;
+
+/// An edge label (an RDF predicate in the knowledge-graph use case).
+pub type EdgeLabel = u32;
+
+/// Sentinel for "no vertex" in device structures (PCSR empty pair slots,
+/// overflow terminators). Valid ids must stay below this.
+pub const INVALID_VERTEX: VertexId = u32::MAX;
+
+/// An undirected labeled edge as fed to the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// The edge label.
+    pub label: EdgeLabel,
+}
+
+impl Edge {
+    /// Canonicalize so `u <= v`; undirected edges compare consistently.
+    pub fn canonical(self) -> Self {
+        if self.u <= self.v {
+            self
+        } else {
+            Edge {
+                u: self.v,
+                v: self.u,
+                label: self.label,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        let e = Edge { u: 5, v: 2, label: 9 }.canonical();
+        assert_eq!((e.u, e.v, e.label), (2, 5, 9));
+        let e2 = Edge { u: 2, v: 5, label: 9 }.canonical();
+        assert_eq!(e, e2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Signature encoding (§III-A, Fig. 8(a)).
+
+use gsi_graph::Graph;
+use gsi_graph::VertexId;
+
+/// Parameters of the signature encoding.
+///
+/// `N` must be a multiple of 32 and at most 512 (§VII-B: memory-bandwidth
+/// alignment and GPU-memory budget); `K` is fixed at 32 because the paper
+/// stores the raw vertex-label value in the first word to enable the exact
+/// first-word comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureConfig {
+    /// Total signature length in bits (default 512).
+    pub n_bits: usize,
+    /// Vertex-label bits (fixed 32).
+    pub k_bits: usize,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        Self {
+            n_bits: 512,
+            k_bits: 32,
+        }
+    }
+}
+
+impl SignatureConfig {
+    /// A config with `n_bits` total and the fixed 32 label bits.
+    pub fn with_n(n_bits: usize) -> Self {
+        Self {
+            n_bits,
+            k_bits: 32,
+        }
+    }
+
+    /// Validate the constraints of §VII-B.
+    pub fn validate(&self) {
+        assert!(
+            self.n_bits % 32 == 0,
+            "N must be divisible by 32 to utilize memory bandwidth"
+        );
+        assert!(self.n_bits <= 512, "N must not exceed 512 (GPU memory)");
+        assert_eq!(self.k_bits, 32, "K is fixed at 32 (raw label storage)");
+        assert!(self.n_bits > self.k_bits, "N must exceed K");
+    }
+
+    /// Signature length in 32-bit words.
+    pub fn words(&self) -> usize {
+        self.n_bits / 32
+    }
+
+    /// Number of 2-bit groups encoding (edge label, neighbor label) pairs.
+    pub fn n_groups(&self) -> usize {
+        (self.n_bits - self.k_bits) / 2
+    }
+}
+
+/// A single vertex signature: `words()[0]` is the raw vertex label; the
+/// remaining words hold the 2-bit groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    words: Vec<u32>,
+}
+
+impl Signature {
+    /// The backing words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The encoded vertex label (first `K = 32` bits).
+    pub fn vertex_label(&self) -> u32 {
+        self.words[0]
+    }
+
+    /// The filtering test: `v` can match `u` iff labels are equal and every
+    /// group bit set in `S(u)` is also set in `S(v)` — i.e.
+    /// `S(v) & S(u) = S(u)` (§III-A), with the first word upgraded to an
+    /// exact comparison (§VII-B).
+    pub fn may_match(&self, query: &Signature) -> bool {
+        debug_assert_eq!(self.words.len(), query.words.len());
+        if self.words[0] != query.words[0] {
+            return false;
+        }
+        self.words[1..]
+            .iter()
+            .zip(&query.words[1..])
+            .all(|(&sv, &su)| sv & su == su)
+    }
+}
+
+/// Hash an `(edge label, neighbor label)` pair to a 2-bit group index.
+#[inline]
+fn pair_group(edge_label: u32, neighbor_label: u32, n_groups: usize) -> usize {
+    let key = (u64::from(edge_label) << 32) | u64::from(neighbor_label);
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 24) % n_groups as u64) as usize
+}
+
+/// Encode the signature of vertex `v` in graph `g` (Fig. 8(a)).
+///
+/// Group states: `00` — no pair hashed here; `01` — exactly one pair;
+/// `11` — more than one pair. Containment of these states under `&` yields
+/// the pruning rule's soundness: a data vertex with *at least as many* pairs
+/// in every group as the query vertex passes.
+pub fn encode_vertex(g: &Graph, v: VertexId, cfg: &SignatureConfig) -> Signature {
+    cfg.validate();
+    let n_groups = cfg.n_groups();
+    let mut words = vec![0u32; cfg.words()];
+    words[0] = g.vlabel(v);
+    for &(nbr, el) in g.neighbors(v) {
+        let grp = pair_group(el, g.vlabel(nbr), n_groups);
+        // Bit position of the group within the post-label region.
+        let bit = 32 + 2 * grp;
+        let word = bit / 32;
+        let lo = bit % 32;
+        let cur = (words[word] >> lo) & 0b11;
+        let next = match cur {
+            0b00 => 0b01,
+            0b01 => 0b11,
+            other => other,
+        };
+        words[word] = (words[word] & !(0b11 << lo)) | (next << lo);
+    }
+    Signature { words }
+}
+
+/// Encode every vertex of `g`.
+pub fn encode_all(g: &Graph, cfg: &SignatureConfig) -> Vec<Signature> {
+    (0..g.n_vertices() as VertexId)
+        .map(|v| encode_vertex(g, v, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_graph::GraphBuilder;
+
+    fn small_graph() -> Graph {
+        // v0(A=0) –a(0)– v1(B=1); v0 –b(1)– v2(C=2); v0 –a– v3(B)
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(2);
+        let v3 = b.add_vertex(1);
+        b.add_edge(v0, v1, 0);
+        b.add_edge(v0, v2, 1);
+        b.add_edge(v0, v3, 0);
+        b.build()
+    }
+
+    #[test]
+    fn config_defaults_and_words() {
+        let cfg = SignatureConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.words(), 16);
+        assert_eq!(cfg.n_groups(), 240);
+        assert_eq!(SignatureConfig::with_n(64).n_groups(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 32")]
+    fn invalid_n_rejected() {
+        SignatureConfig { n_bits: 100, k_bits: 32 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not exceed 512")]
+    fn oversized_n_rejected() {
+        SignatureConfig { n_bits: 1024, k_bits: 32 }.validate();
+    }
+
+    #[test]
+    fn first_word_is_raw_label() {
+        let g = small_graph();
+        let cfg = SignatureConfig::default();
+        for v in 0..4u32 {
+            assert_eq!(encode_vertex(&g, v, &cfg).vertex_label(), g.vlabel(v));
+        }
+    }
+
+    #[test]
+    fn duplicate_pairs_saturate_to_11() {
+        let g = small_graph();
+        let cfg = SignatureConfig::default();
+        // v0 has two (a, B) pairs: that group must read 11.
+        let s = encode_vertex(&g, 0, &cfg);
+        let grp = pair_group(0, 1, cfg.n_groups());
+        let bit = 32 + 2 * grp;
+        let val = (s.words()[bit / 32] >> (bit % 32)) & 0b11;
+        assert_eq!(val, 0b11);
+        // The single (b, C) pair must read 01.
+        let grp = pair_group(1, 2, cfg.n_groups());
+        let bit = 32 + 2 * grp;
+        let val = (s.words()[bit / 32] >> (bit % 32)) & 0b11;
+        assert_eq!(val, 0b01);
+    }
+
+    #[test]
+    fn may_match_requires_label_equality() {
+        let g = small_graph();
+        let cfg = SignatureConfig::default();
+        let s0 = encode_vertex(&g, 0, &cfg);
+        let s1 = encode_vertex(&g, 1, &cfg);
+        assert!(!s0.may_match(&s1));
+        assert!(s0.may_match(&s0));
+    }
+
+    #[test]
+    fn subset_neighborhood_passes_superset_fails() {
+        // Query u: one (a,B) edge. Data v0: two (a,B) + one (b,C) ⇒ S(v0)
+        // covers S(u). Conversely v1 (neighborhood {(a,A)}) cannot cover u
+        // with label B... construct explicit query graphs.
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        let q = qb.build();
+        let cfg = SignatureConfig::default();
+        let g = small_graph();
+        let su0 = encode_vertex(&q, u0, &cfg);
+        let sv0 = encode_vertex(&g, 0, &cfg);
+        assert!(sv0.may_match(&su0), "v0 has (a,B) twice, covers query");
+
+        // A query asking for both (a,B) and (a,A) cannot be covered by v0.
+        let mut qb2 = GraphBuilder::new();
+        let w0 = qb2.add_vertex(0);
+        let w1 = qb2.add_vertex(1);
+        let w2 = qb2.add_vertex(0);
+        qb2.add_edge(w0, w1, 0);
+        qb2.add_edge(w0, w2, 0);
+        let q2 = qb2.build();
+        let sw0 = encode_vertex(&q2, w0, &cfg);
+        // Unless (a,A) hashes into the same group as (a,B) (with N=512 the
+        // chance is tiny), v0 lacks the (a,A) group bits.
+        let ga = pair_group(0, 0, cfg.n_groups());
+        let gb = pair_group(0, 1, cfg.n_groups());
+        if ga != gb {
+            assert!(!sv0.may_match(&sw0));
+        }
+    }
+
+    #[test]
+    fn soundness_never_prunes_true_match_randomized() {
+        // For random graphs and random query vertices: if the neighborhood
+        // pair multiset of u is a sub-multiset of v's (and labels match),
+        // then may_match(v, u) must hold — hashing can only lose precision,
+        // never soundness.
+        let cfg = SignatureConfig::with_n(64); // small N stresses collisions
+        for seed in 0..10u64 {
+            let g = {
+                use gsi_graph::generate::{barabasi_albert, LabelModel};
+                use rand::rngs::StdRng;
+                use rand::SeedableRng;
+                let model = LabelModel::zipf(4, 4, 1.0);
+                barabasi_albert(60, 2, &model, &mut StdRng::seed_from_u64(seed))
+            };
+            let sigs = encode_all(&g, &cfg);
+            for v in 0..g.n_vertices() as u32 {
+                // A vertex always covers itself.
+                assert!(sigs[v as usize].may_match(&sigs[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_signature_is_label_only() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(7);
+        let g = b.build();
+        let cfg = SignatureConfig::default();
+        let s = encode_vertex(&g, 0, &cfg);
+        assert_eq!(s.vertex_label(), 7);
+        assert!(s.words()[1..].iter().all(|&w| w == 0));
+    }
+}

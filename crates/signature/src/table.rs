@@ -1,0 +1,208 @@
+//! The vertex signature table in simulated global memory (§III-A, Fig. 8(b)–(d)).
+//!
+//! During filtering, all 32 threads of a warp read the *same word index* of
+//! 32 *different* signatures. In row-first layout those addresses are
+//! `words_per_sig` apart — a scattered gather (Fig. 8(c), "memory access
+//! gap"). In column-first layout they are consecutive — one coalesced
+//! transaction (Fig. 8(d)). [`SignatureTable`] stores either layout and
+//! charges warp reads through the device ledger accordingly.
+
+use crate::encode::{encode_all, SignatureConfig};
+use gsi_gpu_sim::{DeviceVec, Gpu};
+use gsi_graph::Graph;
+
+/// Memory layout of the signature table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Signature-major: signature `i`'s words are contiguous.
+    RowFirst,
+    /// Word-major: word `w` of all signatures is contiguous (the paper's
+    /// choice — warp reads coalesce).
+    #[default]
+    ColumnFirst,
+}
+
+/// Device-resident table of all data-vertex signatures.
+#[derive(Debug)]
+pub struct SignatureTable {
+    layout: Layout,
+    n_sigs: usize,
+    words_per_sig: usize,
+    words: DeviceVec<u32>,
+    cfg: SignatureConfig,
+}
+
+impl SignatureTable {
+    /// Encode every vertex of `g` offline and upload in the given layout.
+    pub fn build(gpu: &Gpu, g: &Graph, cfg: &SignatureConfig, layout: Layout) -> Self {
+        cfg.validate();
+        let sigs = encode_all(g, cfg);
+        let n = sigs.len();
+        let wps = cfg.words();
+        let mut words = vec![0u32; n * wps];
+        for (i, s) in sigs.iter().enumerate() {
+            for (w, &val) in s.words().iter().enumerate() {
+                words[Self::addr_in(layout, n, wps, i, w)] = val;
+            }
+        }
+        Self {
+            layout,
+            n_sigs: n,
+            words_per_sig: wps,
+            words: DeviceVec::from_vec(gpu, words),
+            cfg: *cfg,
+        }
+    }
+
+    /// Number of signatures (data vertices).
+    pub fn n_sigs(&self) -> usize {
+        self.n_sigs
+    }
+
+    /// Words per signature (`N / 32`).
+    pub fn words_per_sig(&self) -> usize {
+        self.words_per_sig
+    }
+
+    /// The encoding parameters.
+    pub fn config(&self) -> &SignatureConfig {
+        &self.cfg
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Table footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    #[inline]
+    fn addr_in(layout: Layout, n: usize, wps: usize, sig: usize, word: usize) -> usize {
+        match layout {
+            Layout::RowFirst => sig * wps + word,
+            Layout::ColumnFirst => word * n + sig,
+        }
+    }
+
+    #[inline]
+    fn addr(&self, sig: usize, word: usize) -> usize {
+        Self::addr_in(self.layout, self.n_sigs, self.words_per_sig, sig, word)
+    }
+
+    /// Host read of one signature word (no charge).
+    pub fn word_host(&self, sig: usize, word: usize) -> u32 {
+        self.words.as_slice()[self.addr(sig, word)]
+    }
+
+    /// Charge a warp's read of word `word` for the given (≤ 32) signature
+    /// indices — one transaction per distinct 128-byte segment, which is 1
+    /// for a full warp in column-first layout and up to 32 in row-first.
+    pub fn charge_warp_word_read(&self, gpu: &Gpu, word: usize, sigs: &[usize]) {
+        debug_assert!(sigs.len() <= 32);
+        gpu.stats()
+            .gld_gather(sigs.iter().map(|&s| self.addr(s, word)), 4);
+        gpu.stats().add_work(sigs.len() as u64);
+    }
+
+    /// Charge a full-warp read of word `word` for a *contiguous* signature
+    /// range — the hot path of the filtering kernel's first iteration. In
+    /// column-first layout this is a coalesced span; row-first degenerates
+    /// to the scattered gather.
+    pub fn charge_warp_word_read_range(&self, gpu: &Gpu, word: usize, start: usize, len: usize) {
+        debug_assert!(len <= 32);
+        match self.layout {
+            Layout::ColumnFirst => {
+                gpu.stats().gld_range(self.addr(start, word), len, 4);
+            }
+            Layout::RowFirst => {
+                gpu.stats()
+                    .gld_gather((start..start + len).map(|s| self.addr(s, word)), 4);
+            }
+        }
+        gpu.stats().add_work(len as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_gpu_sim::DeviceConfig;
+    use gsi_graph::generate::{barabasi_albert, LabelModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::test_device())
+    }
+
+    fn graph() -> Graph {
+        let model = LabelModel::uniform(4, 4);
+        barabasi_albert(100, 2, &model, &mut StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn layouts_store_identical_values() {
+        let g = graph();
+        let cfg = SignatureConfig::with_n(128);
+        let gpu = gpu();
+        let row = SignatureTable::build(&gpu, &g, &cfg, Layout::RowFirst);
+        let col = SignatureTable::build(&gpu, &g, &cfg, Layout::ColumnFirst);
+        for sig in 0..g.n_vertices() {
+            for w in 0..cfg.words() {
+                assert_eq!(row.word_host(sig, w), col.word_host(sig, w));
+            }
+        }
+    }
+
+    #[test]
+    fn column_first_warp_read_is_one_transaction() {
+        let g = graph();
+        let cfg = SignatureConfig::with_n(128);
+        let gpu = gpu();
+        let col = SignatureTable::build(&gpu, &g, &cfg, Layout::ColumnFirst);
+        gpu.reset_stats();
+        let sigs: Vec<usize> = (0..32).collect();
+        col.charge_warp_word_read(&gpu, 0, &sigs);
+        assert_eq!(gpu.stats().snapshot().gld_transactions, 1);
+    }
+
+    #[test]
+    fn row_first_warp_read_scatters() {
+        let g = graph();
+        let cfg = SignatureConfig::with_n(128); // 4 words per sig
+        let gpu = gpu();
+        let row = SignatureTable::build(&gpu, &g, &cfg, Layout::RowFirst);
+        gpu.reset_stats();
+        let sigs: Vec<usize> = (0..32).collect();
+        row.charge_warp_word_read(&gpu, 0, &sigs);
+        // 32 sigs × 4 words apart = stride 16B ⇒ 8 sigs per 128B segment ⇒ 4.
+        assert_eq!(gpu.stats().snapshot().gld_transactions, 4);
+    }
+
+    #[test]
+    fn row_first_wide_signature_is_fully_scattered() {
+        let g = graph();
+        let cfg = SignatureConfig::default(); // 16 words = 64B per sig
+        let gpu = gpu();
+        let row = SignatureTable::build(&gpu, &g, &cfg, Layout::RowFirst);
+        gpu.reset_stats();
+        let sigs: Vec<usize> = (0..32).collect();
+        row.charge_warp_word_read(&gpu, 0, &sigs);
+        // 64B stride: 2 sigs per segment ⇒ 16 transactions vs 1 coalesced.
+        assert_eq!(gpu.stats().snapshot().gld_transactions, 16);
+    }
+
+    #[test]
+    fn table_size() {
+        let g = graph();
+        let cfg = SignatureConfig::default();
+        let gpu = gpu();
+        let t = SignatureTable::build(&gpu, &g, &cfg, Layout::ColumnFirst);
+        assert_eq!(t.size_bytes(), g.n_vertices() * 64);
+        assert_eq!(t.n_sigs(), g.n_vertices());
+        assert_eq!(t.words_per_sig(), 16);
+    }
+}

@@ -1,0 +1,73 @@
+//! Knowledge-graph search: SPARQL-style basic graph patterns over an
+//! RDF-like labeled graph — the paper's motivating application ("search
+//! over a knowledge graph", gStore-style).
+//!
+//! Edge labels play the role of RDF predicates; a query is a basic graph
+//! pattern whose variables are the query vertices. Compares all storage
+//! structures (CSR / BR / CR / PCSR) on the same pattern, reproducing the
+//! Table II trade-offs on live queries.
+//!
+//! ```text
+//! cargo run --release --example knowledge_graph
+//! ```
+
+use gsi::datasets::{build, statistics, DatasetKind, DatasetSpec};
+use gsi::graph::query_gen::random_walk_query;
+use gsi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // WatDiv-like RDF stand-in: scale-free, 86 predicates.
+    let spec = DatasetSpec::scaled(DatasetKind::WatDiv, 0.003);
+    let data = build(&spec);
+    println!("knowledge graph: {}", statistics(&data));
+
+    // A SPARQL-like star-join pattern extracted from the graph itself so it
+    // is guaranteed satisfiable.
+    let mut rng = StdRng::seed_from_u64(42);
+    let query = random_walk_query(&data, 5, &mut rng).expect("pattern");
+    println!(
+        "pattern: {} variables, {} triple patterns",
+        query.n_vertices(),
+        query.n_edges()
+    );
+
+    println!("\nstorage structure comparison (same query, same device):");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "structure", "matches", "time", "GLD", "space(MB)"
+    );
+    for storage in [
+        StorageKind::Csr,
+        StorageKind::Basic,
+        StorageKind::Compressed,
+        StorageKind::Pcsr,
+    ] {
+        let cfg = GsiConfig {
+            storage,
+            ..GsiConfig::gsi_opt()
+        };
+        let engine = GsiEngine::new(cfg);
+        let prepared = engine.prepare(&data);
+        let space_mb = prepared.store().space_bytes() as f64 / (1024.0 * 1024.0);
+        let out = engine.query(&data, &prepared, &query);
+        out.matches.verify(&data, &query).expect("valid");
+        println!(
+            "{:<12} {:>10} {:>12.2?} {:>12} {:>10.2}",
+            storage.to_string(),
+            out.matches.len(),
+            out.stats.total_time,
+            out.stats.gld(),
+            space_mb
+        );
+    }
+
+    println!(
+        "\nPCSR locates N(v,l) in one 128B transaction per probe; CSR scans\n\
+         whole rows; CR binary-searches; BR pays |L_E|x|V| offsets. PCSR\n\
+         trades space (128B per vertex per partition it appears in) for\n\
+         O(1) lookups — and only one partition is GPU-resident at a time\n\
+         (the paper's Table II trade-offs, measured live)."
+    );
+}

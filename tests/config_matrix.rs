@@ -1,0 +1,146 @@
+//! Config-matrix tests: every combination of the engine's switches must
+//! produce the identical match set — techniques change cost, never results.
+
+use gsi::baselines::vf2;
+use gsi::graph::generate::{barabasi_albert, LabelModel};
+use gsi::graph::query_gen::random_walk_query;
+use gsi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(seed: u64) -> (Graph, Graph) {
+    let model = LabelModel::zipf(4, 4, 0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = barabasi_albert(160, 3, &model, &mut rng);
+    let query = random_walk_query(&data, 5, &mut rng).expect("query");
+    (data, query)
+}
+
+fn run(cfg: GsiConfig, data: &Graph, query: &Graph) -> Vec<Vec<u32>> {
+    let engine = GsiEngine::with_gpu(cfg, Gpu::new(DeviceConfig::test_device()));
+    let prepared = engine.prepare(data);
+    let out = engine.query(data, &prepared, query);
+    assert!(!out.stats.timed_out);
+    out.matches.verify(data, query).expect("valid embeddings");
+    out.matches.canonical()
+}
+
+#[test]
+fn full_matrix_storage_join_setops() {
+    let (data, query) = workload(1);
+    let oracle = vf2::run(&data, &query, None).assignments;
+    for storage in [
+        StorageKind::Csr,
+        StorageKind::Basic,
+        StorageKind::Compressed,
+        StorageKind::Pcsr,
+    ] {
+        for join_scheme in [JoinScheme::PreallocCombine, JoinScheme::TwoStep] {
+            for set_ops in [SetOpStrategy::Naive, SetOpStrategy::GpuFriendly] {
+                let cfg = GsiConfig {
+                    storage,
+                    join_scheme,
+                    set_ops,
+                    ..GsiConfig::gsi()
+                };
+                let got = run(cfg, &data, &query);
+                assert_eq!(
+                    got, oracle,
+                    "storage={storage:?} join={join_scheme:?} setops={set_ops:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_cache_lb_dedup() {
+    let (data, query) = workload(2);
+    let oracle = vf2::run(&data, &query, None).assignments;
+    for write_cache in [false, true] {
+        for lb in [None, Some(LbParams::default())] {
+            for dedup in [false, true] {
+                let cfg = GsiConfig {
+                    write_cache,
+                    load_balance: lb,
+                    duplicate_removal: dedup,
+                    ..GsiConfig::gsi()
+                };
+                let got = run(cfg, &data, &query);
+                assert_eq!(got, oracle, "cache={write_cache} lb={lb:?} dedup={dedup}");
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_filters_and_layouts() {
+    let (data, query) = workload(3);
+    let oracle = vf2::run(&data, &query, None).assignments;
+    for filter in [
+        FilterStrategy::Signature,
+        FilterStrategy::LabelDegree,
+        FilterStrategy::LabelOnly,
+    ] {
+        for layout in [Layout::RowFirst, Layout::ColumnFirst] {
+            let cfg = GsiConfig {
+                filter,
+                signature_layout: layout,
+                ..GsiConfig::gsi_opt()
+            };
+            let got = run(cfg, &data, &query);
+            assert_eq!(got, oracle, "filter={filter:?} layout={layout:?}");
+        }
+    }
+}
+
+#[test]
+fn matrix_signature_sizes_and_gpn() {
+    let (data, query) = workload(4);
+    let oracle = vf2::run(&data, &query, None).assignments;
+    for n_bits in [64, 128, 256, 512] {
+        for gpn in [2, 4, 16] {
+            let cfg = GsiConfig {
+                signature: SignatureConfig::with_n(n_bits),
+                storage_gpn: gpn,
+                ..GsiConfig::gsi_opt()
+            };
+            let got = run(cfg, &data, &query);
+            assert_eq!(got, oracle, "N={n_bits} GPN={gpn}");
+        }
+    }
+}
+
+#[test]
+fn matrix_first_edge_heuristic_and_alloc() {
+    let (data, query) = workload(5);
+    let oracle = vf2::run(&data, &query, None).assignments;
+    for first_edge_min_freq in [false, true] {
+        for combined_alloc in [false, true] {
+            let cfg = GsiConfig {
+                first_edge_min_freq,
+                combined_alloc,
+                ..GsiConfig::gsi_opt()
+            };
+            let got = run(cfg, &data, &query);
+            assert_eq!(
+                got, oracle,
+                "min_freq={first_edge_min_freq} combined={combined_alloc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lb_threshold_sweep_preserves_results() {
+    let (data, query) = workload(6);
+    let oracle = vf2::run(&data, &query, None).assignments;
+    for (w1, w3) in [(2048, 64), (4096, 256), (6144, 320)] {
+        let cfg = GsiConfig {
+            load_balance: Some(LbParams { w1, w2: 1024, w3 }),
+            ..GsiConfig::gsi_opt()
+        };
+        let got = run(cfg, &data, &query);
+        assert_eq!(got, oracle, "w1={w1} w3={w3}");
+    }
+}

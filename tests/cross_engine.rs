@@ -1,0 +1,122 @@
+//! Cross-engine agreement: every engine in the repository — GSI (all
+//! presets), GpSM, GunrockSM, VF2, VF3-like, CFL-like — must produce the
+//! same match set on the same workload.
+
+use gsi::baselines::{cfl, gpsm, gunrock, ullmann, vf2, vf3};
+use gsi::graph::generate::{barabasi_albert, LabelModel};
+use gsi::graph::query_gen::random_walk_query;
+use gsi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(seed: u64, n: usize, qn: usize) -> (Graph, Graph) {
+    let model = LabelModel::zipf(5, 4, 0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = barabasi_albert(n, 2, &model, &mut rng);
+    let query = random_walk_query(&data, qn, &mut rng).expect("query");
+    (data, query)
+}
+
+#[test]
+fn all_engines_agree() {
+    for seed in 0..5u64 {
+        let (data, query) = workload(seed, 150, 5);
+        let oracle = vf2::run(&data, &query, None).assignments;
+
+        // CPU engines.
+        assert_eq!(
+            vf3::run(&data, &query, None).assignments,
+            oracle,
+            "vf3 seed {seed}"
+        );
+        assert_eq!(
+            cfl::run(&data, &query, None).assignments,
+            oracle,
+            "cfl seed {seed}"
+        );
+        assert_eq!(
+            ullmann::run(&data, &query, None).assignments,
+            oracle,
+            "ullmann seed {seed}"
+        );
+
+        // GPU edge-oriented baselines.
+        let gp = gpsm::engine(Gpu::new(DeviceConfig::test_device()));
+        let prep = gp.prepare(&data);
+        assert_eq!(gp.run(&data, &prep, &query).assignments, oracle, "gpsm {seed}");
+
+        let gk = gunrock::engine(Gpu::new(DeviceConfig::test_device()));
+        let prep = gk.prepare(&data);
+        assert_eq!(
+            gk.run(&data, &prep, &query).assignments,
+            oracle,
+            "gunrock {seed}"
+        );
+
+        // GSI.
+        let engine = GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
+        let prepared = engine.prepare(&data);
+        assert_eq!(
+            engine.query(&data, &prepared, &query).matches.canonical(),
+            oracle,
+            "gsi {seed}"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_star_and_cycle_patterns() {
+    let model = LabelModel::uniform(3, 2);
+    let mut rng = StdRng::seed_from_u64(77);
+    let data = barabasi_albert(120, 3, &model, &mut rng);
+
+    // Star: center with 3 leaves.
+    let mut qb = GraphBuilder::new();
+    let c = qb.add_vertex(0);
+    for _ in 0..3 {
+        let l = qb.add_vertex(1);
+        qb.add_edge(c, l, 0);
+    }
+    let star = qb.build();
+
+    // 4-cycle.
+    let mut qb = GraphBuilder::new();
+    let u: Vec<u32> = (0..4).map(|i| qb.add_vertex(i % 2)).collect();
+    for i in 0..4 {
+        qb.add_edge(u[i], u[(i + 1) % 4], 0);
+    }
+    let cycle = qb.build();
+
+    for (name, query) in [("star", star), ("cycle", cycle)] {
+        let oracle = vf2::run(&data, &query, None).assignments;
+        let engine = GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
+        let prepared = engine.prepare(&data);
+        assert_eq!(
+            engine.query(&data, &prepared, &query).matches.canonical(),
+            oracle,
+            "{name}: gsi"
+        );
+        let gp = gpsm::engine(Gpu::new(DeviceConfig::test_device()));
+        let prep = gp.prepare(&data);
+        assert_eq!(gp.run(&data, &prep, &query).assignments, oracle, "{name}: gpsm");
+        assert_eq!(cfl::run(&data, &query, None).assignments, oracle, "{name}: cfl");
+    }
+}
+
+#[test]
+fn single_vertex_queries_agree() {
+    let (data, _) = workload(11, 80, 3);
+    let mut qb = GraphBuilder::new();
+    qb.add_vertex(1);
+    let query = qb.build();
+    let oracle = vf2::run(&data, &query, None).assignments;
+    let engine = GsiEngine::with_gpu(GsiConfig::gsi(), Gpu::new(DeviceConfig::test_device()));
+    let prepared = engine.prepare(&data);
+    assert_eq!(
+        engine.query(&data, &prepared, &query).matches.canonical(),
+        oracle
+    );
+    let gp = gpsm::engine(Gpu::new(DeviceConfig::test_device()));
+    let prep = gp.prepare(&data);
+    assert_eq!(gp.run(&data, &prep, &query).assignments, oracle);
+}

@@ -1,0 +1,109 @@
+//! End-to-end runs on (shrunken) Table III dataset stand-ins, checked
+//! against the VF2 oracle where tractable.
+
+use gsi::baselines::vf2;
+use gsi::datasets::{build, statistics, DatasetKind, DatasetSpec};
+use gsi::graph::query_gen::random_walk_query;
+use gsi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn tiny(kind: DatasetKind) -> Graph {
+    let scale = match kind {
+        DatasetKind::Enron => 0.02,
+        DatasetKind::Gowalla => 0.005,
+        DatasetKind::RoadCentral => 0.0003,
+        DatasetKind::DBpedia => 0.00006,
+        DatasetKind::WatDiv => 0.0002,
+    };
+    build(&DatasetSpec::scaled(kind, scale))
+}
+
+#[test]
+fn every_dataset_standin_runs_and_matches_oracle() {
+    for kind in DatasetKind::ALL {
+        let data = tiny(kind);
+        let stats = statistics(&data);
+        assert!(stats.n_vertices > 0 && stats.n_edges > 0, "{kind:?}");
+        let mut rng = StdRng::seed_from_u64(kind as u64 + 100);
+        let Some(query) = random_walk_query(&data, 4, &mut rng) else {
+            panic!("{kind:?}: query generation failed");
+        };
+        let engine = GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &query);
+        assert!(!out.stats.timed_out, "{kind:?}");
+        out.matches.verify(&data, &query).expect("valid");
+        let oracle = vf2::run(&data, &query, Some(Duration::from_secs(30)));
+        assert!(!oracle.timed_out, "{kind:?}: oracle timed out");
+        assert_eq!(
+            out.matches.canonical(),
+            oracle.assignments,
+            "{kind:?}: GSI disagrees with VF2"
+        );
+    }
+}
+
+#[test]
+fn default_query_size_12_on_enron_standin() {
+    // The paper's default workload: |V(Q)| = 12 random-walk queries. A
+    // small scale keeps the all-match enumeration bounded (clustered labels
+    // make 12-vertex queries match-heavy); queries that still explode are
+    // cut by the timeout and skipped.
+    let data = build(&DatasetSpec::scaled(DatasetKind::Enron, 0.015));
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = GsiConfig {
+        max_intermediate_rows: 2_000_000,
+        ..GsiConfig::gsi_opt()
+    };
+    let engine = GsiEngine::with_gpu(cfg, Gpu::new(DeviceConfig::test_device()));
+    let prepared = engine.prepare(&data);
+    let mut any_matches = false;
+    for _ in 0..3 {
+        let Some(query) = random_walk_query(&data, 12, &mut rng) else {
+            continue;
+        };
+        let out = engine.query_with_timeout(&data, &prepared, &query, Some(Duration::from_secs(10)));
+        if out.stats.timed_out {
+            continue;
+        }
+        out.matches.verify(&data, &query).expect("valid");
+        // A walk-extracted query always has ≥ 1 match (itself).
+        assert!(!out.matches.is_empty());
+        any_matches = true;
+    }
+    assert!(any_matches, "no 12-vertex query completed");
+}
+
+#[test]
+fn prepared_structures_have_sane_sizes() {
+    let data = tiny(DatasetKind::Gowalla);
+    for storage in [StorageKind::Pcsr, StorageKind::Csr, StorageKind::Compressed] {
+        let cfg = GsiConfig {
+            storage,
+            ..GsiConfig::gsi_opt()
+        };
+        let engine = GsiEngine::with_gpu(cfg, Gpu::new(DeviceConfig::test_device()));
+        let prepared = engine.prepare(&data);
+        let bytes = prepared.store().space_bytes();
+        assert!(bytes > 0);
+        // All structures are within a small constant of |E| words, except BR.
+        assert!(
+            bytes < 200 * data.n_edges() + 130 * data.n_vertices(),
+            "{storage:?}: {bytes}B"
+        );
+    }
+}
+
+#[test]
+fn scalability_series_grows_linearly() {
+    // Fig. 13's generator: watdiv10M..watdiv30M (scaled ∝ 1,2,3).
+    let mut last_edges = 0;
+    for i in 1..=3usize {
+        let spec = DatasetSpec::scaled(DatasetKind::WatDiv, 0.0002 * i as f64);
+        let g = build(&spec);
+        assert!(g.n_edges() > last_edges, "series must grow");
+        last_edges = g.n_edges();
+    }
+}

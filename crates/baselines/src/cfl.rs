@@ -27,7 +27,8 @@ fn nlf_candidates(data: &Graph, query: &Graph, u: VertexId) -> Vec<VertexId> {
             for &(w, l) in data.neighbors(v) {
                 *have.entry((l, data.vlabel(w))).or_insert(0) += 1;
             }
-            need.iter().all(|(k, &c)| have.get(k).copied().unwrap_or(0) >= c)
+            need.iter()
+                .all(|(k, &c)| have.get(k).copied().unwrap_or(0) >= c)
         })
         .collect()
 }

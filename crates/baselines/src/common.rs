@@ -87,7 +87,7 @@ impl TimeoutGuard {
             return false;
         };
         self.counter = self.counter.wrapping_add(1);
-        if self.counter % 4096 == 0 && std::time::Instant::now() > deadline {
+        if self.counter.is_multiple_of(4096) && std::time::Instant::now() > deadline {
             self.expired = true;
         }
         self.expired

@@ -95,11 +95,7 @@ impl EdgeJoinEngine {
     }
 
     /// Filter candidate vertices (also used standalone for Table IV).
-    pub fn filter(
-        &self,
-        prepared: &PreparedEdgeJoin,
-        query: &Graph,
-    ) -> Vec<CandidateSet> {
+    pub fn filter(&self, prepared: &PreparedEdgeJoin, query: &Graph) -> Vec<CandidateSet> {
         match self.cfg.filter {
             BaselineFilter::LabelDegree => {
                 filter_label_degree(&self.gpu, &prepared.filter_inputs, query)
@@ -274,11 +270,8 @@ impl EdgeJoinEngine {
         cand_b: &CandidateSet,
     ) -> Option<MatchTable> {
         let gpu = &self.gpu;
-        let bitset = DeviceBitset::from_members(
-            gpu,
-            prepared.csr.n_vertices().max(1),
-            &cand_b.list,
-        );
+        let bitset =
+            DeviceBitset::from_members(gpu, prepared.csr.n_vertices().max(1), &cand_b.list);
         let rows: Vec<usize> = (0..m.n_rows()).collect();
 
         // One pass of the join work for every row; `write` controls whether

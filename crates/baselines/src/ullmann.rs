@@ -48,12 +48,9 @@ impl Search<'_> {
             // Refinement: prune candidates of unmatched neighbors of u that
             // lack the required edge to v; abandon v if any set empties.
             let saved = self.refine(u, v);
-            let viable = self
-                .query
-                .neighbors(u)
-                .iter()
-                .all(|&(w, _)| self.mapping[w as usize].is_some()
-                    || !self.candidates[w as usize].is_empty());
+            let viable = self.query.neighbors(u).iter().all(|&(w, _)| {
+                self.mapping[w as usize].is_some() || !self.candidates[w as usize].is_empty()
+            });
             if viable {
                 self.mapping[u as usize] = Some(v);
                 self.used[v as usize] = true;
@@ -126,9 +123,7 @@ pub fn run(data: &Graph, query: &Graph, timeout: Option<Duration>) -> EngineResu
     let candidates: Vec<Vec<VertexId>> = (0..nq as VertexId)
         .map(|u| {
             (0..data.n_vertices() as VertexId)
-                .filter(|&v| {
-                    data.vlabel(v) == query.vlabel(u) && data.degree(v) >= query.degree(u)
-                })
+                .filter(|&v| data.vlabel(v) == query.vlabel(u) && data.degree(v) >= query.degree(u))
                 .collect()
         })
         .collect();

@@ -79,9 +79,11 @@ impl Search<'_> {
         let u = self.order[depth];
         // Candidate generation: neighbors of an already-matched neighbor
         // (connectivity order guarantees one for depth > 0).
-        let anchor = self.query.neighbors(u).iter().find_map(|&(w, l)| {
-            self.mapping[w as usize].map(|dv| (dv, l))
-        });
+        let anchor = self
+            .query
+            .neighbors(u)
+            .iter()
+            .find_map(|&(w, l)| self.mapping[w as usize].map(|dv| (dv, l)));
         match anchor {
             Some((dv, l)) => {
                 let cands: Vec<VertexId> = self.data.neighbors_with_label(dv, l).collect();
@@ -149,7 +151,9 @@ mod tests {
     fn triangle_data() -> Graph {
         // Two labeled triangles sharing an edge.
         let mut b = GraphBuilder::new();
-        let v: Vec<u32> = (0..4).map(|i| b.add_vertex(if i == 3 { 1 } else { 0 })).collect();
+        let v: Vec<u32> = (0..4)
+            .map(|i| b.add_vertex(if i == 3 { 1 } else { 0 }))
+            .collect();
         b.add_edge(v[0], v[1], 0);
         b.add_edge(v[1], v[2], 0);
         b.add_edge(v[0], v[2], 0);

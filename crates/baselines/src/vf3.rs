@@ -28,7 +28,9 @@ fn vf3_order(data: &Graph, query: &Graph) -> Vec<VertexId> {
             usize::MAX - query.degree(u),
         )
     };
-    let first = (0..n as VertexId).min_by_key(|&u| rank(u)).expect("nonempty");
+    let first = (0..n as VertexId)
+        .min_by_key(|&u| rank(u))
+        .expect("nonempty");
     order.push(first);
     in_order[first as usize] = true;
     while order.len() < n {

@@ -4,11 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gsi::datasets::DatasetKind;
 use gsi::engine::set_ops::CandidateProbe;
+use gsi::engine::SetOpStrategy;
 use gsi::prelude::*;
+use gsi::signature::CandidateSet;
 use gsi_bench::runner::run_gsi;
 use gsi_bench::workloads::HarnessOpts;
-use gsi::engine::SetOpStrategy;
-use gsi::signature::CandidateSet;
 use std::hint::black_box;
 
 fn bench_strategies(c: &mut Criterion) {

@@ -123,7 +123,15 @@ pub fn table2(opts: &HarnessOpts) {
 pub fn table3(opts: &HarnessOpts) {
     section("Table III — dataset statistics (stand-ins at harness scale)");
     let mut t = Table::new(vec![
-        "name", "|V|", "|E|", "|LV|", "|LE|", "MD", "paper |V|", "paper |E|", "paper MD",
+        "name",
+        "|V|",
+        "|E|",
+        "|LV|",
+        "|LE|",
+        "MD",
+        "paper |V|",
+        "paper |E|",
+        "paper MD",
     ]);
     for kind in DatasetKind::ALL {
         let g = opts.dataset(kind);
@@ -156,13 +164,7 @@ pub fn table3(opts: &HarnessOpts) {
 pub fn table4(opts: &HarnessOpts) {
     section("Table IV — filtering strategies: minimum |C(u)| and time (ms)");
     let mut t = Table::new(vec![
-        "dataset",
-        "GpSM |C|",
-        "GSM |C|",
-        "GSI |C|",
-        "GpSM ms",
-        "GSM ms",
-        "GSI ms",
+        "dataset", "GpSM |C|", "GSM |C|", "GSI |C|", "GpSM ms", "GSM ms", "GSI ms",
     ]);
     for kind in DatasetKind::ALL {
         let data = opts.dataset(kind);
@@ -267,14 +269,22 @@ pub fn table6(opts: &HarnessOpts) {
     time_t.print();
     println!("\njoin-phase time only (average, ms — isolates the techniques at reduced scale):");
     join_t.print();
-    println!("(paper: DS ~25-42% GLD drop & 1.4-3.6x; PC ~21-33% & 1.2-2.0x; SO ~5-59% & 1.0-6.3x)");
+    println!(
+        "(paper: DS ~25-42% GLD drop & 1.4-3.6x; PC ~21-33% & 1.2-2.0x; SO ~5-59% & 1.0-6.3x)"
+    );
 }
 
 /// Table VII: write-cache ablation — GST and time.
 pub fn table7(opts: &HarnessOpts) {
     section("Table VII — write cache: GST (join phase) and query time");
     let mut t = Table::new(vec![
-        "dataset", "GST no-cache", "GST cache", "drop", "ms no-cache", "ms cache", "drop",
+        "dataset",
+        "GST no-cache",
+        "GST cache",
+        "drop",
+        "ms no-cache",
+        "ms cache",
+        "drop",
     ]);
     for kind in DatasetKind::ALL {
         let data = opts.dataset(kind);
@@ -384,7 +394,12 @@ pub fn table10(opts: &HarnessOpts) {
 pub fn table11(opts: &HarnessOpts) {
     section("Table XI — duplicate removal: GLD (join) and query time");
     let mut t = Table::new(vec![
-        "dataset", "GLD with-dup", "GLD dedup", "drop", "ms with-dup", "ms dedup",
+        "dataset",
+        "GLD with-dup",
+        "GLD dedup",
+        "drop",
+        "ms with-dup",
+        "ms dedup",
     ]);
     for kind in DatasetKind::ALL {
         let data = opts.dataset(kind);
@@ -409,7 +424,13 @@ pub fn table11(opts: &HarnessOpts) {
 pub fn fig12(opts: &HarnessOpts) {
     section("Fig. 12 — overall comparison: average query time (ms)");
     let mut t = Table::new(vec![
-        "dataset", "VF3", "CFL", "GpSM", "GunrockSM", "GSI", "GSI-opt",
+        "dataset",
+        "VF3",
+        "CFL",
+        "GpSM",
+        "GunrockSM",
+        "GSI",
+        "GSI-opt",
     ]);
     for kind in DatasetKind::ALL {
         let data = opts.dataset(kind);
@@ -485,7 +506,9 @@ pub fn fig13(opts: &HarnessOpts) {
         ]);
     }
     t.print();
-    println!("(paper: GpSM/GunrockSM rise sharply; GSI-opt is near-linear with the smallest slope)");
+    println!(
+        "(paper: GpSM/GunrockSM rise sharply; GSI-opt is near-linear with the smallest slope)"
+    );
 }
 
 /// Fig. 14: vary the number of vertex and edge labels on gowalla.

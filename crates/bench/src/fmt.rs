@@ -34,7 +34,10 @@ pub fn drop_pct(old: u64, new: u64) -> String {
     if old == 0 {
         return "-".to_string();
     }
-    format!("{:.0}%", 100.0 * (old.saturating_sub(new)) as f64 / old as f64)
+    format!(
+        "{:.0}%",
+        100.0 * (old.saturating_sub(new)) as f64 / old as f64
+    )
 }
 
 /// A speedup factor `old / new`.

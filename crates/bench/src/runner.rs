@@ -130,11 +130,7 @@ pub fn run_gsi(cfg: &GsiConfig, data: &Graph, queries: &[Graph], opts: &HarnessO
 }
 
 /// Run only the filtering phase of a GSI config (Tables IV and V).
-pub fn run_gsi_filter_only(
-    cfg: &GsiConfig,
-    data: &Graph,
-    queries: &[Graph],
-) -> Aggregate {
+pub fn run_gsi_filter_only(cfg: &GsiConfig, data: &Graph, queries: &[Graph]) -> Aggregate {
     let engine = GsiEngine::new(cfg.clone());
     let prepared = engine.prepare(data);
     let mut agg = Aggregate::default();

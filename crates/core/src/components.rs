@@ -198,10 +198,7 @@ mod tests {
         let m0 = matches_of(vec![0, 1], vec![vec![5, 6], vec![7, 8]]);
         let m1 = matches_of(vec![0], vec![vec![6], vec![9]]);
         let combined = combine_component_matches(&comps, &[m0, m1], 3, None);
-        assert_eq!(
-            combined,
-            vec![vec![5, 6, 9], vec![7, 8, 6], vec![7, 8, 9]]
-        );
+        assert_eq!(combined, vec![vec![5, 6, 9], vec![7, 8, 6], vec![7, 8, 9]]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::{FilterStrategy, GsiConfig, JoinScheme};
 use crate::join::JoinCtx;
 use crate::matches::Matches;
-use crate::plan::plan_join;
+use crate::plan::{plan_join, JoinPlan};
 use crate::stats::RunStats;
 use crate::table::MatchTable;
 use crate::{prealloc, two_step};
@@ -18,13 +18,18 @@ use gsi_signature::{
     filter_label_degree, filter_label_only, filter_signature, min_candidate_size, CandidateSet,
     SignatureTable,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Offline-built structures for one data graph (the paper computes
 /// signatures and PCSR partitions offline; "at any moment at most one
 /// partition is placed on GPU").
+///
+/// Cheaply shareable across threads: the store lives behind an [`Arc`], so a
+/// serving layer can hand the same prepared graph to many concurrent
+/// queries (see the `gsi-service` crate's `GraphCatalog`).
 pub struct PreparedData {
-    store: Box<dyn LabeledStore>,
+    store: Arc<dyn LabeledStore>,
     sig_table: Option<SignatureTable>,
     filter_inputs: FilterInputs,
 }
@@ -35,18 +40,64 @@ impl PreparedData {
         self.store.as_ref()
     }
 
+    /// Shared-ownership handle to the store, for consumers that must outlive
+    /// a borrow of the `PreparedData` (e.g. worker threads).
+    pub fn store_arc(&self) -> Arc<dyn LabeledStore> {
+        Arc::clone(&self.store)
+    }
+
     /// The signature table, when the signature filter is configured.
     pub fn signature_table(&self) -> Option<&SignatureTable> {
         self.sig_table.as_ref()
     }
 }
 
+/// Per-run execution options: everything [`GsiEngine::query`] defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions<'a> {
+    /// Abort (with `stats.timed_out`) when the wall clock exceeds this
+    /// between join iterations — the paper's 100-second threshold analogue.
+    pub timeout: Option<Duration>,
+    /// A previously computed join plan to reuse instead of running
+    /// Algorithm 2 again (the serving layer's plan cache). The plan is
+    /// validated with [`JoinPlan::covers`]; one that does not cover `query`
+    /// is ignored and a fresh plan is computed.
+    pub plan: Option<&'a JoinPlan>,
+}
+
 /// Result of one query run.
+#[derive(Debug)]
 pub struct QueryOutput {
     /// All matches found (empty if `stats.timed_out`).
     pub matches: Matches,
     /// Measurements for the run.
     pub stats: RunStats,
+    /// The join plan the run executed (freshly computed, or the reused one).
+    /// A serving layer can store it in a plan cache keyed by query shape.
+    pub plan: JoinPlan,
+    /// Whether `plan` came in through [`QueryOptions::plan`] (false when it
+    /// was computed by this run, including the invalid-cached-plan fallback).
+    pub plan_reused: bool,
+}
+
+impl QueryOutput {
+    /// Merge another run of the *same query pattern* into this one,
+    /// concatenating matches and accumulating stats — the aggregation
+    /// primitive batch/shard consumers build on. Fails if the join orders
+    /// differ (results would not be column-compatible).
+    pub fn merge(&mut self, other: &QueryOutput) -> Result<(), String> {
+        if self.matches.order != other.matches.order {
+            return Err(format!(
+                "cannot merge outputs with different join orders ({:?} vs {:?})",
+                self.matches.order, other.matches.order
+            ));
+        }
+        self.matches.table.append(&other.matches.table)?;
+        self.stats.accumulate(&other.stats);
+        // accumulate() sums n_matches; recompute from the merged table.
+        self.stats.n_matches = self.matches.len();
+        Ok(())
+    }
 }
 
 /// The GSI engine: a configuration bound to a simulated device.
@@ -80,11 +131,21 @@ impl GsiEngine {
     /// Build the offline structures for a data graph. Device counters are
     /// reset afterwards so queries measure only online work.
     pub fn prepare(&self, data: &Graph) -> PreparedData {
-        let store: Box<dyn LabeledStore> = match self.cfg.storage {
-            StorageKind::Pcsr => Box::new(PcsrStore::build_with_gpn(data, self.cfg.storage_gpn)),
-            StorageKind::Csr => Box::new(Csr::build(data)),
-            StorageKind::Basic => Box::new(BasicStore::build(data)),
-            StorageKind::Compressed => Box::new(CompressedStore::build(data)),
+        let prepared = self.prepare_shared(data);
+        self.gpu.reset_stats();
+        prepared
+    }
+
+    /// Like [`GsiEngine::prepare`] but *without* resetting the device
+    /// counters afterwards. A serving layer registering a graph while other
+    /// queries are in flight must use this: zeroing the shared ledger
+    /// mid-query would make concurrent snapshot deltas underflow.
+    pub fn prepare_shared(&self, data: &Graph) -> PreparedData {
+        let store: Arc<dyn LabeledStore> = match self.cfg.storage {
+            StorageKind::Pcsr => Arc::new(PcsrStore::build_with_gpn(data, self.cfg.storage_gpn)),
+            StorageKind::Csr => Arc::new(Csr::build(data)),
+            StorageKind::Basic => Arc::new(BasicStore::build(data)),
+            StorageKind::Compressed => Arc::new(CompressedStore::build(data)),
         };
         let sig_table = (self.cfg.filter == FilterStrategy::Signature).then(|| {
             SignatureTable::build(
@@ -95,7 +156,6 @@ impl GsiEngine {
             )
         });
         let filter_inputs = FilterInputs::build(&self.gpu, data);
-        self.gpu.reset_stats();
         PreparedData {
             store,
             sig_table,
@@ -151,8 +211,7 @@ impl GsiEngine {
             total.accumulate(&out.stats);
             per_comp.push(out.matches);
         }
-        let combined =
-            combine_component_matches(&comps, &per_comp, query.n_vertices(), limit);
+        let combined = combine_component_matches(&comps, &per_comp, query.n_vertices(), limit);
         total.n_matches = combined.len();
         (combined, total)
     }
@@ -166,6 +225,31 @@ impl GsiEngine {
         prepared: &PreparedData,
         query: &Graph,
         timeout: Option<Duration>,
+    ) -> QueryOutput {
+        self.query_with_options(
+            data,
+            prepared,
+            query,
+            QueryOptions {
+                timeout,
+                ..QueryOptions::default()
+            },
+        )
+    }
+
+    /// The fully general entry point: [`GsiEngine::query`] plus a timeout
+    /// and an optional reusable [`JoinPlan`] (see [`QueryOptions`]).
+    ///
+    /// The run is split into the cacheable and per-run halves of the joining
+    /// phase: Algorithm 2 (join-order construction) only executes when no
+    /// valid plan is supplied, while filtering and Algorithm 3 (the joins
+    /// themselves) always execute.
+    pub fn query_with_options(
+        &self,
+        data: &Graph,
+        prepared: &PreparedData,
+        query: &Graph,
+        opts: QueryOptions<'_>,
     ) -> QueryOutput {
         let t_start = Instant::now();
         let snap_start = self.gpu.stats().snapshot();
@@ -185,7 +269,11 @@ impl GsiEngine {
 
         // ---- joining phase --------------------------------------------
         let t_join = Instant::now();
-        let plan = plan_join(query, data, &cands);
+        let timeout = opts.timeout;
+        let (plan, plan_reused) = match opts.plan {
+            Some(p) if p.covers(query) => (p.clone(), true),
+            _ => (plan_join(query, data, &cands), false),
+        };
         let mut matches = Matches::empty(plan.order.clone());
 
         if min_candidate > 0 {
@@ -229,7 +317,7 @@ impl GsiEngine {
 
             if !stats.timed_out {
                 matches = Matches {
-                    order: plan.order,
+                    order: plan.order.clone(),
                     table: m,
                 };
             }
@@ -240,9 +328,23 @@ impl GsiEngine {
         stats.device = self.gpu.stats().snapshot() - snap_start;
         stats.n_matches = matches.len();
 
-        QueryOutput { matches, stats }
+        QueryOutput {
+            matches,
+            stats,
+            plan,
+            plan_reused,
+        }
     }
 }
+
+// The serving layer shares engines and prepared graphs across worker
+// threads; keep that property checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GsiEngine>();
+    assert_send_sync::<PreparedData>();
+    assert_send_sync::<QueryOutput>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -292,7 +394,9 @@ mod tests {
         let prepared = engine.prepare(&data);
         let out = engine.query(&data, &prepared, &query);
         assert_eq!(out.matches.len(), 100);
-        out.matches.verify(&data, &query).expect("all embeddings valid");
+        out.matches
+            .verify(&data, &query)
+            .expect("all embeddings valid");
         // Every match fixes u0→v0 and u2→v201.
         for i in 0..out.matches.len() {
             let a = out.matches.assignment(i);
@@ -422,6 +526,89 @@ mod tests {
         let (assignments, _) = engine.query_disconnected(&data, &prepared, &q, Some(10));
         assert!(assignments.len() <= 10);
         assert!(!assignments.is_empty());
+    }
+
+    #[test]
+    fn reused_plan_gives_identical_results() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let first = engine.query(&data, &prepared, &query);
+        assert!(!first.plan_reused);
+        let second = engine.query_with_options(
+            &data,
+            &prepared,
+            &query,
+            QueryOptions {
+                plan: Some(&first.plan),
+                ..QueryOptions::default()
+            },
+        );
+        assert!(second.plan_reused);
+        assert_eq!(second.plan, first.plan);
+        assert_eq!(second.matches.canonical(), first.matches.canonical());
+    }
+
+    #[test]
+    fn invalid_cached_plan_falls_back_to_fresh_planning() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        // A plan for a *different* query shape (single edge) must be
+        // rejected by covers() and replanned, not executed.
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        let other = qb.build();
+        let stale = engine.query(&data, &prepared, &other).plan;
+        let out = engine.query_with_options(
+            &data,
+            &prepared,
+            &query,
+            QueryOptions {
+                plan: Some(&stale),
+                ..QueryOptions::default()
+            },
+        );
+        assert!(!out.plan_reused);
+        assert_eq!(out.matches.len(), 100);
+    }
+
+    #[test]
+    fn outputs_merge_and_reject_mismatched_orders() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let mut a = engine.query(&data, &prepared, &query);
+        let b = engine.query(&data, &prepared, &query);
+        a.merge(&b).expect("same pattern merges");
+        assert_eq!(a.matches.len(), 200);
+        assert_eq!(a.stats.n_matches, 200);
+
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(0);
+        let single = qb.build();
+        let c = engine.query(&data, &prepared, &single);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn prepared_data_is_shareable_across_threads() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = std::sync::Arc::new(engine.prepare(&data));
+        let engine = std::sync::Arc::new(engine);
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (e, p, d, q) = (engine.clone(), prepared.clone(), &data, &query);
+                    s.spawn(move || e.query(d, &p, q).matches.len())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(counts.iter().all(|&c| c == 100));
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod two_step;
 pub mod write_cache;
 
 pub use config::{FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpStrategy};
-pub use engine::{GsiEngine, PreparedData, QueryOutput};
+pub use engine::{GsiEngine, PreparedData, QueryOptions, QueryOutput};
 pub use matches::Matches;
+pub use plan::{JoinPlan, JoinStep};
 pub use stats::RunStats;

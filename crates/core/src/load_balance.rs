@@ -69,7 +69,11 @@ fn split_row(row: usize, load: usize, chunk: usize, out: &mut Vec<ChunkTask>) {
 /// paper's unbalanced baseline). With thresholds, the four layers above are
 /// applied. Rows with zero load are kept as (empty) whole tasks so that
 /// every row still produces an output slot.
-pub fn plan_kernels(loads: &[usize], lb: Option<&LbParams>, warps_per_block: usize) -> Vec<KernelPlan> {
+pub fn plan_kernels(
+    loads: &[usize],
+    lb: Option<&LbParams>,
+    warps_per_block: usize,
+) -> Vec<KernelPlan> {
     let wpb = warps_per_block.max(1);
     let Some(lb) = lb else {
         return vec![KernelPlan {

@@ -101,12 +101,58 @@ impl JoinPlan {
     /// Sanity-check the plan covers the query: every vertex once, every edge
     /// exactly once as a linking edge.
     pub fn check_covers(&self, query: &Graph) {
-        assert_eq!(self.order.len(), query.n_vertices());
+        assert!(self.covers(query), "plan does not cover the query");
+    }
+
+    /// Whether this plan is a valid execution order for `query`: the order
+    /// is a permutation of the query vertices, every step joins the next
+    /// ordered vertex, every linking edge exists in the query with the
+    /// right label, and the query's edges are covered exactly once.
+    ///
+    /// This is a *complete* executability check — any plan that passes it
+    /// produces correct joins for `query` — so consumers reusing cached
+    /// plans (keyed by a hash of the query shape) can call it to reject
+    /// stale or colliding entries instead of panicking mid-join.
+    pub fn covers(&self, query: &Graph) -> bool {
+        let nq = query.n_vertices();
+        if self.order.len() != nq || self.steps.len() != nq.saturating_sub(1) {
+            return false;
+        }
         let mut sorted = self.order.clone();
         sorted.sort_unstable();
-        assert!(sorted.windows(2).all(|w| w[0] < w[1]), "duplicate vertex");
-        let linking_edges: usize = self.steps.iter().map(|s| s.linking.len()).sum();
-        assert_eq!(linking_edges, query.n_edges(), "edges covered exactly once");
+        if sorted.iter().enumerate().any(|(i, &v)| v != i as VertexId) {
+            return false;
+        }
+        let mut linking_edges = 0usize;
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.vertex != self.order[i + 1] || step.linking.is_empty() {
+                return false;
+            }
+            // Duplicate (col, label) entries would double-count one query
+            // edge and let another go missing under the total-count check.
+            let mut seen = step.linking.clone();
+            seen.sort_unstable();
+            if seen.windows(2).any(|w| w[0] == w[1]) {
+                return false;
+            }
+            for &(col, label) in &step.linking {
+                // Linking columns must point into the already-joined prefix
+                // and name real query edges.
+                if col > i {
+                    return false;
+                }
+                let matched = self.order[col];
+                if !query
+                    .neighbors(step.vertex)
+                    .iter()
+                    .any(|&(n, l)| n == matched && l == label)
+                {
+                    return false;
+                }
+            }
+            linking_edges += step.linking.len();
+        }
+        linking_edges == query.n_edges()
     }
 }
 

@@ -47,9 +47,7 @@ impl CandidateProbe {
                 n_data_vertices.max(1),
                 &cand.list,
             )),
-            SetOpStrategy::Naive => {
-                Self::Sorted(DeviceVec::from_vec(gpu, cand.list.clone()))
-            }
+            SetOpStrategy::Naive => Self::Sorted(DeviceVec::from_vec(gpu, cand.list.clone())),
         }
     }
 
@@ -213,8 +211,7 @@ impl SetOpExec {
 
         // Charge the buffer-side stream.
         if let Some(base) = buf_base {
-            gpu.stats()
-                .gld_range(base + brange.start, bslice.len(), 4);
+            gpu.stats().gld_range(base + brange.start, bslice.len(), 4);
         }
         gpu.stats().add_work(bslice.len() as u64);
 
@@ -367,12 +364,7 @@ mod tests {
     fn dedup_flag_suppresses_stream_charges() {
         let g = gpu();
         let n = nbrs_global((0..64).collect(), 0);
-        let cand = CandidateProbe::build(
-            &g,
-            SetOpStrategy::GpuFriendly,
-            100,
-            &cand_set(vec![]),
-        );
+        let cand = CandidateProbe::build(&g, SetOpStrategy::GpuFriendly, 100, &cand_set(vec![]));
         let e = exec(SetOpStrategy::GpuFriendly, true);
         g.reset_stats();
         e.first_edge(&g, &n, &[], &cand, None, None, false, None);
@@ -389,14 +381,11 @@ mod tests {
         let g = gpu();
         let e = exec(SetOpStrategy::GpuFriendly, true);
         let n = nbrs_global(vec![], 0);
-        let cand =
-            CandidateProbe::build(&g, SetOpStrategy::GpuFriendly, 10, &cand_set(vec![1]));
+        let cand = CandidateProbe::build(&g, SetOpStrategy::GpuFriendly, 10, &cand_set(vec![1]));
         assert!(e
             .first_edge(&g, &n, &[], &cand, None, None, true, None)
             .is_empty());
-        assert!(e
-            .intersect(&g, &[], None, &n, None, true, None)
-            .is_empty());
+        assert!(e.intersect(&g, &[], None, &n, None, true, None).is_empty());
     }
 
     #[test]

@@ -73,6 +73,19 @@ impl MatchTable {
         self.data.extend_from_slice(row);
     }
 
+    /// Append all rows of a column-compatible table (host-side aggregation;
+    /// no device transactions are charged). Fails on column-count mismatch.
+    pub fn append(&mut self, other: &MatchTable) -> Result<(), String> {
+        if self.n_cols != other.n_cols {
+            return Err(format!(
+                "cannot append a {}-column table to a {}-column table",
+                other.n_cols, self.n_cols
+            ));
+        }
+        self.data.extend_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Bytes of simulated global memory the table occupies.
     pub fn size_bytes(&self) -> usize {
         self.data.len() * 4

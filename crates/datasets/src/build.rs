@@ -28,7 +28,13 @@ pub fn build(spec: &DatasetSpec) -> Graph {
     let (n_v, n_e, n_lv, n_le) = spec.targets();
     let (_, _, _, _, family) = spec.kind.full_target();
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let labels = LabelModel::zipf_clustered_split(n_lv, n_le, LABEL_ZIPF_S, VLABEL_LOCALITY, ELABEL_LOCALITY);
+    let labels = LabelModel::zipf_clustered_split(
+        n_lv,
+        n_le,
+        LABEL_ZIPF_S,
+        VLABEL_LOCALITY,
+        ELABEL_LOCALITY,
+    );
     match family {
         Family::ScaleFree => {
             let m_per_vertex = (n_e / n_v).max(1);
@@ -78,7 +84,11 @@ mod tests {
     fn enron_standin_matches_table3_shape() {
         let g = build(&DatasetSpec::scaled(DatasetKind::Enron, 0.2));
         let s = statistics(&g);
-        assert!((12_000..=15_000).contains(&s.n_vertices), "{}", s.n_vertices);
+        assert!(
+            (12_000..=15_000).contains(&s.n_vertices),
+            "{}",
+            s.n_vertices
+        );
         // E/V ratio ≈ 274/69 ≈ 4.
         let ratio = s.n_edges as f64 / s.n_vertices as f64;
         assert!((2.5..=5.0).contains(&ratio), "ratio {ratio}");
@@ -92,7 +102,11 @@ mod tests {
     fn road_standin_is_mesh_like() {
         let g = build(&DatasetSpec::scaled(DatasetKind::RoadCentral, 0.001));
         let s = statistics(&g);
-        assert!(s.max_degree <= 4, "mesh max degree is 4, got {}", s.max_degree);
+        assert!(
+            s.max_degree <= 4,
+            "mesh max degree is 4, got {}",
+            s.max_degree
+        );
         let ratio = s.n_edges as f64 / s.n_vertices as f64;
         assert!((0.9..=1.6).contains(&ratio), "road E/V ≈ 1.14, got {ratio}");
     }

@@ -33,7 +33,11 @@ impl std::fmt::Display for GraphStatistics {
         write!(
             f,
             "|V|={} |E|={} |LV|={} |LE|={} MD={}",
-            self.n_vertices, self.n_edges, self.n_vertex_labels, self.n_edge_labels, self.max_degree
+            self.n_vertices,
+            self.n_edges,
+            self.n_vertex_labels,
+            self.n_edge_labels,
+            self.max_degree
         )
     }
 }

@@ -86,37 +86,46 @@ where
         return;
     }
 
+    // std's scope reports child panics with its own opaque message; translate
+    // it so callers (and tests) see the simulator's "worker panicked" framing.
+    let scoped = |f: &(dyn Fn() + Sync)| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .unwrap_or_else(|_| panic!("simulated kernel worker panicked"))
+    };
+
     match sched {
         Schedule::Dynamic => {
             let next = AtomicUsize::new(0);
-            crossbeam::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|_| loop {
-                        let b = next.fetch_add(1, Ordering::Relaxed);
-                        if b >= num_blocks {
-                            break;
-                        }
-                        run_block(b);
-                    });
-                }
-            })
-            .expect("simulated kernel worker panicked");
+            scoped(&|| {
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= num_blocks {
+                                break;
+                            }
+                            run_block(b);
+                        });
+                    }
+                });
+            });
         }
         Schedule::Static => {
             let per_worker = num_blocks.div_ceil(workers);
-            crossbeam::thread::scope(|s| {
-                for w in 0..workers {
-                    let lo = w * per_worker;
-                    let hi = ((w + 1) * per_worker).min(num_blocks);
-                    let run_block = &run_block;
-                    s.spawn(move |_| {
-                        for b in lo..hi {
-                            run_block(b);
-                        }
-                    });
-                }
-            })
-            .expect("simulated kernel worker panicked");
+            scoped(&|| {
+                std::thread::scope(|s| {
+                    for w in 0..workers {
+                        let lo = w * per_worker;
+                        let hi = ((w + 1) * per_worker).min(num_blocks);
+                        let run_block = &run_block;
+                        s.spawn(move || {
+                            for b in lo..hi {
+                                run_block(b);
+                            }
+                        });
+                    }
+                });
+            });
         }
     }
 }

@@ -84,7 +84,8 @@ impl<T: Copy> DeviceVec<T> {
     /// distinct 128-byte segment among the (≤ 32) indices.
     pub fn warp_gather(&self, indices: &[usize]) -> Vec<T> {
         debug_assert!(indices.len() <= crate::warp::WARP_SIZE);
-        self.stats.gld_gather(indices.iter().copied(), Self::elem_bytes());
+        self.stats
+            .gld_gather(indices.iter().copied(), Self::elem_bytes());
         indices.iter().map(|&i| self.data[i]).collect()
     }
 

@@ -229,6 +229,23 @@ pub struct StatsSnapshot {
     pub idle_lane_work: u64,
 }
 
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            gld_transactions: self.gld_transactions + rhs.gld_transactions,
+            gst_transactions: self.gst_transactions + rhs.gst_transactions,
+            kernel_launches: self.kernel_launches + rhs.kernel_launches,
+            warp_tasks: self.warp_tasks + rhs.warp_tasks,
+            work_units: self.work_units + rhs.work_units,
+            device_allocs: self.device_allocs + rhs.device_allocs,
+            device_alloc_bytes: self.device_alloc_bytes + rhs.device_alloc_bytes,
+            idle_lane_work: self.idle_lane_work + rhs.idle_lane_work,
+        }
+    }
+}
+
 impl std::ops::Sub for StatsSnapshot {
     type Output = StatsSnapshot;
 

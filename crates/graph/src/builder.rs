@@ -43,7 +43,7 @@ impl GraphBuilder {
     /// Add `n` vertices sharing one label; returns the first new id.
     pub fn add_vertices(&mut self, n: usize, label: VertexLabel) -> VertexId {
         let first = self.vlabels.len() as VertexId;
-        self.vlabels.extend(std::iter::repeat(label).take(n));
+        self.vlabels.extend(std::iter::repeat_n(label, n));
         first
     }
 

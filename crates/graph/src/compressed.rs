@@ -53,7 +53,12 @@ impl CompressedStore {
 
     /// Binary-search `v` in the layer's vertex-ID array, charging one
     /// transaction per probe (each probe is a dependent scattered read).
-    fn locate(&self, gpu: &Gpu, v: VertexId, l: EdgeLabel) -> Option<(usize, usize, &CompressedLayer)> {
+    fn locate(
+        &self,
+        gpu: &Gpu,
+        v: VertexId,
+        l: EdgeLabel,
+    ) -> Option<(usize, usize, &CompressedLayer)> {
         let layer = self.layer(l)?;
         let stats = gpu.stats();
         let mut lo = 0usize;
@@ -74,7 +79,11 @@ impl CompressedStore {
         let i = found?;
         // Read the offset pair (adjacent words: one more transaction).
         stats.gld_range(i, 2, 4);
-        Some((layer.offsets[i] as usize, layer.offsets[i + 1] as usize, layer))
+        Some((
+            layer.offsets[i] as usize,
+            layer.offsets[i + 1] as usize,
+            layer,
+        ))
     }
 }
 

@@ -41,7 +41,13 @@ pub(crate) fn paper_example_query() -> Graph {
 }
 
 /// A small deterministic pseudo-random labeled graph for structure tests.
-pub(crate) fn random_labeled(n: usize, m: usize, n_vlabels: u32, n_elabels: u32, seed: u64) -> Graph {
+pub(crate) fn random_labeled(
+    n: usize,
+    m: usize,
+    n_vlabels: u32,
+    n_elabels: u32,
+    seed: u64,
+) -> Graph {
     // Tiny xorshift so the fixture does not depend on the `rand` crate here.
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut next = move || {

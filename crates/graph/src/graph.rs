@@ -72,7 +72,11 @@ impl Graph {
     /// Neighbors of `v` reachable over an edge labeled `l` — the paper's
     /// `N(v, l)` — as a sorted sub-slice of the adjacency (host-side ground
     /// truth; device structures are measured against this).
-    pub fn neighbors_with_label(&self, v: VertexId, l: EdgeLabel) -> impl Iterator<Item = VertexId> + '_ {
+    pub fn neighbors_with_label(
+        &self,
+        v: VertexId,
+        l: EdgeLabel,
+    ) -> impl Iterator<Item = VertexId> + '_ {
         let all = self.neighbors(v);
         let start = all.partition_point(|&(_, el)| el < l);
         let end = all.partition_point(|&(_, el)| el <= l);

@@ -272,10 +272,9 @@ mod tests {
 
     #[test]
     fn edge_list_parses_snap_style() {
-        let (g, originals) = from_edge_list(
-            "# comment line\n1000 2000\n2000 3000 7\n1000 1000\n3000 1000\n",
-        )
-        .unwrap();
+        let (g, originals) =
+            from_edge_list("# comment line\n1000 2000\n2000 3000 7\n1000 1000\n3000 1000\n")
+                .unwrap();
         assert_eq!(g.n_vertices(), 3);
         assert_eq!(g.n_edges(), 3); // self-loop skipped
         assert_eq!(originals, vec![1000, 2000, 3000]);

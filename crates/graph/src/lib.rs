@@ -24,10 +24,10 @@
 
 pub mod basic;
 pub mod builder;
-#[cfg(test)]
-pub(crate) mod fixtures;
 pub mod compressed;
 pub mod csr;
+#[cfg(test)]
+pub(crate) mod fixtures;
 pub mod generate;
 pub mod graph;
 pub mod io;

@@ -56,11 +56,8 @@ impl LabelPartition {
 /// partition directly.
 pub fn partition_by_label(g: &Graph) -> Vec<LabelPartition> {
     let labels = g.edge_labels();
-    let index_of: std::collections::HashMap<EdgeLabel, usize> = labels
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (l, i))
-        .collect();
+    let index_of: std::collections::HashMap<EdgeLabel, usize> =
+        labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     let mut parts: Vec<LabelPartition> = labels
         .iter()
         .map(|&l| LabelPartition {

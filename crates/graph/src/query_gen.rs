@@ -108,11 +108,7 @@ fn try_walk<R: Rng>(g: &Graph, n_vertices: usize, min_edges: usize, rng: &mut R)
             for &dv in visited.iter().skip(i + 1) {
                 for l in g.edge_labels_between(du, dv) {
                     let (qu, qv) = (mapping[&du], mapping[&dv]);
-                    let e = if qu <= qv {
-                        (qu, qv, l)
-                    } else {
-                        (qv, qu, l)
-                    };
+                    let e = if qu <= qv { (qu, qv, l) } else { (qv, qu, l) };
                     if !edges.contains(&e) {
                         candidates.push(e);
                     }

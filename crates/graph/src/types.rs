@@ -51,9 +51,19 @@ mod tests {
 
     #[test]
     fn canonical_orders_endpoints() {
-        let e = Edge { u: 5, v: 2, label: 9 }.canonical();
+        let e = Edge {
+            u: 5,
+            v: 2,
+            label: 9,
+        }
+        .canonical();
         assert_eq!((e.u, e.v, e.label), (2, 5, 9));
-        let e2 = Edge { u: 2, v: 5, label: 9 }.canonical();
+        let e2 = Edge {
+            u: 2,
+            v: 5,
+            label: 9,
+        }
+        .canonical();
         assert_eq!(e, e2);
     }
 }

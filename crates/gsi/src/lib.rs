@@ -18,6 +18,12 @@
 //!   operations, load balancing, duplicate removal.
 //! * [`baselines`] — GpSM, GunrockSM, VF2, VF3-like, CFL-like.
 //! * [`datasets`] — Table III dataset stand-ins.
+//! * [`service`] — the concurrent query-serving subsystem: a graph catalog
+//!   sharing prepared graphs across queries, a bounded-queue scheduler with
+//!   worker threads, deadlines and admission control, a plan cache keyed by
+//!   canonical query hashes, and aggregated serving statistics (see the
+//!   `gsi-service` crate docs for the architecture, and the repository
+//!   `README.md` for the crate map).
 //!
 //! ## Quickstart
 //!
@@ -54,16 +60,20 @@ pub use gsi_core as engine;
 pub use gsi_datasets as datasets;
 pub use gsi_gpu_sim as sim;
 pub use gsi_graph as graph;
+pub use gsi_service as service;
 pub use gsi_signature as signature;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use gsi_core::{
-        FilterStrategy, GsiConfig, GsiEngine, JoinScheme, LbParams, Matches, QueryOutput,
-        RunStats, SetOpStrategy,
+        FilterStrategy, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams, Matches,
+        QueryOptions, QueryOutput, RunStats, SetOpStrategy,
     };
     pub use gsi_datasets::{DatasetKind, DatasetSpec};
     pub use gsi_gpu_sim::{DeviceConfig, Gpu};
     pub use gsi_graph::{Graph, GraphBuilder, StorageKind};
+    pub use gsi_service::{
+        GsiService, QueryRequest, QueryResponse, ServiceConfig, ServiceStatsSnapshot, SubmitError,
+    };
     pub use gsi_signature::{Layout, SignatureConfig};
 }

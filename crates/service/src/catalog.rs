@@ -1,0 +1,182 @@
+//! The graph catalog: named, prepared data graphs shared across queries.
+//!
+//! The paper's offline phase (signature encoding, PCSR construction) is per
+//! data graph, not per query; a serving system does it once at registration
+//! and shares the resulting [`PreparedData`] — behind an [`Arc`] — with
+//! every in-flight query touching that graph.
+
+use gsi_core::{GsiEngine, PreparedData};
+use gsi_graph::Graph;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One registered data graph: the logical graph plus its offline structures.
+pub struct CatalogEntry {
+    name: String,
+    /// Monotonic id distinguishing re-registrations under the same name
+    /// (used as the plan-cache scope).
+    epoch: u64,
+    graph: Graph,
+    prepared: PreparedData,
+}
+
+impl CatalogEntry {
+    /// The name the graph was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unique registration id (plan-cache scope).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The logical data graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The offline-built structures.
+    pub fn prepared(&self) -> &PreparedData {
+        &self.prepared
+    }
+}
+
+impl std::fmt::Debug for CatalogEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogEntry")
+            .field("name", &self.name)
+            .field("epoch", &self.epoch)
+            .field("n_vertices", &self.graph.n_vertices())
+            .field("n_edges", &self.graph.n_edges())
+            .finish()
+    }
+}
+
+/// Thread-safe registry of prepared data graphs.
+#[derive(Debug, Default)]
+pub struct GraphCatalog {
+    entries: RwLock<HashMap<String, Arc<CatalogEntry>>>,
+    next_epoch: AtomicU64,
+}
+
+impl GraphCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepare `graph` with `engine` and register it under `name`,
+    /// replacing any previous graph with that name. Returns the new entry.
+    ///
+    /// Preparation happens *outside* the catalog lock (it is the expensive
+    /// offline phase), so serving continues while a graph is loading, and
+    /// uses [`GsiEngine::prepare_shared`] so the shared device ledger is
+    /// never reset under in-flight queries.
+    pub fn register(&self, engine: &GsiEngine, name: &str, graph: Graph) -> Arc<CatalogEntry> {
+        let prepared = engine.prepare_shared(&graph);
+        let entry = Arc::new(CatalogEntry {
+            name: name.to_string(),
+            epoch: self.next_epoch.fetch_add(1, Ordering::Relaxed),
+            graph,
+            prepared,
+        });
+        self.entries
+            .write()
+            .insert(name.to_string(), Arc::clone(&entry));
+        entry
+    }
+
+    /// The entry registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        self.entries.read().get(name).cloned()
+    }
+
+    /// Remove `name`; returns the removed entry (queries already holding it
+    /// keep running — the `Arc` keeps the prepared data alive).
+    pub fn unregister(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        self.entries.write().remove(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether no graph is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_core::GsiConfig;
+    use gsi_gpu_sim::{DeviceConfig, Gpu};
+    use gsi_graph::GraphBuilder;
+
+    fn engine() -> GsiEngine {
+        GsiEngine::with_gpu(GsiConfig::gsi(), Gpu::new(DeviceConfig::test_device()))
+    }
+
+    fn tiny(label: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(label);
+        let v1 = b.add_vertex(label + 1);
+        b.add_edge(v0, v1, 0);
+        b.build()
+    }
+
+    #[test]
+    fn register_get_unregister() {
+        let engine = engine();
+        let cat = GraphCatalog::new();
+        assert!(cat.is_empty());
+        cat.register(&engine, "a", tiny(0));
+        cat.register(&engine, "b", tiny(5));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+        let a = cat.get("a").expect("registered");
+        assert_eq!(a.name(), "a");
+        assert_eq!(a.graph().n_vertices(), 2);
+        assert!(cat.get("missing").is_none());
+        assert!(cat.unregister("a").is_some());
+        assert!(cat.get("a").is_none());
+    }
+
+    #[test]
+    fn reregistration_bumps_epoch() {
+        let engine = engine();
+        let cat = GraphCatalog::new();
+        let e1 = cat.register(&engine, "g", tiny(0));
+        let e2 = cat.register(&engine, "g", tiny(3));
+        assert_ne!(e1.epoch(), e2.epoch());
+        // The old entry stays usable through its Arc.
+        assert_eq!(e1.graph().vlabel(0), 0);
+        assert_eq!(cat.get("g").unwrap().graph().vlabel(0), 3);
+    }
+
+    #[test]
+    fn entries_usable_for_queries() {
+        let engine = engine();
+        let cat = GraphCatalog::new();
+        let e = cat.register(&engine, "g", tiny(0));
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        let q = qb.build();
+        let out = engine.query(e.graph(), e.prepared(), &q);
+        assert_eq!(out.matches.len(), 1);
+    }
+}

@@ -1,0 +1,478 @@
+//! # gsi-service — the concurrent query-serving subsystem
+//!
+//! The GSI paper splits subgraph isomorphism into an offline *prepare*
+//! phase (vertex signatures, PCSR construction — §III-A, §IV) and an
+//! online *query* phase (filter + join — §III, §V). That split is exactly
+//! the shape of a serving system: preparation is per data graph and
+//! amortizes across queries, while real workloads (see "Deep Analysis on
+//! Subgraph Isomorphism", Zeng et al.) are streams of many small,
+//! *recurring* patterns over a few shared graphs. This crate turns the
+//! single-shot [`gsi_core::GsiEngine`] into a multi-tenant server built
+//! from four components:
+//!
+//! * **[`GraphCatalog`]** (`catalog`) — named data graphs, each prepared
+//!   once at registration and shared with every in-flight query through an
+//!   `Arc`. Re-registering a name bumps an *epoch*, so cached state tied to
+//!   the old graph is never replayed against the new one.
+//! * **[`QueryScheduler`]** (`scheduler`) — a bounded submission queue in
+//!   front of a worker-thread pool. The bound *is* the admission control:
+//!   a full queue rejects immediately ([`SubmitError::QueueFull`]) rather
+//!   than growing an unbounded backlog. Every accepted query carries a
+//!   deadline budget; queue wait is charged against it, the remainder
+//!   becomes the engine's join-loop timeout, and a query that expires
+//!   while queued is failed without running.
+//! * **[`PlanCache`]** (`plan_cache`) — join orders (Algorithm 2 output)
+//!   and candidate-size estimates keyed by `(graph epoch, canonical query
+//!   hash)`. The canonical hash (`canon`) is isomorphism-invariant, so a
+//!   pattern and any vertex-relabeling of it share one entry; cached plans
+//!   are stored in canonical vertex space, mapped through each query's
+//!   canonical permutation on lookup, and validated with
+//!   [`gsi_core::JoinPlan::covers`] — a hash collision degrades to a cache
+//!   miss, never a wrong plan.
+//! * **[`ServiceStats`]** (`stats`) — an aggregated ledger: throughput,
+//!   p50/p99 end-to-end latency, plan-cache hit rate, timeout and
+//!   rejection counts. Snapshots are plain data and mergeable across
+//!   services.
+//!
+//! [`GsiService`] wires the four together. A query's life: `submit`
+//! validates the pattern and resolves the catalog entry → the bounded
+//! queue admits or rejects it → a worker canonicalizes the pattern,
+//! consults the plan cache, runs the engine (reusing the cached join order
+//! on a hit), records the executed plan back, and resolves the submitter's
+//! [`QueryTicket`].
+//!
+//! ```
+//! use gsi_service::{GsiService, QueryRequest, ServiceConfig};
+//! use gsi_graph::GraphBuilder;
+//!
+//! let service = GsiService::new(ServiceConfig::for_tests());
+//!
+//! let mut b = GraphBuilder::new();
+//! let v0 = b.add_vertex(0);
+//! let v1 = b.add_vertex(1);
+//! let v2 = b.add_vertex(1);
+//! b.add_edge(v0, v1, 0);
+//! b.add_edge(v0, v2, 0);
+//! service.register_graph("social", b.build());
+//!
+//! let mut qb = GraphBuilder::new();
+//! let u0 = qb.add_vertex(0);
+//! let u1 = qb.add_vertex(1);
+//! qb.add_edge(u0, u1, 0);
+//! let query = qb.build();
+//!
+//! let ticket = service.submit(QueryRequest::new("social", query)).unwrap();
+//! let response = ticket.wait();
+//! assert_eq!(response.match_count(), 2);
+//! println!("{}", service.stats());
+//! ```
+
+pub mod canon;
+pub mod catalog;
+pub mod plan_cache;
+pub mod scheduler;
+pub mod stats;
+
+pub use canon::{canonicalize, CanonicalQuery};
+pub use catalog::{CatalogEntry, GraphCatalog};
+pub use plan_cache::{CachedPlan, PlanCache, PlanEstimates};
+pub use scheduler::{
+    QueryError, QueryOutcome, QueryRequest, QueryResponse, QueryScheduler, QueryTicket, SubmitError,
+};
+pub use stats::{ServiceStats, ServiceStatsSnapshot};
+
+use gsi_core::{GsiConfig, GsiEngine};
+use gsi_gpu_sim::{DeviceConfig, Gpu, StatsSnapshot};
+use gsi_graph::Graph;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a [`GsiService`] is configured by.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine configuration shared by all queries.
+    pub engine: GsiConfig,
+    /// Simulated device the engine runs on.
+    pub device: DeviceConfig,
+    /// Worker threads; `0` uses all available parallelism.
+    pub workers: usize,
+    /// Bounded submission-queue capacity (admission-control threshold).
+    pub queue_capacity: usize,
+    /// Deadline applied to queries that don't set their own.
+    pub default_deadline: Option<Duration>,
+    /// Maximum number of cached plans (LRU beyond it).
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            engine: GsiConfig::gsi_opt(),
+            device: DeviceConfig::titan_xp(),
+            workers: 0,
+            queue_capacity: 256,
+            default_deadline: None,
+            plan_cache_capacity: 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Small deterministic configuration for tests and doc examples: the
+    /// single-threaded test device, 2 workers, a short queue.
+    pub fn for_tests() -> Self {
+        Self {
+            engine: GsiConfig::gsi(),
+            device: DeviceConfig::test_device(),
+            workers: 2,
+            queue_capacity: 64,
+            plan_cache_capacity: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Shared state behind the scheduler's workers (crate-internal).
+pub(crate) struct ServiceCore {
+    pub(crate) engine: GsiEngine,
+    pub(crate) catalog: GraphCatalog,
+    pub(crate) plan_cache: PlanCache,
+    pub(crate) stats: ServiceStats,
+    pub(crate) default_deadline: Option<Duration>,
+    /// Device-ledger work attributable to graph preparation, accumulated
+    /// across registrations and subtracted from the serving aggregate in
+    /// [`GsiService::stats`].
+    pub(crate) prepare_device: Mutex<StatsSnapshot>,
+}
+
+/// The assembled serving system: catalog + scheduler + plan cache + stats.
+///
+/// See the crate-level docs for the architecture. Dropping the service
+/// stops admissions, drains queued queries, and joins the workers.
+pub struct GsiService {
+    core: Arc<ServiceCore>,
+    scheduler: QueryScheduler,
+}
+
+impl GsiService {
+    /// Build the service and spawn its worker pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        let core = Arc::new(ServiceCore {
+            engine: GsiEngine::with_gpu(config.engine, Gpu::new(config.device)),
+            catalog: GraphCatalog::new(),
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            stats: ServiceStats::new(),
+            default_deadline: config.default_deadline,
+            prepare_device: Mutex::new(StatsSnapshot::default()),
+        });
+        let scheduler =
+            QueryScheduler::new(Arc::clone(&core), config.workers, config.queue_capacity);
+        Self { core, scheduler }
+    }
+
+    /// Prepare and register a data graph under `name` (replacing any
+    /// previous registration; in-flight queries keep the old graph alive).
+    ///
+    /// The preparation's device work is tracked separately so the serving
+    /// aggregate in [`GsiService::stats`] reflects query work only. When a
+    /// registration runs concurrently with queries, work from those queries
+    /// that lands inside the preparation window is attributed to
+    /// preparation — register up front for exact accounting.
+    pub fn register_graph(&self, name: &str, graph: Graph) -> Arc<CatalogEntry> {
+        let replaced = self.core.catalog.get(name);
+        let before = self.core.engine.gpu().stats().snapshot();
+        let entry = self.core.catalog.register(&self.core.engine, name, graph);
+        let delta = self.core.engine.gpu().stats().snapshot() - before;
+        {
+            let mut prep = self.core.prepare_device.lock();
+            *prep = *prep + delta;
+        }
+        // A replaced registration's epoch can never match again; drop its
+        // plans instead of waiting for LRU pressure to evict them.
+        if let Some(old) = replaced {
+            self.core.plan_cache.invalidate_scope(old.epoch());
+        }
+        entry
+    }
+
+    /// Unregister a graph and drop its cached plans.
+    pub fn unregister_graph(&self, name: &str) -> bool {
+        match self.core.catalog.unregister(name) {
+            Some(entry) => {
+                self.core.plan_cache.invalidate_scope(entry.epoch());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Submit a query for asynchronous execution.
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, SubmitError> {
+        self.scheduler.submit(req)
+    }
+
+    /// Convenience: submit and block for the response.
+    pub fn query_blocking(&self, req: QueryRequest) -> Result<QueryResponse, SubmitError> {
+        Ok(self.submit(req)?.wait())
+    }
+
+    /// The graph catalog.
+    pub fn catalog(&self) -> &GraphCatalog {
+        &self.core.catalog
+    }
+
+    /// The plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.core.plan_cache
+    }
+
+    /// The scheduler (queue depth, worker count).
+    pub fn scheduler(&self) -> &QueryScheduler {
+        &self.scheduler
+    }
+
+    /// The engine serving the queries.
+    pub fn engine(&self) -> &GsiEngine {
+        &self.core.engine
+    }
+
+    /// Aggregated statistics snapshot (plan-cache counters included).
+    ///
+    /// `run_totals.device` is replaced by an exact device-ledger delta
+    /// (total ledger minus preparation work): per-query device snapshots
+    /// overlap when queries run concurrently on the shared simulated
+    /// device, so summing them would over-count roughly `workers`-fold.
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        let mut snap = self.core.stats.snapshot();
+        snap.plan_cache_hits = self.core.plan_cache.hits();
+        snap.plan_cache_misses = self.core.plan_cache.misses();
+        snap.run_totals.device =
+            self.core.engine.gpu().stats().snapshot() - *self.core.prepare_device.lock();
+        snap
+    }
+
+    /// Stop admissions, drain queued queries, and join the workers.
+    pub fn shutdown(mut self) {
+        self.scheduler.shutdown();
+    }
+}
+
+// The whole service is shared across submitting threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GsiService>();
+    assert_send_sync::<GraphCatalog>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<ServiceStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsi_graph::GraphBuilder;
+
+    fn data_graph() -> Graph {
+        // The Fig. 1-style graph from the engine tests, shrunk.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let bs: Vec<u32> = (0..10).map(|_| b.add_vertex(1)).collect();
+        let cs: Vec<u32> = (0..11).map(|_| b.add_vertex(2)).collect();
+        for &vb in &bs {
+            b.add_edge(v0, vb, 0);
+        }
+        let last_c = *cs.last().unwrap();
+        b.add_edge(v0, last_c, 1);
+        for (i, &vb) in bs.iter().enumerate() {
+            b.add_edge(vb, cs[i], 0);
+            b.add_edge(vb, last_c, 0);
+        }
+        b.build()
+    }
+
+    fn edge_query() -> Graph {
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        qb.build()
+    }
+
+    #[test]
+    fn end_to_end_serving() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        let resp = service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .expect("submits");
+        assert_eq!(resp.match_count(), 10);
+        let outcome = resp.result.expect("runs");
+        assert!(!outcome.plan_cache_hit, "first run computes the plan");
+        let snap = service.stats();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.plan_cache_misses, 1);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_plan_cache() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        for i in 0..4 {
+            let resp = service
+                .query_blocking(QueryRequest::new("g", edge_query()))
+                .unwrap();
+            let outcome = resp.result.unwrap();
+            assert_eq!(outcome.plan_cache_hit, i > 0, "hit from the 2nd run on");
+            assert_eq!(resp.graph, "g");
+        }
+        let snap = service.stats();
+        assert!(snap.plan_cache_hit_rate() > 0.5);
+        assert!(snap.p50().is_some() && snap.p99().is_some());
+        assert!(snap.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn unknown_graph_and_invalid_queries_rejected() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        assert!(matches!(
+            service.submit(QueryRequest::new("nope", edge_query())),
+            Err(SubmitError::UnknownGraph(_))
+        ));
+        let empty = GraphBuilder::new().build();
+        assert!(matches!(
+            service.submit(QueryRequest::new("g", empty)),
+            Err(SubmitError::InvalidQuery(_))
+        ));
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(0);
+        qb.add_vertex(1); // two isolated vertices: disconnected
+        assert!(matches!(
+            service.submit(QueryRequest::new("g", qb.build())),
+            Err(SubmitError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_fails_without_running() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        // Zero deadline: by the time a worker sees it, it has expired.
+        let resp = service
+            .query_blocking(QueryRequest::new("g", edge_query()).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert!(matches!(
+            resp.result,
+            Err(QueryError::DeadlineExpired { .. })
+        ));
+        let snap = service.stats();
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.completed, 0);
+    }
+
+    #[test]
+    fn unregister_drops_graph_and_plans() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        assert_eq!(service.plan_cache().len(), 1);
+        assert!(service.unregister_graph("g"));
+        assert_eq!(service.plan_cache().len(), 0);
+        assert!(!service.unregister_graph("g"));
+        assert!(matches!(
+            service.submit(QueryRequest::new("g", edge_query())),
+            Err(SubmitError::UnknownGraph(_))
+        ));
+    }
+
+    #[test]
+    fn reregistration_drops_stale_plans() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        assert_eq!(service.plan_cache().len(), 1);
+        // Replacing the graph under the same name must invalidate the old
+        // epoch's plans; the next query misses and re-plans.
+        service.register_graph("g", data_graph());
+        assert_eq!(service.plan_cache().len(), 0);
+        let resp = service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        assert!(!resp.result.unwrap().plan_cache_hit);
+        assert_eq!(service.plan_cache().len(), 1);
+    }
+
+    #[test]
+    fn queue_overflow_rejects() {
+        // 1 worker, capacity-1 queue: the worker parks on the first slow
+        // query, the second fills the queue, later ones must be rejected.
+        let cfg = ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::for_tests()
+        };
+        let service = GsiService::new(cfg);
+        // A denser graph so queries take measurable time.
+        let mut b = GraphBuilder::new();
+        let vs: Vec<u32> = (0..60).map(|i| b.add_vertex(i % 2)).collect();
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                b.add_edge(vs[i], vs[j], 0);
+            }
+        }
+        service.register_graph("dense", b.build());
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        let u2 = qb.add_vertex(0);
+        let u3 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        qb.add_edge(u1, u2, 0);
+        qb.add_edge(u2, u3, 0);
+        let slow_query = qb.build();
+
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..40 {
+            match service.submit(QueryRequest::new("dense", slow_query.clone())) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "admission control engaged");
+        for t in tickets {
+            t.wait();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.rejected, rejected);
+        assert_eq!(snap.submitted + snap.rejected, 40);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_queries() {
+        let service = GsiService::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::for_tests()
+        });
+        service.register_graph("g", data_graph());
+        let tickets: Vec<QueryTicket> = (0..16)
+            .map(|_| {
+                service
+                    .submit(QueryRequest::new("g", edge_query()))
+                    .unwrap()
+            })
+            .collect();
+        service.shutdown();
+        for t in tickets {
+            assert_eq!(t.wait().match_count(), 10);
+        }
+    }
+}

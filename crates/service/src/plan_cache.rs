@@ -1,0 +1,345 @@
+//! The plan cache: join orders and candidate-size estimates keyed by
+//! canonical query shape.
+//!
+//! Algorithm 2's join-order construction and the filtering phase's
+//! candidate sizing are the per-query work a serving system can amortize:
+//! real workloads are streams of a few recurring patterns over shared data
+//! graphs, so the second occurrence of a pattern should skip planning
+//! entirely. Plans are stored in *canonical vertex space* (see
+//! [`crate::canon`]), so `A–B–C` and any relabeling of it share one entry;
+//! on lookup the cached plan is mapped through the query's canonical
+//! permutation and validated with [`JoinPlan::covers`] — a collision or a
+//! fallback permutation mismatch degrades to a cache miss, never to a wrong
+//! plan.
+
+use crate::canon::CanonicalQuery;
+use gsi_core::{JoinPlan, JoinStep, RunStats};
+use gsi_graph::Graph;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One cached pattern: the canonical-space plan plus run statistics that
+/// carry across repetitions.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Join plan with vertices in canonical ids. Per-pattern, not per-graph:
+    /// entries are keyed by (graph epoch, pattern) at the map level.
+    plan: JoinPlan,
+    /// Exponentially weighted estimate of the smallest candidate-set size
+    /// observed for this pattern (the paper's min `|C(u)|`).
+    min_candidate_ewma: f64,
+    /// Exponentially weighted estimate of total matches.
+    matches_ewma: f64,
+    /// Number of runs folded into the estimates.
+    runs: u64,
+    /// LRU clock tick of the last touch.
+    last_used: u64,
+}
+
+/// Size/plan estimates returned alongside a cached plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEstimates {
+    /// EWMA of the smallest candidate-set size across runs of this pattern.
+    pub min_candidate: f64,
+    /// EWMA of the match count across runs of this pattern.
+    pub n_matches: f64,
+    /// Runs folded into the estimates.
+    pub runs: u64,
+}
+
+/// A plan-cache lookup that hit: the concrete plan plus the estimates.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The cached join order, mapped into the querying graph's vertex ids.
+    pub plan: JoinPlan,
+    /// Cross-run size estimates for the pattern.
+    pub estimates: PlanEstimates,
+}
+
+/// Concurrent LRU cache of join plans keyed by `(scope, canonical key)`.
+///
+/// `scope` lets one cache serve many data graphs: plans are data-dependent
+/// (Algorithm 2 scores candidates against label frequencies), so the same
+/// pattern gets one entry per graph.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<HashMap<(u64, u64), CacheEntry>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (LRU eviction).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up the plan for `query` (whose canonical identity is `canon`)
+    /// under `scope`. On a hit, the canonical plan is mapped back into
+    /// `query`'s vertex ids and validated; an invalid mapping counts as a
+    /// miss.
+    pub fn lookup(&self, scope: u64, canon: &CanonicalQuery, query: &Graph) -> Option<CachedPlan> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let map = self.inner.lock();
+        let hit = map.get(&(scope, canon.key)).map(|e| {
+            (
+                e.plan.clone(),
+                PlanEstimates {
+                    min_candidate: e.min_candidate_ewma,
+                    n_matches: e.matches_ewma,
+                    runs: e.runs,
+                },
+            )
+        });
+        drop(map);
+        let Some((canonical_plan, estimates)) = hit else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let inv = canon.inverse();
+        let plan = map_plan(&canonical_plan, &inv);
+        if plan.covers(query) {
+            // Promote in the LRU only on a *usable* hit: an entry that keeps
+            // failing validation must not stay hot off the back of lookups
+            // it cannot serve.
+            if let Some(e) = self.inner.lock().get_mut(&(scope, canon.key)) {
+                e.last_used = tick;
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(CachedPlan { plan, estimates })
+        } else {
+            // Key collision or non-exact canonical permutation: unusable.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Record the plan a fresh run computed for `query`, folding the run's
+    /// candidate/match sizes into the pattern's estimates.
+    pub fn record(&self, scope: u64, canon: &CanonicalQuery, plan: &JoinPlan, stats: &RunStats) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.inner.lock();
+        match map.entry((scope, canon.key)) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let e = o.get_mut();
+                // Fold sizes; keep the existing plan (first-writer wins, so
+                // repeated patterns keep one stable order).
+                const ALPHA: f64 = 0.3;
+                e.min_candidate_ewma =
+                    (1.0 - ALPHA) * e.min_candidate_ewma + ALPHA * stats.min_candidate as f64;
+                e.matches_ewma = (1.0 - ALPHA) * e.matches_ewma + ALPHA * stats.n_matches as f64;
+                e.runs += 1;
+                e.last_used = tick;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(CacheEntry {
+                    plan: map_plan(plan, &canon.perm),
+                    min_candidate_ewma: stats.min_candidate as f64,
+                    matches_ewma: stats.n_matches as f64,
+                    runs: 1,
+                    last_used: tick,
+                });
+            }
+        }
+        // LRU eviction.
+        while map.len() > self.capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map");
+            map.remove(&victim);
+        }
+    }
+
+    /// Drop every entry under `scope` (a graph was unregistered/replaced).
+    pub fn invalidate_scope(&self, scope: u64) {
+        self.inner.lock().retain(|&(s, _), _| s != scope);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed (including rejected mappings).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, 0 when empty.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// Map a plan's vertex ids through `perm` (linking columns are positions in
+/// the order, which are invariant under relabeling).
+fn map_plan(plan: &JoinPlan, perm: &[u32]) -> JoinPlan {
+    JoinPlan {
+        order: plan.order.iter().map(|&v| perm[v as usize]).collect(),
+        steps: plan
+            .steps
+            .iter()
+            .map(|s| JoinStep {
+                vertex: perm[s.vertex as usize],
+                linking: s.linking.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonicalize;
+    use gsi_graph::GraphBuilder;
+
+    fn path(ids: [u32; 3]) -> Graph {
+        // Build a labeled path u(0)-a-u(1)-b-u(2) with configurable id order:
+        // ids[k] gives the insertion position of logical vertex k.
+        let mut labels = [0u32; 3];
+        for (logical, &pos) in ids.iter().enumerate() {
+            labels[pos as usize] = logical as u32;
+        }
+        let mut b = GraphBuilder::new();
+        for &l in &labels {
+            b.add_vertex(l);
+        }
+        b.add_edge(ids[0], ids[1], 0);
+        b.add_edge(ids[1], ids[2], 1);
+        b.build()
+    }
+
+    fn stats(min_candidate: usize, n_matches: usize) -> RunStats {
+        RunStats {
+            min_candidate,
+            n_matches,
+            ..RunStats::default()
+        }
+    }
+
+    fn plan_for(q: &Graph) -> JoinPlan {
+        // A data graph with all frequencies 1: planning is deterministic.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(2);
+        b.add_edge(v0, v1, 0);
+        b.add_edge(v1, v2, 1);
+        let data = b.build();
+        let cands: Vec<gsi_signature::CandidateSet> = (0..q.n_vertices())
+            .map(|u| gsi_signature::CandidateSet {
+                query_vertex: u as u32,
+                list: vec![u as u32],
+            })
+            .collect();
+        gsi_core::plan::plan_join(q, &data, &cands)
+    }
+
+    #[test]
+    fn relabeled_pattern_hits() {
+        let cache = PlanCache::new(8);
+        let q1 = path([0, 1, 2]);
+        let c1 = canonicalize(&q1);
+        assert!(cache.lookup(0, &c1, &q1).is_none());
+        cache.record(0, &c1, &plan_for(&q1), &stats(5, 2));
+
+        let q2 = path([2, 0, 1]);
+        let c2 = canonicalize(&q2);
+        assert_eq!(c1.key, c2.key, "relabelings share the key");
+        let hit = cache.lookup(0, &c2, &q2).expect("relabeled hit");
+        assert!(hit.plan.covers(&q2));
+        assert_eq!(hit.estimates.min_candidate, 5.0);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn scopes_are_isolated() {
+        let cache = PlanCache::new(8);
+        let q = path([0, 1, 2]);
+        let c = canonicalize(&q);
+        cache.record(1, &c, &plan_for(&q), &stats(1, 1));
+        assert!(cache.lookup(2, &c, &q).is_none(), "other graph: miss");
+        assert!(cache.lookup(1, &c, &q).is_some());
+        cache.invalidate_scope(1);
+        assert!(cache.lookup(1, &c, &q).is_none());
+    }
+
+    #[test]
+    fn estimates_fold_across_runs() {
+        let cache = PlanCache::new(8);
+        let q = path([0, 1, 2]);
+        let c = canonicalize(&q);
+        let p = plan_for(&q);
+        cache.record(0, &c, &p, &stats(10, 0));
+        cache.record(0, &c, &p, &stats(20, 0));
+        let hit = cache.lookup(0, &c, &q).expect("hit");
+        assert_eq!(hit.estimates.runs, 2);
+        assert!((hit.estimates.min_candidate - 13.0).abs() < 1e-9); // 10*0.7 + 20*0.3
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = PlanCache::new(2);
+        let qs: Vec<Graph> = (0..3)
+            .map(|i| {
+                // Distinct patterns: single edge with label i.
+                let mut b = GraphBuilder::new();
+                let u0 = b.add_vertex(0);
+                let u1 = b.add_vertex(1);
+                b.add_edge(u0, u1, i);
+                b.build()
+            })
+            .collect();
+        let cs: Vec<CanonicalQuery> = qs.iter().map(canonicalize).collect();
+        for (q, c) in qs.iter().zip(&cs) {
+            cache.record(0, c, &plan_for_edge(q), &stats(1, 1));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(0, &cs[0], &qs[0]).is_none(), "evicted");
+        assert!(cache.lookup(0, &cs[2], &qs[2]).is_some());
+    }
+
+    fn plan_for_edge(q: &Graph) -> JoinPlan {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        for l in 0..3 {
+            b.add_edge(v0, v1, l);
+        }
+        let data = b.build();
+        let cands: Vec<gsi_signature::CandidateSet> = (0..q.n_vertices())
+            .map(|u| gsi_signature::CandidateSet {
+                query_vertex: u as u32,
+                list: vec![u as u32],
+            })
+            .collect();
+        gsi_core::plan::plan_join(q, &data, &cands)
+    }
+}

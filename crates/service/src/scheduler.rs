@@ -1,0 +1,415 @@
+//! The query scheduler: a bounded submission queue feeding a worker pool.
+//!
+//! Admission control is the bounded queue itself — when it is full,
+//! [`QueryScheduler::submit`] fails fast with
+//! [`SubmitError::QueueFull`] instead of building an unbounded backlog
+//! (callers shed or retry with backoff). Each accepted query carries a
+//! deadline budget: time spent waiting in the queue is charged against it,
+//! the remainder becomes the engine's join-loop timeout, and a query whose
+//! budget is exhausted before a worker picks it up is failed without
+//! running.
+//!
+//! Workers execute the full serving pipeline per query: canonical-hash the
+//! pattern, consult the plan cache, run the engine (reusing the cached join
+//! order on a hit), record the plan and its size estimates back, and
+//! deliver a [`QueryResponse`] through the submitter's [`QueryTicket`].
+
+use crate::canon::canonicalize;
+use crate::catalog::CatalogEntry;
+use crate::plan_cache::PlanEstimates;
+use crate::ServiceCore;
+use gsi_core::{QueryOptions, QueryOutput};
+use gsi_graph::Graph;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A query submitted to the service.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Catalog name of the data graph to search.
+    pub graph: String,
+    /// The pattern to match.
+    pub query: Graph,
+    /// Per-query deadline (submit → response). `None` uses the service's
+    /// default; `Some` overrides it.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// Request against `graph` with the service's default deadline.
+    pub fn new(graph: impl Into<String>, query: Graph) -> Self {
+        Self {
+            graph: graph.into(),
+            query,
+            deadline: None,
+        }
+    }
+
+    /// Set a per-query deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No graph with this name is registered.
+    UnknownGraph(String),
+    /// The bounded queue is at capacity — shed load or retry later.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The query cannot be served (empty or disconnected pattern).
+    InvalidQuery(String),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownGraph(name) => write!(f, "unknown graph '{name}'"),
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            SubmitError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted query produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The deadline expired while the query was still queued.
+    DeadlineExpired {
+        /// How long the query waited before being failed.
+        waited: Duration,
+    },
+    /// The query's execution panicked. The panic is isolated: the worker
+    /// survives, other queries are unaffected, and the failure is counted
+    /// in the service stats.
+    Internal {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+/// A completed query: the engine output plus serving metadata.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The engine's full output (matches, run stats, executed plan).
+    ///
+    /// `output.stats.device` is a snapshot delta of the service's shared
+    /// device ledger; when other queries ran concurrently, their
+    /// transactions are included. Wall times and match counts are exact;
+    /// for exact aggregate device work use `GsiService::stats`.
+    pub output: QueryOutput,
+    /// Whether the join order came from the plan cache.
+    pub plan_cache_hit: bool,
+    /// Cross-run size estimates for the pattern, when cached.
+    pub estimates: Option<PlanEstimates>,
+    /// Time spent queued before a worker started the query.
+    pub queue_wait: Duration,
+    /// End-to-end latency (submit → response ready).
+    pub latency: Duration,
+}
+
+/// What a [`QueryTicket`] resolves to.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// The catalog graph the query ran against.
+    pub graph: String,
+    /// The outcome, or why the query never ran.
+    pub result: Result<QueryOutcome, QueryError>,
+}
+
+impl QueryResponse {
+    /// Number of matches, 0 for failed queries.
+    pub fn match_count(&self) -> usize {
+        self.result
+            .as_ref()
+            .map(|o| o.output.matches.len())
+            .unwrap_or(0)
+    }
+}
+
+/// Handle to one in-flight query.
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: mpsc::Receiver<QueryResponse>,
+}
+
+impl QueryTicket {
+    /// Block until the response arrives.
+    ///
+    /// Panics if the service was torn down without answering (a serving
+    /// bug: graceful shutdown drains the queue first).
+    pub fn wait(self) -> QueryResponse {
+        self.rx
+            .recv()
+            .expect("service dropped an in-flight query without responding")
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    pub fn try_wait(&self) -> Option<QueryResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    entry: Arc<CatalogEntry>,
+    query: Graph,
+    deadline: Option<Duration>,
+    submitted: Instant,
+    tx: mpsc::Sender<QueryResponse>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct QueueShared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// The worker pool plus its bounded submission queue.
+pub struct QueryScheduler {
+    core: Arc<ServiceCore>,
+    shared: Arc<QueueShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryScheduler {
+    /// Spawn `workers` threads serving from a queue of `queue_capacity`.
+    pub(crate) fn new(core: Arc<ServiceCore>, workers: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let n = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let handles = (0..n)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gsi-service-worker-{i}"))
+                    .spawn(move || worker_loop(&core, &shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            core,
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue capacity (admission-control threshold).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Queries currently waiting (excludes ones being executed).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().jobs.len()
+    }
+
+    /// Submit a query; returns a ticket resolving to its response.
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, SubmitError> {
+        if req.query.n_vertices() == 0 {
+            return Err(SubmitError::InvalidQuery("empty query".into()));
+        }
+        if !req.query.is_connected() {
+            return Err(SubmitError::InvalidQuery(
+                "disconnected query (split components upstream)".into(),
+            ));
+        }
+        let entry = self
+            .core
+            .catalog
+            .get(&req.graph)
+            .ok_or_else(|| SubmitError::UnknownGraph(req.graph.clone()))?;
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            entry,
+            query: req.query,
+            deadline: req.deadline.or(self.core.default_deadline),
+            submitted: Instant::now(),
+            tx,
+        };
+        {
+            let mut state = self.shared.state.lock();
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.jobs.len() >= self.shared.capacity {
+                self.core.stats.record_rejected();
+                return Err(SubmitError::QueueFull {
+                    capacity: self.shared.capacity,
+                });
+            }
+            state.jobs.push_back(job);
+        }
+        self.core.stats.record_submitted();
+        self.shared.not_empty.notify_one();
+        Ok(QueryTicket { rx })
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    pub(crate) fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            if state.shutdown {
+                return;
+            }
+            state.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(core: &ServiceCore, shared: &QueueShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                shared.not_empty.wait(&mut state);
+            }
+        };
+        execute(core, job);
+    }
+}
+
+/// Run one job end to end and deliver its response. A panic anywhere in
+/// the query's execution is isolated here: the submitter receives
+/// [`QueryError::Internal`], the failure is counted, and the worker thread
+/// survives to serve the next query — one poisoned pattern must not shrink
+/// the pool or take the service down.
+fn execute(core: &ServiceCore, job: Job) {
+    let graph_name = job.entry.name().to_string();
+    let tx = job.tx.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_query(core, job)));
+    match result {
+        Ok(response) => {
+            let _ = tx.send(response);
+        }
+        Err(payload) => {
+            core.stats.record_worker_panic();
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let _ = tx.send(QueryResponse {
+                graph: graph_name,
+                result: Err(QueryError::Internal { message }),
+            });
+        }
+    }
+}
+
+/// The serving pipeline for one admitted query.
+fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
+    let waited = job.submitted.elapsed();
+
+    // Deadline budget: queue wait is part of the query's latency budget.
+    let remaining = match job.deadline {
+        Some(d) => match d.checked_sub(waited) {
+            Some(rem) => Some(rem),
+            None => {
+                core.stats.record_deadline_expired();
+                return QueryResponse {
+                    graph: job.entry.name().to_string(),
+                    result: Err(QueryError::DeadlineExpired { waited }),
+                };
+            }
+        },
+        None => None,
+    };
+
+    let canon = canonicalize(&job.query);
+    let scope = job.entry.epoch();
+    let cached = core.plan_cache.lookup(scope, &canon, &job.query);
+
+    let output = core.engine.query_with_options(
+        job.entry.graph(),
+        job.entry.prepared(),
+        &job.query,
+        QueryOptions {
+            timeout: remaining,
+            plan: cached.as_ref().map(|c| &c.plan),
+        },
+    );
+
+    // Record the executed plan and fold this run's sizes into the pattern's
+    // estimates (first writer keeps the stable join order). Skipped for
+    // aborted runs — a timed-out run's zero match count would poison the
+    // estimates — and for scopes no longer current in the catalog, so a
+    // concurrent unregister/re-register doesn't resurrect dead entries.
+    let scope_current = core
+        .catalog
+        .get(job.entry.name())
+        .is_some_and(|cur| cur.epoch() == scope);
+    if !output.stats.timed_out && scope_current {
+        core.plan_cache
+            .record(scope, &canon, &output.plan, &output.stats);
+    }
+
+    let plan_cache_hit = output.plan_reused;
+    let latency = job.submitted.elapsed();
+    core.stats.record_completed(latency, &output.stats);
+
+    QueryResponse {
+        graph: job.entry.name().to_string(),
+        result: Ok(QueryOutcome {
+            output,
+            plan_cache_hit,
+            estimates: cached.map(|c| c.estimates),
+            queue_wait: waited,
+            latency,
+        }),
+    }
+}

@@ -1,0 +1,351 @@
+//! Aggregated serving statistics: throughput, latency percentiles, cache
+//! and timeout rates.
+//!
+//! Counters are lock-free atomics on the submit/complete paths; latency
+//! samples go into a mutex-guarded reservoir (bounded, decimating once
+//! full) that percentile queries sort on demand. Snapshots are plain data
+//! and [`ServiceStatsSnapshot::merge`]-able, so multi-service deployments
+//! can be reported as one fleet.
+
+use gsi_core::RunStats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bound on retained latency samples; beyond it every other sample is
+/// dropped (keeps percentiles meaningful without unbounded memory).
+const RESERVOIR_CAP: usize = 65_536;
+
+/// Live, thread-safe statistics ledger for one service.
+#[derive(Debug)]
+pub struct ServiceStats {
+    started: Instant,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    engine_timeouts: AtomicU64,
+    deadline_expired: AtomicU64,
+    worker_panics: AtomicU64,
+    /// End-to-end (submit → response) latencies of *served* queries, in
+    /// microseconds. Failed queries (deadline expiry, worker panic) are
+    /// counted but kept out of the percentile reservoir so p50/p99 reflect
+    /// answers actually delivered, not the deadline constant.
+    latencies_us: Mutex<Vec<u64>>,
+    /// Engine-run measurements folded together with `RunStats::accumulate`.
+    ///
+    /// Device counters here are sums of per-query snapshot deltas of one
+    /// shared ledger; concurrent queries overlap in those deltas, so the
+    /// summed device numbers over-count under concurrency. The service
+    /// substitutes an exact ledger-level delta when it builds its snapshot
+    /// (see `GsiService::stats`).
+    run_totals: Mutex<RunStats>,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceStats {
+    /// Fresh ledger; throughput is measured from this instant.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            engine_timeouts: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            run_totals: Mutex::new(RunStats::default()),
+        }
+    }
+
+    /// A query was accepted into the queue.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query was turned away by admission control.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query's deadline expired before it ran.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query's execution panicked (isolated; the worker survives).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query ran to completion (`stats` is its engine run report).
+    pub fn record_completed(&self, latency: Duration, stats: &RunStats) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if stats.timed_out {
+            self.engine_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.push_latency(latency);
+        self.run_totals.lock().accumulate(stats);
+    }
+
+    fn push_latency(&self, latency: Duration) {
+        let mut l = self.latencies_us.lock();
+        if l.len() >= RESERVOIR_CAP {
+            // Decimate: keep every other sample, then continue appending.
+            let kept: Vec<u64> = l.iter().copied().step_by(2).collect();
+            *l = kept;
+        }
+        l.push(latency.as_micros() as u64);
+    }
+
+    /// Point-in-time copy of everything, with percentiles computed.
+    pub fn snapshot(&self) -> ServiceStatsSnapshot {
+        let latencies = self.latencies_us.lock().clone();
+        ServiceStatsSnapshot {
+            elapsed: self.started.elapsed(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            engine_timeouts: self.engine_timeouts.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            run_totals: self.run_totals.lock().clone(),
+            latencies_us: latencies,
+        }
+    }
+}
+
+/// Plain-data copy of [`ServiceStats`], mergeable across services.
+#[derive(Debug, Clone)]
+pub struct ServiceStatsSnapshot {
+    /// Time the ledger has been live.
+    pub elapsed: Duration,
+    /// Queries accepted into the queue.
+    pub submitted: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Queries that ran to completion (including engine timeouts).
+    pub completed: u64,
+    /// Completed runs that aborted on the engine's timeout/guard.
+    pub engine_timeouts: u64,
+    /// Queries whose deadline expired while still queued.
+    pub deadline_expired: u64,
+    /// Query executions that panicked (isolated; the worker survived).
+    pub worker_panics: u64,
+    /// Plan-cache hits (filled in by the service, which owns the cache).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// All engine run reports accumulated together.
+    ///
+    /// The service overwrites `run_totals.device` with an exact ledger-level
+    /// delta when building this snapshot; the remaining per-query device
+    /// fields (`filter_device`) are sums of overlapping per-query deltas and
+    /// over-count under concurrency.
+    pub run_totals: RunStats,
+    /// Retained end-to-end latency samples of *served* queries,
+    /// microseconds (unsorted). Failed queries are not sampled.
+    pub latencies_us: Vec<u64>,
+}
+
+impl ServiceStatsSnapshot {
+    /// Completed queries per second since the ledger started.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Latency percentile (`q` in `[0, 1]`), `None` without samples.
+    pub fn latency_percentile(&self, q: f64) -> Option<Duration> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_micros(sorted[rank]))
+    }
+
+    /// Median end-to-end latency.
+    pub fn p50(&self) -> Option<Duration> {
+        self.latency_percentile(0.50)
+    }
+
+    /// 99th-percentile end-to-end latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.latency_percentile(0.99)
+    }
+
+    /// Plan-cache hit rate over all lookups, 0 when none.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (fleet-level aggregation):
+    /// counters add, latency reservoirs concatenate, elapsed takes the max.
+    pub fn merge(&mut self, other: &ServiceStatsSnapshot) {
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.engine_timeouts += other.engine_timeouts;
+        self.deadline_expired += other.deadline_expired;
+        self.worker_panics += other.worker_panics;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.run_totals.accumulate(&other.run_totals);
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+    }
+}
+
+impl std::fmt::Display for ServiceStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queries: {} submitted, {} completed, {} rejected, {} deadline-expired, \
+             {} engine timeouts, {} panics",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.deadline_expired,
+            self.engine_timeouts,
+            self.worker_panics
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.1} q/s over {:.2?}",
+            self.throughput_qps(),
+            self.elapsed
+        )?;
+        match (self.p50(), self.p99()) {
+            (Some(p50), Some(p99)) => writeln!(f, "latency: p50 {p50:.2?}, p99 {p99:.2?}")?,
+            _ => writeln!(f, "latency: no samples")?,
+        }
+        writeln!(
+            f,
+            "plan cache: {:.0}% hit rate ({} hits / {} misses)",
+            self.plan_cache_hit_rate() * 100.0,
+            self.plan_cache_hits,
+            self.plan_cache_misses
+        )?;
+        write!(
+            f,
+            "matches: {} total; device: {} GLD, {} GST, {} kernels",
+            self.run_totals.n_matches,
+            self.run_totals.gld(),
+            self.run_totals.gst(),
+            self.run_totals.kernels()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles() {
+        let s = ServiceStats::new();
+        for i in 1..=100u64 {
+            s.record_submitted();
+            s.record_completed(
+                Duration::from_micros(i * 1000),
+                &RunStats {
+                    n_matches: 1,
+                    ..RunStats::default()
+                },
+            );
+        }
+        s.record_rejected();
+        let snap = s.snapshot();
+        assert_eq!(snap.submitted, 100);
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.run_totals.n_matches, 100);
+        let p50 = snap.p50().unwrap();
+        assert!(p50 >= Duration::from_millis(49) && p50 <= Duration::from_millis(52));
+        let p99 = snap.p99().unwrap();
+        assert!(p99 >= Duration::from_millis(98));
+        assert!(snap.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn timeouts_tracked() {
+        let s = ServiceStats::new();
+        s.record_completed(
+            Duration::from_micros(5),
+            &RunStats {
+                timed_out: true,
+                ..RunStats::default()
+            },
+        );
+        s.record_deadline_expired();
+        s.record_worker_panic();
+        let snap = s.snapshot();
+        assert_eq!(snap.engine_timeouts, 1);
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.worker_panics, 1);
+        // Only the served query is sampled: failures don't skew p50/p99.
+        assert_eq!(snap.latencies_us.len(), 1);
+    }
+
+    #[test]
+    fn snapshots_merge() {
+        let a = ServiceStats::new();
+        let b = ServiceStats::new();
+        a.record_submitted();
+        a.record_completed(Duration::from_micros(10), &RunStats::default());
+        b.record_submitted();
+        b.record_rejected();
+        let mut snap = a.snapshot();
+        snap.plan_cache_hits = 3;
+        let mut other = b.snapshot();
+        other.plan_cache_misses = 1;
+        snap.merge(&other);
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.plan_cache_hits, 3);
+        assert_eq!(snap.plan_cache_misses, 1);
+        assert!(snap.plan_cache_hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn reservoir_decimates_at_cap() {
+        let s = ServiceStats::new();
+        for i in 0..(RESERVOIR_CAP + 10) {
+            s.push_latency(Duration::from_micros(i as u64));
+        }
+        let snap = s.snapshot();
+        assert!(snap.latencies_us.len() <= RESERVOIR_CAP / 2 + 10);
+        assert!(snap.p99().is_some());
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = ServiceStats::new();
+        s.record_submitted();
+        s.record_completed(Duration::from_micros(42), &RunStats::default());
+        let mut snap = s.snapshot();
+        snap.plan_cache_hits = 1;
+        let text = format!("{snap}");
+        for needle in ["throughput", "p50", "p99", "plan cache", "matches"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests for the serving subsystem: concurrent execution is
+//! byte-identical to serial execution, and the plan cache amortizes
+//! planning across repeated and relabeled patterns.
+
+use gsi_core::{GsiConfig, GsiEngine};
+use gsi_datasets::{build, DatasetKind, DatasetSpec};
+use gsi_gpu_sim::{DeviceConfig, Gpu};
+use gsi_graph::query_gen::random_walk_query;
+use gsi_graph::{Graph, GraphBuilder};
+use gsi_service::{canonicalize, GsiService, QueryRequest, ServiceConfig, SubmitError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two small catalog graphs from the dataset stand-ins.
+fn catalog_graphs() -> Vec<(&'static str, Graph)> {
+    let enron = build(&DatasetSpec::scaled(DatasetKind::Enron, 0.01));
+    let gowalla = build(&DatasetSpec::scaled(DatasetKind::Gowalla, 0.004));
+    vec![("enron", enron), ("gowalla", gowalla)]
+}
+
+/// A mixed workload: `n` random-walk queries of 3–5 vertices per graph.
+fn workload(graphs: &[(&'static str, Graph)], n: usize) -> Vec<(&'static str, Graph)> {
+    let mut queries = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for (name, g) in graphs {
+        let mut made = 0;
+        while made < n {
+            let size = 3 + made % 3;
+            if let Some(q) = random_walk_query(g, size, &mut rng) {
+                queries.push((*name, q));
+                made += 1;
+            }
+        }
+    }
+    queries
+}
+
+fn test_service(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 256,
+        ..ServiceConfig::for_tests()
+    }
+}
+
+/// N worker threads × M in-flight queries over 2 catalog graphs produce
+/// match counts identical to single-threaded serial execution.
+#[test]
+fn concurrent_matches_equal_serial() {
+    let graphs = catalog_graphs();
+    let queries = workload(&graphs, 12);
+
+    // Serial ground truth: one engine, same configuration as the service.
+    let engine = GsiEngine::with_gpu(GsiConfig::gsi(), Gpu::new(DeviceConfig::test_device()));
+    let prepared: Vec<_> = graphs.iter().map(|(_, g)| engine.prepare(g)).collect();
+    let serial_counts: Vec<usize> = queries
+        .iter()
+        .map(|(name, q)| {
+            let idx = graphs.iter().position(|(n, _)| n == name).unwrap();
+            engine
+                .query(&graphs[idx].1, &prepared[idx], q)
+                .matches
+                .len()
+        })
+        .collect();
+
+    // Service with a pool of workers, everything in flight at once.
+    let service = GsiService::new(test_service(4));
+    for (name, g) in &graphs {
+        service.register_graph(name, g.clone());
+    }
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|(name, q)| {
+            service
+                .submit(QueryRequest::new(*name, q.clone()))
+                .expect("queue has room")
+        })
+        .collect();
+    let service_counts: Vec<usize> = tickets
+        .into_iter()
+        .map(|t| t.wait().match_count())
+        .collect();
+
+    assert_eq!(service_counts, serial_counts, "concurrent == serial");
+    let snap = service.stats();
+    assert_eq!(snap.completed, queries.len() as u64);
+    assert_eq!(snap.engine_timeouts, 0);
+}
+
+/// Two identical service runs give identical results (scheduling noise
+/// never leaks into outputs), and full matches — not just counts — equal
+/// the serial canonical form.
+#[test]
+fn concurrent_execution_is_deterministic() {
+    let graphs = catalog_graphs();
+    let queries = workload(&graphs, 6);
+
+    let run = || -> Vec<Vec<Vec<u32>>> {
+        let service = GsiService::new(test_service(3));
+        for (name, g) in &graphs {
+            service.register_graph(name, g.clone());
+        }
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|(name, q)| service.submit(QueryRequest::new(*name, q.clone())).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| {
+                t.wait()
+                    .result
+                    .expect("query ran")
+                    .output
+                    .matches
+                    .canonical()
+            })
+            .collect()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Repeat queries hit the plan cache; the hit rate over a repeated
+/// workload is strictly positive and the cached plans change no results.
+#[test]
+fn repeated_workload_hits_plan_cache() {
+    let graphs = catalog_graphs();
+    let queries = workload(&graphs, 5);
+
+    let service = GsiService::new(test_service(2));
+    for (name, g) in &graphs {
+        service.register_graph(name, g.clone());
+    }
+    let mut counts_by_round = Vec::new();
+    for _round in 0..3 {
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|(name, q)| service.submit(QueryRequest::new(*name, q.clone())).unwrap())
+            .collect();
+        counts_by_round.push(
+            tickets
+                .into_iter()
+                .map(|t| t.wait().match_count())
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(counts_by_round[0], counts_by_round[1]);
+    assert_eq!(counts_by_round[0], counts_by_round[2]);
+
+    let snap = service.stats();
+    assert!(
+        snap.plan_cache_hit_rate() > 0.0,
+        "repeat workload must hit the cache (rate {})",
+        snap.plan_cache_hit_rate()
+    );
+    // Rounds 2 and 3 replay round 1's patterns exactly: at least 2/3 of
+    // lookups hit (distinct patterns miss once each).
+    assert!(
+        snap.plan_cache_hits >= 2 * snap.plan_cache_misses,
+        "hits {} vs misses {}",
+        snap.plan_cache_hits,
+        snap.plan_cache_misses
+    );
+}
+
+/// Isomorphic-but-relabeled queries hash to the same plan key and share a
+/// cache entry.
+#[test]
+fn relabeled_queries_share_plan_entries() {
+    // A labeled path pattern and a vertex-permuted copy.
+    let mut b = GraphBuilder::new();
+    let u0 = b.add_vertex(0);
+    let u1 = b.add_vertex(1);
+    let u2 = b.add_vertex(2);
+    b.add_edge(u0, u1, 0);
+    b.add_edge(u1, u2, 1);
+    let q = b.build();
+
+    let mut b = GraphBuilder::new();
+    let w2 = b.add_vertex(2); // ids reversed
+    let w1 = b.add_vertex(1);
+    let w0 = b.add_vertex(0);
+    b.add_edge(w0, w1, 0);
+    b.add_edge(w1, w2, 1);
+    let q_relabeled = b.build();
+
+    assert_eq!(
+        canonicalize(&q).key,
+        canonicalize(&q_relabeled).key,
+        "relabelings share the canonical key"
+    );
+
+    let service = GsiService::new(test_service(1));
+    let (name, data) = &catalog_graphs()[0];
+    service.register_graph(name, data.clone());
+
+    let first = service
+        .query_blocking(QueryRequest::new(*name, q.clone()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(!first.plan_cache_hit);
+    let second = service
+        .query_blocking(QueryRequest::new(*name, q_relabeled.clone()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(
+        second.plan_cache_hit,
+        "the relabeled pattern must reuse the cached plan"
+    );
+    assert_eq!(service.plan_cache().len(), 1, "one shared entry");
+
+    // Same pattern, same data ⇒ same number of embeddings.
+    assert_eq!(
+        first.output.matches.len(),
+        second.output.matches.len(),
+        "relabeling cannot change the embedding count"
+    );
+}
+
+/// The same pattern on two different catalog graphs gets two cache entries
+/// (plans are data-dependent), and both serve correctly.
+#[test]
+fn plan_cache_scoped_per_graph() {
+    let graphs = catalog_graphs();
+    let service = GsiService::new(test_service(2));
+    for (name, g) in &graphs {
+        service.register_graph(name, g.clone());
+    }
+    let q = workload(&graphs, 1)[0].1.clone();
+    for (name, _) in &graphs {
+        match service.query_blocking(QueryRequest::new(*name, q.clone())) {
+            Ok(resp) => assert!(resp.result.is_ok()),
+            Err(SubmitError::UnknownGraph(_)) => panic!("registered above"),
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert_eq!(service.plan_cache().len(), 2, "one entry per graph scope");
+    assert_eq!(service.stats().plan_cache_hits, 0);
+}

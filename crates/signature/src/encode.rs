@@ -29,16 +29,13 @@ impl Default for SignatureConfig {
 impl SignatureConfig {
     /// A config with `n_bits` total and the fixed 32 label bits.
     pub fn with_n(n_bits: usize) -> Self {
-        Self {
-            n_bits,
-            k_bits: 32,
-        }
+        Self { n_bits, k_bits: 32 }
     }
 
     /// Validate the constraints of §VII-B.
     pub fn validate(&self) {
         assert!(
-            self.n_bits % 32 == 0,
+            self.n_bits.is_multiple_of(32),
             "N must be divisible by 32 to utilize memory bandwidth"
         );
         assert!(self.n_bits <= 512, "N must not exceed 512 (GPU memory)");
@@ -164,13 +161,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible by 32")]
     fn invalid_n_rejected() {
-        SignatureConfig { n_bits: 100, k_bits: 32 }.validate();
+        SignatureConfig {
+            n_bits: 100,
+            k_bits: 32,
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "not exceed 512")]
     fn oversized_n_rejected() {
-        SignatureConfig { n_bits: 1024, k_bits: 32 }.validate();
+        SignatureConfig {
+            n_bits: 1024,
+            k_bits: 32,
+        }
+        .validate();
     }
 
     #[test]

@@ -117,8 +117,7 @@ pub fn filter_signature(
                             break;
                         }
                         table.charge_warp_word_read(gpu, w, &lanes);
-                        gpu.stats()
-                            .add_idle_lanes((WARP_SIZE - lanes.len()) as u64);
+                        gpu.stats().add_idle_lanes((WARP_SIZE - lanes.len()) as u64);
                         lanes.retain(|&v| table.word_host(v, w) & qw == qw);
                     }
 
@@ -186,9 +185,8 @@ fn filter_by_predicate(
                     let end = (base + WARP_SIZE).min(n);
                     // Coalesced label read for the warp.
                     let labels = inputs.vlabels.warp_read(base, end - base);
-                    let mut lanes: Vec<usize> = (base..end)
-                        .filter(|&v| labels[v - base] == ql)
-                        .collect();
+                    let mut lanes: Vec<usize> =
+                        (base..end).filter(|&v| labels[v - base] == ql).collect();
                     if use_degree && !lanes.is_empty() {
                         // Degree read only for surviving lanes.
                         gpu.stats().gld_gather(lanes.iter().copied(), 4);
@@ -258,7 +256,8 @@ mod tests {
                 for &(nbr, el) in g.neighbors(v) {
                     *have.entry((el, g.vlabel(nbr))).or_insert(0) += 1;
                 }
-                need.iter().all(|(k, &n)| have.get(k).copied().unwrap_or(0) >= n)
+                need.iter()
+                    .all(|(k, &n)| have.get(k).copied().unwrap_or(0) >= n)
             })
             .collect()
     }

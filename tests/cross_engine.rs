@@ -43,7 +43,11 @@ fn all_engines_agree() {
         // GPU edge-oriented baselines.
         let gp = gpsm::engine(Gpu::new(DeviceConfig::test_device()));
         let prep = gp.prepare(&data);
-        assert_eq!(gp.run(&data, &prep, &query).assignments, oracle, "gpsm {seed}");
+        assert_eq!(
+            gp.run(&data, &prep, &query).assignments,
+            oracle,
+            "gpsm {seed}"
+        );
 
         let gk = gunrock::engine(Gpu::new(DeviceConfig::test_device()));
         let prep = gk.prepare(&data);
@@ -54,7 +58,8 @@ fn all_engines_agree() {
         );
 
         // GSI.
-        let engine = GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
+        let engine =
+            GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
         let prepared = engine.prepare(&data);
         assert_eq!(
             engine.query(&data, &prepared, &query).matches.canonical(),
@@ -89,7 +94,8 @@ fn engines_agree_on_star_and_cycle_patterns() {
 
     for (name, query) in [("star", star), ("cycle", cycle)] {
         let oracle = vf2::run(&data, &query, None).assignments;
-        let engine = GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
+        let engine =
+            GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
         let prepared = engine.prepare(&data);
         assert_eq!(
             engine.query(&data, &prepared, &query).matches.canonical(),
@@ -98,8 +104,16 @@ fn engines_agree_on_star_and_cycle_patterns() {
         );
         let gp = gpsm::engine(Gpu::new(DeviceConfig::test_device()));
         let prep = gp.prepare(&data);
-        assert_eq!(gp.run(&data, &prep, &query).assignments, oracle, "{name}: gpsm");
-        assert_eq!(cfl::run(&data, &query, None).assignments, oracle, "{name}: cfl");
+        assert_eq!(
+            gp.run(&data, &prep, &query).assignments,
+            oracle,
+            "{name}: gpsm"
+        );
+        assert_eq!(
+            cfl::run(&data, &query, None).assignments,
+            oracle,
+            "{name}: cfl"
+        );
     }
 }
 

@@ -30,7 +30,8 @@ fn every_dataset_standin_runs_and_matches_oracle() {
         let Some(query) = random_walk_query(&data, 4, &mut rng) else {
             panic!("{kind:?}: query generation failed");
         };
-        let engine = GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
+        let engine =
+            GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
         let prepared = engine.prepare(&data);
         let out = engine.query(&data, &prepared, &query);
         assert!(!out.stats.timed_out, "{kind:?}");
@@ -64,7 +65,8 @@ fn default_query_size_12_on_enron_standin() {
         let Some(query) = random_walk_query(&data, 12, &mut rng) else {
             continue;
         };
-        let out = engine.query_with_timeout(&data, &prepared, &query, Some(Duration::from_secs(10)));
+        let out =
+            engine.query_with_timeout(&data, &prepared, &query, Some(Duration::from_secs(10)));
         if out.stats.timed_out {
             continue;
         }

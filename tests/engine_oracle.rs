@@ -71,7 +71,12 @@ fn gsi_base_matches_vf2() {
         let mut rng = StdRng::seed_from_u64(seed);
         let data = barabasi_albert(120, 2, &model, &mut rng);
         let query = random_walk_query(&data, 4, &mut rng).expect("query");
-        check_against_oracle(&data, &query, GsiConfig::gsi_base(), &format!("base {seed}"));
+        check_against_oracle(
+            &data,
+            &query,
+            GsiConfig::gsi_base(),
+            &format!("base {seed}"),
+        );
     }
 }
 
@@ -85,7 +90,12 @@ fn dense_queries_with_extra_edges() {
         let data = barabasi_albert(150, 3, &model, &mut rng);
         if let Some(query) = random_walk_query_with_edges(&data, 5, 7, &mut rng) {
             assert!(query.n_edges() >= 7);
-            check_against_oracle(&data, &query, GsiConfig::gsi_opt(), &format!("dense {seed}"));
+            check_against_oracle(
+                &data,
+                &query,
+                GsiConfig::gsi_opt(),
+                &format!("dense {seed}"),
+            );
         }
     }
 }

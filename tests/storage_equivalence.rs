@@ -14,10 +14,8 @@ use proptest::prelude::*;
 /// Strategy: an arbitrary labeled multigraph.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0u32..6, 0u32..4),
-            0..max_m,
-        );
+        let edges =
+            proptest::collection::vec((0..n as u32, 0..n as u32, 0u32..6, 0u32..4), 0..max_m);
         (proptest::collection::vec(0u32..5, n), edges).prop_map(|(vlabels, edges)| {
             let mut b = GraphBuilder::new();
             for l in vlabels {

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`: keeps the macro and builder call-site
+//! API, times each benchmark for `sample_size` iterations, and prints the
+//! mean wall time per iteration. No statistics, plots, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the bench binary is invoked with `--test`:
+        // run each benchmark exactly once, as real criterion does.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.iterations(), f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iterations: self.iterations(),
+            _parent: self,
+        }
+    }
+
+    fn iterations(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size.max(1)
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iterations: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput (recorded, printed alongside).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elements"),
+            Throughput::Bytes(n) => (n, "bytes"),
+        };
+        println!("{}: throughput {} {}/iter", self.name, n, unit);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.iterations, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.0), self.iterations, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Work volume per iteration, for throughput lines.
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, iterations: usize, mut f: F) {
+    let mut b = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.checked_div(iterations as u32).unwrap_or_default();
+    println!("bench {id}: {mean:?}/iter over {iterations} iters");
+}
+
+/// Subset of criterion's `criterion_group!`: the `name/config/targets` form
+/// plus the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point generating `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function("inner", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for `proptest`: random property testing without
+//! shrinking.
+//!
+//! Supports the call-site surface this workspace uses — the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`), range / tuple / collection
+//! strategies, [`Just`], [`any`], `prop_map` / `prop_flat_map`,
+//! [`prop_oneof!`], and the `prop_assert*` macros. Failing cases are
+//! reported with their case index and seed; there is no shrinking, so the
+//! reported inputs are the raw random ones.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Generation source handed to strategies (a seeded deterministic PRNG).
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded generator; each test case gets a distinct, reproducible seed.
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        Self(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.0.random_range(0..n)
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure from any displayable message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (`cases` = number of random inputs per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy of `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_from_bits {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::FnStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::FnStrategy($conv)
+            }
+        }
+    )*};
+}
+
+arbitrary_from_bits! {
+    bool => |rng: &mut TestRng| rng.next_u64() & 1 == 1,
+    u8 => |rng: &mut TestRng| rng.next_u64() as u8,
+    u16 => |rng: &mut TestRng| rng.next_u64() as u16,
+    u32 => |rng: &mut TestRng| rng.next_u64() as u32,
+    u64 => |rng: &mut TestRng| rng.next_u64(),
+    usize => |rng: &mut TestRng| rng.next_u64() as usize,
+}
+
+/// The glob import every proptest file starts with.
+pub mod prelude {
+    pub use crate::strategy::Just;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Run one property over `cases` random inputs. Used by [`proptest!`];
+/// reports the case index and seed on failure.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for i in 0..config.cases {
+        // Distinct reproducible seed per (property, case).
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash = (hash ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        let seed = hash ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+/// Subset of the upstream `proptest!` macro: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that returns a [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that returns a [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that returns a [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($strat),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 10u32..20, y in 3usize..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((3..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..100, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn exact_size_vec(v in crate::collection::vec(0u32..10, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn btree_set_bounds(s in crate::collection::btree_set(0u32..50, 0..20)) {
+            prop_assert!(s.len() < 20);
+        }
+
+        #[test]
+        fn maps_compose(x in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0 && x < 20);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (1usize..10).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0u32..100, n))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn oneof_picks_all(x in prop_oneof![Just(1u32), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn any_bool_works(b in any::<bool>()) {
+            prop_assert_eq!(b as u8 & !1, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(3), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

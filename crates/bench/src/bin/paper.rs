@@ -6,6 +6,8 @@
 //! experiments:
 //!   table2 table3 table4 table5 table6 table7 table8 table9 table10 table11
 //!   fig12 fig13 fig14 fig15 all
+//!   backend            (repo perf trajectory: serial vs host-parallel join
+//!                       execution; writes BENCH_PR2.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -14,6 +16,10 @@
 //!   --seed <n>         RNG seed (default 42)
 //!   --timeout <ms>     per-query timeout for GPU engines (default 100000)
 //!   --cpu-timeout <ms> per-query timeout for CPU baselines (default 10000)
+//!   --threads <n>      host-parallel backend workers (backend only, default 4)
+//!   --latency <ns>     modeled memory latency per streamed element
+//!                      (backend only, default 100)
+//!   --out <path>       report path (backend only, default BENCH_PR2.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -21,9 +27,10 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
-         [--timeout MS] [--cpu-timeout MS]"
+         [--timeout MS] [--cpu-timeout MS] \
+         [--threads N] [--latency NS] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -35,6 +42,9 @@ fn main() {
     }
     let exp = args[0].clone();
     let mut opts = HarnessOpts::default();
+    let mut threads = 4usize;
+    let mut latency_ns = 100u64;
+    let mut out_path = "BENCH_PR2.json".to_string();
 
     let mut i = 1;
     while i < args.len() {
@@ -47,6 +57,9 @@ fn main() {
             "--seed" => opts.seed = val.parse().unwrap_or_else(|_| usage()),
             "--timeout" => opts.timeout_ms = val.parse().unwrap_or_else(|_| usage()),
             "--cpu-timeout" => opts.cpu_timeout_ms = val.parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val.parse().unwrap_or_else(|_| usage()),
+            "--latency" => latency_ns = val.parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = val.clone(),
             _ => usage(),
         }
         i += 2;
@@ -72,6 +85,7 @@ fn main() {
         "fig13" => experiments::fig13(&opts),
         "fig14" => experiments::fig14(&opts),
         "fig15" => experiments::fig15(&opts),
+        "backend" => experiments::backend(&opts, threads, latency_ns, &out_path),
         "all" => experiments::all(&opts),
         _ => usage(),
     }

@@ -572,6 +572,140 @@ pub fn fig15(opts: &HarnessOpts) {
     println!("(paper: edge growth is cheap, slight drop past 24; vertex growth raises time, flattening past 13)");
 }
 
+/// PR 2 perf trajectory — serial vs `HostParallel` execution backend on the
+/// join workload (not part of the paper; the repo's own scaling series).
+///
+/// Both runs use an identical device with one *simulator* worker thread
+/// (so the legacy opportunistic threading inside `launch_blocks` cannot
+/// blur the comparison) and the memory-latency model enabled at
+/// `latency_ns` per streamed element — the regime where a real GPU's SMs
+/// earn their parallelism by hiding latency, and where the `HostParallel`
+/// backend's overlapping workers show real wall-clock speedup even on a
+/// single-core host. Verifies the backends' device counters and match
+/// counts are *exactly* equal, then writes the measurements to `out_path`
+/// (`BENCH_PR2.json`).
+pub fn backend(opts: &HarnessOpts, threads: usize, latency_ns: u64, out_path: &str) {
+    use crate::report::JsonObj;
+    use crate::runner::run_gsi_on_device;
+
+    section(&format!(
+        "Backend scaling — serial vs host-parallel join execution ({threads} threads)"
+    ));
+    let data = opts.dataset(DatasetKind::Enron);
+    println!("dataset: enron stand-in, {}", statistics(&data));
+    let queries = opts.query_batch(&data);
+    let device = DeviceConfig {
+        worker_threads: 1,
+        stream_latency_ns: latency_ns,
+        ..DeviceConfig::titan_xp()
+    };
+    let cfg = GsiConfig::gsi_opt();
+
+    let serial = run_gsi_on_device(&cfg, device.clone(), &data, &queries, opts);
+    let parallel = run_gsi_on_device(
+        &cfg.clone().with_backend(BackendKind::HostParallel, threads),
+        device.clone(),
+        &data,
+        &queries,
+        opts,
+    );
+
+    // The parallel backend must be *indistinguishable* on everything the
+    // simulator measures — only wall clock may move.
+    let exact = serial.matches == parallel.matches
+        && serial.gld == parallel.gld
+        && serial.gst == parallel.gst
+        && serial.kernels == parallel.kernels
+        && serial.allocs == parallel.allocs
+        && serial.join_work_units == parallel.join_work_units;
+    assert!(
+        exact,
+        "parallel backend diverged: {serial:?} vs {parallel:?}"
+    );
+
+    let mut t = Table::new(vec![
+        "backend", "join", "total", "GLD", "GST", "work", "span", "matches",
+    ]);
+    for (name, agg) in [("serial", &serial), ("host-parallel", &parallel)] {
+        t.row(vec![
+            name.to_string(),
+            ms(agg.join_time),
+            ms(agg.total_time),
+            human(agg.join_gld),
+            human(agg.join_gst),
+            human(agg.join_work_units),
+            human(agg.join_span_units),
+            agg.matches.to_string(),
+        ]);
+    }
+    t.print();
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let schedule_speedup = serial.join_span_units as f64 / parallel.join_span_units.max(1) as f64;
+    println!(
+        "join wall speedup: {}   schedule (work/span) speedup: {:.2}x   host cores: {}",
+        speedup(serial.join_time, parallel.join_time),
+        schedule_speedup,
+        host_cores
+    );
+    println!("device counters: exactly equal across backends");
+
+    let agg_obj = |agg: &crate::runner::Aggregate| {
+        JsonObj::new()
+            .f64("join_wall_ms", agg.join_time.as_secs_f64() * 1e3)
+            .f64("total_wall_ms", agg.total_time.as_secs_f64() * 1e3)
+            .u64("join_gld", agg.join_gld)
+            .u64("join_gst", agg.join_gst)
+            .u64("kernels", agg.kernels)
+            .u64("allocs", agg.allocs)
+            .u64("work_units", agg.join_work_units)
+            .u64("span_units", agg.join_span_units)
+            .u64("matches", agg.matches as u64)
+            .u64("timeouts", agg.timeouts as u64)
+    };
+    let report = JsonObj::new()
+        .u64("pr", 2)
+        .str("experiment", "backend-scaling")
+        .str(
+            "description",
+            "serial vs HostParallel join execution backend, identical device, \
+             memory-latency model enabled",
+        )
+        .str("dataset", "enron")
+        .f64("scale", opts.scale)
+        .u64("queries", queries.len() as u64)
+        .u64("query_size", opts.query_size as u64)
+        .u64("seed", opts.seed)
+        .u64("threads", threads as u64)
+        .u64("host_cores", host_cores as u64)
+        .obj(
+            "device",
+            JsonObj::new()
+                .u64("worker_threads", 1)
+                .u64("stream_latency_ns_per_element", latency_ns),
+        )
+        .obj("serial", agg_obj(&serial))
+        .obj("host_parallel", agg_obj(&parallel))
+        .bool("counters_exactly_equal", exact)
+        .obj(
+            "speedup",
+            JsonObj::new()
+                .f64(
+                    "join_wall",
+                    serial.join_time.as_secs_f64() / parallel.join_time.as_secs_f64().max(1e-12),
+                )
+                .f64(
+                    "total_wall",
+                    serial.total_time.as_secs_f64() / parallel.total_time.as_secs_f64().max(1e-12),
+                )
+                .f64("schedule_work_over_span", schedule_speedup),
+        );
+    report.write(out_path).expect("write bench report");
+    println!("wrote {out_path}");
+}
+
 /// Run every experiment in paper order.
 pub fn all(opts: &HarnessOpts) {
     table2(opts);

@@ -14,5 +14,6 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod report;
 pub mod runner;
 pub mod workloads;

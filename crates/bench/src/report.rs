@@ -1,0 +1,124 @@
+//! Machine-readable experiment reports — the repo's perf trajectory.
+//!
+//! Each PR that changes a hot path appends a `BENCH_PR<N>.json` artifact at
+//! the repo root (and CI uploads a freshly measured copy per run), so the
+//! series of files records how performance moves over time. The writer here
+//! is a deliberately tiny hand-rolled JSON builder: the workspace is
+//! hermetic (no serde), and the reports are flat objects.
+
+/// Builder for one JSON object, preserving field insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonObj {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let v = format!("\"{}\"", escape(value));
+        self.raw(key, v)
+    }
+
+    /// Add an integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Add a float field (3 decimals — report precision).
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() {
+            format!("{value:.3}")
+        } else {
+            "null".to_string()
+        };
+        self.raw(key, v)
+    }
+
+    /// Add a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Add a nested object.
+    pub fn obj(self, key: &str, value: JsonObj) -> Self {
+        let v = value.render(1);
+        self.raw(key, v)
+    }
+
+    fn render(&self, depth: usize) -> String {
+        let pad = "  ".repeat(depth);
+        let inner = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{pad}  \"{}\": {}", escape(k), v))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{inner}\n{pad}}}")
+    }
+
+    /// Serialize with a trailing newline.
+    pub fn to_json(&self) -> String {
+        format!("{}\n", self.render(0))
+    }
+
+    /// Write the object to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ordered_nested_json() {
+        let j = JsonObj::new()
+            .str("name", "backend \"scaling\"")
+            .u64("threads", 4)
+            .f64("speedup", 2.5)
+            .bool("exact", true)
+            .obj("inner", JsonObj::new().u64("x", 1));
+        let s = j.to_json();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"name\": \"backend \\\"scaling\\\"\""));
+        assert!(s.contains("\"threads\": 4"));
+        assert!(s.contains("\"speedup\": 2.500"));
+        assert!(s.contains("\"exact\": true"));
+        assert!(s.contains("\"inner\": {"));
+        assert!(s.contains("\"x\": 1"));
+        // Order preserved.
+        assert!(s.find("name").unwrap() < s.find("threads").unwrap());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = JsonObj::new().f64("bad", f64::NAN).to_json();
+        assert!(s.contains("\"bad\": null"));
+    }
+}

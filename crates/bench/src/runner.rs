@@ -38,6 +38,10 @@ pub struct Aggregate {
     pub completed_time: Duration,
     /// Summed device allocation requests.
     pub allocs: u64,
+    /// Summed join-backend work units (total streamed elements).
+    pub join_work_units: u64,
+    /// Summed join-backend span units (schedule critical path).
+    pub join_span_units: u64,
 }
 
 impl Aggregate {
@@ -102,9 +106,21 @@ impl Aggregate {
     }
 }
 
-/// Run a GSI config over a query batch on a fresh device.
+/// Run a GSI config over a query batch on a fresh default device.
 pub fn run_gsi(cfg: &GsiConfig, data: &Graph, queries: &[Graph], opts: &HarnessOpts) -> Aggregate {
-    let engine = GsiEngine::new(cfg.clone());
+    run_gsi_on_device(cfg, DeviceConfig::titan_xp(), data, queries, opts)
+}
+
+/// Run a GSI config over a query batch on an explicit device (backend
+/// comparisons fix `worker_threads` / latency modeling here).
+pub fn run_gsi_on_device(
+    cfg: &GsiConfig,
+    device: DeviceConfig,
+    data: &Graph,
+    queries: &[Graph],
+    opts: &HarnessOpts,
+) -> Aggregate {
+    let engine = GsiEngine::with_gpu(cfg.clone(), Gpu::new(device));
     let prepared = engine.prepare(data);
     let mut agg = Aggregate::default();
     for q in queries {
@@ -121,6 +137,8 @@ pub fn run_gsi(cfg: &GsiConfig, data: &Graph, queries: &[Graph], opts: &HarnessO
         agg.min_candidate += out.stats.min_candidate;
         agg.matches += out.stats.n_matches;
         agg.allocs += out.stats.device.device_allocs;
+        agg.join_work_units += out.stats.join_work_units;
+        agg.join_span_units += out.stats.join_span_units;
         agg.timeouts += out.stats.timed_out as usize;
         if !out.stats.timed_out {
             agg.completed_time += out.stats.total_time;
@@ -236,6 +254,31 @@ mod tests {
         assert!(agg.gld > 0);
         assert!(agg.avg_time() > Duration::ZERO);
         assert_eq!(agg.timeouts, 0);
+    }
+
+    #[test]
+    fn backends_agree_on_device_counters() {
+        let (opts, data, queries) = tiny();
+        let device = DeviceConfig {
+            worker_threads: 1,
+            ..DeviceConfig::titan_xp()
+        };
+        let cfg = GsiConfig::gsi_opt();
+        let serial = run_gsi_on_device(&cfg, device.clone(), &data, &queries, &opts);
+        let par = run_gsi_on_device(
+            &cfg.with_backend(BackendKind::HostParallel, 3),
+            device,
+            &data,
+            &queries,
+            &opts,
+        );
+        assert_eq!(serial.matches, par.matches);
+        assert_eq!(serial.gld, par.gld);
+        assert_eq!(serial.gst, par.gst);
+        assert_eq!(serial.kernels, par.kernels);
+        assert_eq!(serial.join_work_units, par.join_work_units);
+        assert!(par.join_span_units <= par.join_work_units);
+        assert!(serial.join_work_units > 0);
     }
 
     #[test]

@@ -16,6 +16,20 @@ pub enum JoinScheme {
     TwoStep,
 }
 
+/// Which execution backend drives the join phase's planned kernels (see
+/// the [`crate::backend`] module for the layer stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Faithful single-threaded simulation: blocks run in grid order on the
+    /// calling thread. Deterministic; the reference for every comparison.
+    #[default]
+    Serial,
+    /// Real intra-query parallelism: a `std::thread::scope` worker pool
+    /// drains each launch's blocks the way a GPU's SMs do. Exact counters,
+    /// bit-identical results, lower wall-clock on multi-core hosts.
+    HostParallel,
+}
+
 /// How set operations are executed (§V "GPU-friendly Set Operation").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetOpStrategy {
@@ -111,6 +125,13 @@ pub struct GsiConfig {
     /// Abort when the intermediate table exceeds this many rows (guards
     /// against explosive queries the paper's 100 s timeout would kill).
     pub max_intermediate_rows: usize,
+    /// Execution backend for the join phase's planned kernels.
+    pub backend: BackendKind,
+    /// Worker threads of the [`BackendKind::HostParallel`] backend
+    /// (`0` = all available host parallelism). Ignored by `Serial`. A
+    /// serving layer overrides this per query to budget intra- against
+    /// inter-query parallelism (see `gsi-service`).
+    pub intra_query_threads: usize,
 }
 
 impl GsiConfig {
@@ -131,6 +152,17 @@ impl GsiConfig {
             first_edge_min_freq: true,
             combined_alloc: true,
             max_intermediate_rows: 10_000_000,
+            backend: BackendKind::Serial,
+            intra_query_threads: 0,
+        }
+    }
+
+    /// This configuration with another execution backend.
+    pub fn with_backend(self, backend: BackendKind, intra_query_threads: usize) -> Self {
+        Self {
+            backend,
+            intra_query_threads,
+            ..self
         }
     }
 
@@ -229,6 +261,16 @@ mod tests {
         let cfg = GsiConfig::default();
         cfg.validate();
         assert!(cfg.duplicate_removal);
+        assert_eq!(cfg.backend, BackendKind::Serial, "serial is the reference");
+    }
+
+    #[test]
+    fn with_backend_overrides_only_execution() {
+        let cfg = GsiConfig::gsi_opt().with_backend(BackendKind::HostParallel, 4);
+        assert_eq!(cfg.backend, BackendKind::HostParallel);
+        assert_eq!(cfg.intra_query_threads, 4);
+        assert!(cfg.duplicate_removal, "other knobs untouched");
+        cfg.validate();
     }
 
     #[test]

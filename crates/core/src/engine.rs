@@ -1,12 +1,13 @@
 //! The end-to-end GSI engine: prepare (offline) + query (online).
 
-use crate::config::{FilterStrategy, GsiConfig, JoinScheme};
+use crate::backend::{make_backend, ExecBackend};
+use crate::config::{BackendKind, FilterStrategy, GsiConfig};
 use crate::join::JoinCtx;
 use crate::matches::Matches;
-use crate::plan::{plan_join, JoinPlan};
+use crate::plan::{plan_join, JoinPlan, PlanError};
 use crate::stats::RunStats;
+use crate::strategy::strategy_for;
 use crate::table::MatchTable;
-use crate::{prealloc, two_step};
 use gsi_gpu_sim::{DeviceConfig, Gpu};
 use gsi_graph::basic::BasicStore;
 use gsi_graph::compressed::CompressedStore;
@@ -63,6 +64,14 @@ pub struct QueryOptions<'a> {
     /// validated with [`JoinPlan::covers`]; one that does not cover `query`
     /// is ignored and a fresh plan is computed.
     pub plan: Option<&'a JoinPlan>,
+    /// Execution backend override for this run; `None` uses
+    /// [`GsiConfig::backend`].
+    pub backend: Option<BackendKind>,
+    /// `HostParallel` worker-thread override for this run (`0` = all
+    /// available cores); `None` uses [`GsiConfig::intra_query_threads`].
+    /// A serving layer sets this per query to budget intra- against
+    /// inter-query parallelism.
+    pub intra_query_threads: Option<usize>,
 }
 
 /// Result of one query run.
@@ -185,6 +194,11 @@ impl GsiEngine {
     }
 
     /// Answer a query: all subgraph-isomorphism matches of `query` in `data`.
+    ///
+    /// Panics on a query Algorithm 2 cannot plan (empty or disconnected) —
+    /// exactly the inputs that always panicked here; fallible callers use
+    /// [`GsiEngine::query_with_options`] and get a typed [`PlanError`]
+    /// instead, or [`GsiEngine::query_disconnected`] to split components.
     pub fn query(&self, data: &Graph, prepared: &PreparedData, query: &Graph) -> QueryOutput {
         self.query_with_timeout(data, prepared, query, None)
     }
@@ -235,22 +249,26 @@ impl GsiEngine {
                 ..QueryOptions::default()
             },
         )
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The fully general entry point: [`GsiEngine::query`] plus a timeout
-    /// and an optional reusable [`JoinPlan`] (see [`QueryOptions`]).
+    /// The fully general entry point: [`GsiEngine::query`] plus a timeout,
+    /// an optional reusable [`JoinPlan`], and execution-backend overrides
+    /// (see [`QueryOptions`]).
     ///
     /// The run is split into the cacheable and per-run halves of the joining
     /// phase: Algorithm 2 (join-order construction) only executes when no
     /// valid plan is supplied, while filtering and Algorithm 3 (the joins
-    /// themselves) always execute.
+    /// themselves) always execute. Fails with a typed [`PlanError`] on
+    /// queries Algorithm 2 cannot order (empty or disconnected patterns) —
+    /// no panic, so serving workers reject them gracefully.
     pub fn query_with_options(
         &self,
         data: &Graph,
         prepared: &PreparedData,
         query: &Graph,
         opts: QueryOptions<'_>,
-    ) -> QueryOutput {
+    ) -> Result<QueryOutput, PlanError> {
         let t_start = Instant::now();
         let snap_start = self.gpu.stats().snapshot();
 
@@ -272,9 +290,19 @@ impl GsiEngine {
         let timeout = opts.timeout;
         let (plan, plan_reused) = match opts.plan {
             Some(p) if p.covers(query) => (p.clone(), true),
-            _ => (plan_join(query, data, &cands), false),
+            _ => (plan_join(query, data, &cands)?, false),
         };
         let mut matches = Matches::empty(plan.order.clone());
+
+        // Strategy (what each iteration computes) and backend (how its
+        // planned kernels execute) are resolved per run; the backend is
+        // per-query state, carrying the run's work/span ledger.
+        let strategy = strategy_for(self.cfg.join_scheme);
+        let backend: Box<dyn ExecBackend> = make_backend(
+            opts.backend.unwrap_or(self.cfg.backend),
+            opts.intra_query_threads
+                .unwrap_or(self.cfg.intra_query_threads),
+        );
 
         if min_candidate > 0 {
             let ctx = JoinCtx {
@@ -282,6 +310,7 @@ impl GsiEngine {
                 cfg: &self.cfg,
                 store: prepared.store.as_ref(),
                 data,
+                backend: backend.as_ref(),
             };
             let mut m = MatchTable::from_candidates(&cands[plan.order[0] as usize].list);
             stats.max_intermediate_rows = m.n_rows();
@@ -301,11 +330,7 @@ impl GsiEngine {
                     break;
                 }
                 let cand = &cands[step.vertex as usize];
-                let result = match self.cfg.join_scheme {
-                    JoinScheme::PreallocCombine => prealloc::join_iteration(&ctx, &m, step, cand),
-                    JoinScheme::TwoStep => two_step::join_iteration(&ctx, &m, step, cand),
-                };
-                match result {
+                match strategy.join_iteration(&ctx, &m, step, cand) {
                     Ok(next) => m = next,
                     Err(_) => {
                         stats.timed_out = true;
@@ -327,13 +352,14 @@ impl GsiEngine {
         stats.total_time = t_start.elapsed();
         stats.device = self.gpu.stats().snapshot() - snap_start;
         stats.n_matches = matches.len();
+        (stats.join_work_units, stats.join_span_units) = backend.work_span();
 
-        QueryOutput {
+        Ok(QueryOutput {
             matches,
             stats,
             plan,
             plan_reused,
-        }
+        })
     }
 }
 
@@ -535,15 +561,17 @@ mod tests {
         let prepared = engine.prepare(&data);
         let first = engine.query(&data, &prepared, &query);
         assert!(!first.plan_reused);
-        let second = engine.query_with_options(
-            &data,
-            &prepared,
-            &query,
-            QueryOptions {
-                plan: Some(&first.plan),
-                ..QueryOptions::default()
-            },
-        );
+        let second = engine
+            .query_with_options(
+                &data,
+                &prepared,
+                &query,
+                QueryOptions {
+                    plan: Some(&first.plan),
+                    ..QueryOptions::default()
+                },
+            )
+            .expect("plans");
         assert!(second.plan_reused);
         assert_eq!(second.plan, first.plan);
         assert_eq!(second.matches.canonical(), first.matches.canonical());
@@ -562,15 +590,17 @@ mod tests {
         qb.add_edge(u0, u1, 0);
         let other = qb.build();
         let stale = engine.query(&data, &prepared, &other).plan;
-        let out = engine.query_with_options(
-            &data,
-            &prepared,
-            &query,
-            QueryOptions {
-                plan: Some(&stale),
-                ..QueryOptions::default()
-            },
-        );
+        let out = engine
+            .query_with_options(
+                &data,
+                &prepared,
+                &query,
+                QueryOptions {
+                    plan: Some(&stale),
+                    ..QueryOptions::default()
+                },
+            )
+            .expect("plans");
         assert!(!out.plan_reused);
         assert_eq!(out.matches.len(), 100);
     }
@@ -609,6 +639,47 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn host_parallel_backend_matches_serial_exactly() {
+        let (data, query) = paper_example();
+        for scheme in [
+            crate::config::JoinScheme::PreallocCombine,
+            crate::config::JoinScheme::TwoStep,
+        ] {
+            let cfg = GsiConfig {
+                join_scheme: scheme,
+                ..GsiConfig::gsi_opt()
+            };
+            let serial = test_engine(cfg.clone());
+            let prepared = serial.prepare(&data);
+            let a = serial.query(&data, &prepared, &query);
+
+            let par = test_engine(cfg.with_backend(crate::BackendKind::HostParallel, 4));
+            let prepared = par.prepare(&data);
+            let b = par.query(&data, &prepared, &query);
+
+            assert_eq!(a.matches.table, b.matches.table, "bit-identical tables");
+            assert_eq!(a.stats.device, b.stats.device, "exact device counters");
+            assert_eq!(a.stats.join_work_units, b.stats.join_work_units);
+            assert!(b.stats.join_span_units <= b.stats.join_work_units);
+        }
+    }
+
+    #[test]
+    fn disconnected_query_surfaces_a_typed_plan_error() {
+        let (data, _) = paper_example();
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(0);
+        qb.add_vertex(1); // isolated: disconnected pattern
+        let q = qb.build();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let err = engine
+            .query_with_options(&data, &prepared, &q, QueryOptions::default())
+            .expect_err("disconnected");
+        assert!(matches!(err, crate::PlanError::Disconnected { step: 1 }));
     }
 
     #[test]

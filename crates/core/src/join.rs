@@ -4,18 +4,22 @@
 //! Both output schemes (Prealloc-Combine and two-step) drive these passes;
 //! they differ only in where buffers live and how often passes run.
 
+use crate::backend::ExecBackend;
 use crate::config::{GsiConfig, SetOpStrategy};
-use crate::dedup::first_occurrences;
+use crate::dedup::block_input_owners;
 use crate::load_balance::{plan_kernels, ChunkTask};
 use crate::set_ops::{CandidateProbe, SetOpExec};
-use crate::table::MatchTable;
-use gsi_gpu_sim::{kernel, Gpu, Schedule};
+use crate::table::{segments_into_row_buffers, stitch_segments, MatchTable, Segment, TableShard};
+use gsi_gpu_sim::scan::exclusive_prefix_sum;
+use gsi_gpu_sim::{kernel, Gpu};
 use gsi_graph::storage::Neighbors;
 use gsi_graph::{EdgeLabel, Graph, LabeledStore, VertexId};
-use parking_lot::Mutex;
 
-/// Output slot of one chunk task: `(row, chunk start, produced elements)`.
-type ChunkSlot = Mutex<Option<(usize, usize, Vec<VertexId>)>>;
+/// The join iteration would materialize a table beyond the configured
+/// intermediate-row bound; the engine reports this as a timeout, exactly
+/// like the paper's 100 s threshold kills runaway queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinOverflow;
 
 /// Shared context for one query's join phase.
 pub struct JoinCtx<'a> {
@@ -27,6 +31,8 @@ pub struct JoinCtx<'a> {
     pub store: &'a dyn LabeledStore,
     /// The data graph (host-side metadata: label frequencies, planning).
     pub data: &'a Graph,
+    /// The execution backend running this query's planned kernels.
+    pub backend: &'a dyn ExecBackend,
 }
 
 impl JoinCtx<'_> {
@@ -80,41 +86,29 @@ pub fn run_edge_pass(
     let exec = ctx.exec();
     let plans = plan_kernels(loads, ctx.cfg.load_balance.as_ref(), ctx.warps_per_block());
 
-    // (row, chunk-start, output) triples collected from every launch.
-    let mut pieces: Vec<(usize, usize, Vec<VertexId>)> = Vec::new();
-
+    // (row, chunk-start) keyed segments collected from every launch; each
+    // backend worker appends to its private shard — no slot mutexes.
+    let mut segments: Vec<Segment> = Vec::new();
     for plan in &plans {
-        let slots: Vec<ChunkSlot> = (0..plan.tasks.len()).map(|_| Mutex::new(None)).collect();
-
-        kernel::launch_blocks(
-            ctx.gpu,
-            &plan.tasks,
-            plan.warps_per_block,
-            Schedule::Dynamic,
-            |bctx, block| {
-                run_block(ctx, &exec, m, col, label, kind, out_bases, loads, block, {
-                    let first = bctx.first_task;
-                    &slots[first..first + block.len()]
-                });
-            },
+        let shards = ctx
+            .backend
+            .run_kernel(ctx.gpu, plan, &|_bctx, block, shard| {
+                run_block(
+                    ctx, &exec, m, col, label, kind, out_bases, loads, block, shard,
+                );
+            });
+        // The loud-failure guarantee the old per-chunk slots' `expect` gave:
+        // a body that skips a task cannot silently drop its chunk.
+        assert_eq!(
+            shards.n_segments(),
+            plan.tasks.len(),
+            "every warp task must produce exactly one output segment"
         );
-
-        for slot in slots {
-            pieces.push(slot.into_inner().expect("every task must produce output"));
-        }
+        segments.extend(shards.into_segments());
     }
 
     // Merge chunks back into per-row buffers, in stream order.
-    pieces.sort_unstable_by_key(|&(row, lo, _)| (row, lo));
-    let mut bufs: Vec<Vec<VertexId>> = vec![Vec::new(); m.n_rows()];
-    for (row, _, mut piece) in pieces {
-        if bufs[row].is_empty() {
-            bufs[row] = std::mem::take(&mut piece);
-        } else {
-            bufs[row].extend_from_slice(&piece);
-        }
-    }
-    bufs
+    segments_into_row_buffers(segments, m.n_rows())
 }
 
 /// Execute one block's tasks (one OS thread; warps sequential within).
@@ -129,30 +123,19 @@ fn run_block(
     out_bases: Option<&[usize]>,
     loads: &[usize],
     block: &[ChunkTask],
-    slots: &[ChunkSlot],
+    shard: &mut TableShard,
 ) {
     // Duplicate removal (Algorithm 5): whole-row tasks sharing the same
     // joined vertex share one input-buffer read within the block.
     let vs: Vec<VertexId> = block.iter().map(|t| m.row(t.row)[col]).collect();
-    let dedup_addr = if ctx.cfg.duplicate_removal {
-        Some(first_occurrences(&vs))
-    } else {
-        None
-    };
+    let owners = block_input_owners(ctx.cfg.duplicate_removal, block, loads, &vs);
 
     for (i, task) in block.iter().enumerate() {
         let row_slice = m.row(task.row);
         let v_prime = vs[i];
-
         // A warp that shares another warp's input buffer neither re-locates
         // nor re-streams the neighbor list (only whole tasks share).
-        let owner = match &dedup_addr {
-            Some(addr) => {
-                let is_whole = task.is_whole(loads[task.row]);
-                !(is_whole && addr[i] != i && block[addr[i]].is_whole(loads[block[addr[i]].row]))
-            }
-            None => true,
-        };
+        let owner = owners[i];
 
         // The naive baseline launches a dedicated kernel per set operation.
         if ctx.cfg.set_ops == SetOpStrategy::Naive {
@@ -207,7 +190,7 @@ fn run_block(
             }
         };
 
-        *slots[i].lock() = Some((task.row, task.range.start, out));
+        shard.push(task.row, task.range.start, out);
     }
 }
 
@@ -256,21 +239,17 @@ pub fn link_pass(
 ) -> MatchTable {
     let n_cols = m.n_cols() + 1;
     let total_rows = *out_offsets.last().expect("offsets include total") as usize;
-    let mut data = vec![0 as VertexId; total_rows * n_cols];
 
     let loads: Vec<usize> = bufs.iter().map(|b| b.len()).collect();
     let plans = plan_kernels(&loads, ctx.cfg.load_balance.as_ref(), ctx.warps_per_block());
-    let out = MatchTable::from_raw(n_cols, vec![0; total_rows.max(1) * n_cols]);
 
-    // Disjoint output regions per task, safely handed out through mutexes.
-    let slots: Mutex<Vec<(usize, usize, Vec<VertexId>)>> = Mutex::new(Vec::new());
+    // Each task owns a disjoint region of M'; workers emit the regions as
+    // keyed segments in their private shards, stitched once at the end.
+    let mut segments: Vec<Segment> = Vec::new();
     for plan in &plans {
-        kernel::launch_blocks(
-            ctx.gpu,
-            &plan.tasks,
-            plan.warps_per_block,
-            Schedule::Dynamic,
-            |_bctx, block| {
+        let shards = ctx
+            .backend
+            .run_kernel(ctx.gpu, plan, &|_bctx, block, shard| {
                 for task in block {
                     // Read m_i into shared memory (line 18).
                     m.charge_row_read(ctx.gpu, task.row);
@@ -285,25 +264,45 @@ pub fn link_pass(
                     let mut local = Vec::with_capacity(task.range.len() * n_cols);
                     for (k, &z) in bufs[task.row][task.range.clone()].iter().enumerate() {
                         let out_row = out_offsets[task.row] as usize + task.range.start + k;
-                        out.charge_row_write(ctx.gpu, out_row);
+                        MatchTable::charge_write_at(ctx.gpu, n_cols, out_row);
                         ctx.gpu.stats().add_work(n_cols as u64);
                         local.extend_from_slice(row);
                         local.push(z);
                     }
-                    slots.lock().push((
+                    shard.push(
                         (out_offsets[task.row] as usize + task.range.start) * n_cols,
-                        task.range.len() * n_cols,
+                        0,
                         local,
-                    ));
+                    );
                 }
-            },
+            });
+        assert_eq!(
+            shards.n_segments(),
+            plan.tasks.len(),
+            "every link task must produce exactly one output segment"
         );
+        segments.extend(shards.into_segments());
     }
 
-    for (start, len, local) in slots.into_inner() {
-        data[start..start + len].copy_from_slice(&local);
+    // `stitch_segments` additionally asserts the segments tile M' exactly.
+    MatchTable::from_raw(n_cols, stitch_segments(segments, total_rows * n_cols))
+}
+
+/// The shared tail of one join iteration, for both output schemes: prefix-sum
+/// the final buffer lengths into `M'` row offsets, refuse to materialize a
+/// table beyond the configured row guard, and run the link kernel.
+pub fn finalize_iteration(
+    ctx: &JoinCtx<'_>,
+    m: &MatchTable,
+    bufs: &[Vec<VertexId>],
+    buf_bases: Option<&[usize]>,
+) -> Result<MatchTable, JoinOverflow> {
+    let final_counts: Vec<u32> = bufs.iter().map(|b| b.len() as u32).collect();
+    let out_offsets = exclusive_prefix_sum(ctx.gpu, &final_counts);
+    if *out_offsets.last().expect("scan returns total") as usize > ctx.cfg.max_intermediate_rows {
+        return Err(JoinOverflow);
     }
-    MatchTable::from_raw(n_cols, data)
+    Ok(link_pass(ctx, m, bufs, buf_bases, &out_offsets))
 }
 
 /// Order the linking edges of a step: Algorithm 4 line 1 picks the edge

@@ -22,6 +22,13 @@
 //!   ([`load_balance`]) and block-level duplicate removal ([`dedup`],
 //!   Algorithm 5).
 //!
+//! The joining phase is a layered pipeline: a [`strategy::JoinStrategy`]
+//! (Prealloc-Combine or two-step) decides *what* each iteration computes,
+//! an execution backend ([`backend::ExecBackend`] — faithful serial, or a
+//! real host worker pool) decides *how* its planned kernels run, and the
+//! simulated device underneath keeps the transaction ledger — exact under
+//! concurrency. See the [`backend`] module docs for the stack.
+//!
 //! Entry point: [`engine::GsiEngine`].
 //!
 //! ```
@@ -55,6 +62,7 @@
 //!
 //! [Zeng et al., ICDE 2020]: https://arxiv.org/abs/1906.03420
 
+pub mod backend;
 pub mod components;
 pub mod config;
 pub mod dedup;
@@ -66,12 +74,15 @@ pub mod plan;
 pub mod prealloc;
 pub mod set_ops;
 pub mod stats;
+pub mod strategy;
 pub mod table;
 pub mod two_step;
 pub mod write_cache;
 
-pub use config::{FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpStrategy};
+pub use backend::{ExecBackend, HostParallelBackend, SerialBackend};
+pub use config::{BackendKind, FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpStrategy};
 pub use engine::{GsiEngine, PreparedData, QueryOptions, QueryOutput};
 pub use matches::Matches;
-pub use plan::{JoinPlan, JoinStep};
+pub use plan::{JoinPlan, JoinStep, PlanError};
 pub use stats::RunStats;
+pub use strategy::JoinStrategy;

@@ -241,6 +241,48 @@ mod tests {
     }
 
     #[test]
+    fn empty_loads_yield_no_tasks() {
+        // No rows at all: the planner must not fabricate tasks. Without
+        // load balance one (empty) launch is planned; with it, none.
+        let plans = plan_kernels(&[], None, 32);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].tasks.is_empty());
+        let plans = plan_kernels(&[], Some(&lb()), 32);
+        assert!(plans.iter().all(|p| p.tasks.is_empty()));
+    }
+
+    #[test]
+    fn single_oversized_row_is_fully_chunked() {
+        // One hub row far above W1 and nothing else: a dedicated launch
+        // whose W3-sized chunks tile the row exactly, blocks fully packed.
+        let loads = vec![1_000_000usize];
+        let plans = plan_kernels(&loads, Some(&lb()), 32);
+        assert_eq!(plans.len(), 1);
+        coverage(&plans, &loads);
+        let tasks = &plans[0].tasks;
+        assert_eq!(tasks.len(), 1_000_000usize.div_ceil(256));
+        assert!(tasks.iter().all(|t| t.row == 0 && t.range.len() <= 256));
+        // The launch's imbalance is bounded by one chunk.
+        let max = max_block_load(&plans);
+        assert!(max <= 32 * 256, "max block load {max}");
+    }
+
+    #[test]
+    fn all_zero_loads_keep_every_row() {
+        // Every row empty (e.g. an edge pass after candidates emptied):
+        // each row still needs its (empty) output slot.
+        let loads = vec![0usize; 97];
+        let params = lb();
+        for lb_opt in [None, Some(&params)] {
+            let plans = plan_kernels(&loads, lb_opt, 32);
+            coverage(&plans, &loads);
+            let n_tasks: usize = plans.iter().map(|p| p.tasks.len()).sum();
+            assert_eq!(n_tasks, 97);
+            assert_eq!(max_block_load(&plans), 0);
+        }
+    }
+
+    #[test]
     fn whole_task_detection() {
         let t = ChunkTask::whole(3, 100);
         assert!(t.is_whole(100));

@@ -27,13 +27,67 @@ pub struct JoinPlan {
     pub steps: Vec<JoinStep>,
 }
 
+/// Why Algorithm 2 could not produce a join order for a query.
+///
+/// The paper assumes connected, non-empty queries; instead of panicking on
+/// violations (which previously tore down whichever worker thread was
+/// planning), the planner reports them as typed errors so serving layers
+/// can reject the query gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The query has no vertices.
+    EmptyQuery,
+    /// `cands.len()` does not match the query's vertex count.
+    CandidateMismatch {
+        /// Query vertex count.
+        expected: usize,
+        /// Candidate sets supplied.
+        got: usize,
+    },
+    /// No unplanned vertex connects to the already-ordered prefix: the
+    /// query is disconnected (split components upstream, e.g. with
+    /// `GsiEngine::query_disconnected`).
+    Disconnected {
+        /// The join step at which the order could not be extended.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyQuery => write!(f, "empty query"),
+            PlanError::CandidateMismatch { expected, got } => {
+                write!(f, "expected {expected} candidate sets, got {got}")
+            }
+            PlanError::Disconnected { step } => {
+                write!(f, "query is disconnected at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Compute the join order for `query` over `data` given the filtered
-/// candidate sets (Algorithm 2). Panics if the query is disconnected (the
-/// paper assumes connected queries; split components upstream).
-pub fn plan_join(query: &Graph, data: &Graph, cands: &[CandidateSet]) -> JoinPlan {
+/// candidate sets (Algorithm 2). Fails with a typed [`PlanError`] on
+/// empty or disconnected queries (the paper assumes connected queries;
+/// split components upstream).
+pub fn plan_join(
+    query: &Graph,
+    data: &Graph,
+    cands: &[CandidateSet],
+) -> Result<JoinPlan, PlanError> {
     let nq = query.n_vertices();
-    assert!(nq > 0, "empty query");
-    assert_eq!(cands.len(), nq, "one candidate set per query vertex");
+    if nq == 0 {
+        return Err(PlanError::EmptyQuery);
+    }
+    if cands.len() != nq {
+        return Err(PlanError::CandidateMismatch {
+            expected: nq,
+            got: cands.len(),
+        });
+    }
 
     // score(u') = |C(u')| / deg(u')  (lines 2-3).
     let mut score: Vec<f64> = (0..nq)
@@ -64,7 +118,7 @@ pub fn plan_join(query: &Graph, data: &Graph, cands: &[CandidateSet]) -> JoinPla
                             .any(|&(n, _)| in_plan[n as usize])
                 })
                 .min_by(|&a, &b| score[a].total_cmp(&score[b]))
-                .unwrap_or_else(|| panic!("query is disconnected at step {i}"))
+                .ok_or(PlanError::Disconnected { step: i })?
         };
 
         let u = pick as VertexId;
@@ -94,7 +148,7 @@ pub fn plan_join(query: &Graph, data: &Graph, cands: &[CandidateSet]) -> JoinPla
         }
     }
 
-    JoinPlan { order, steps }
+    Ok(JoinPlan { order, steps })
 }
 
 impl JoinPlan {
@@ -201,7 +255,7 @@ mod tests {
         let d = data();
         // u2 has 2 candidates and degree 3 → lowest score.
         let cands = vec![cand(0, 10), cand(1, 10), cand(2, 2), cand(3, 10)];
-        let plan = plan_join(&q, &d, &cands);
+        let plan = plan_join(&q, &d, &cands).expect("connected");
         assert_eq!(plan.order[0], 2);
         plan.check_covers(&q);
     }
@@ -211,7 +265,7 @@ mod tests {
         let q = query();
         let d = data();
         let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5), cand(3, 5)];
-        let plan = plan_join(&q, &d, &cands);
+        let plan = plan_join(&q, &d, &cands).expect("connected");
         plan.check_covers(&q);
         // The triangle closing step must carry two linking edges.
         let multi = plan.steps.iter().find(|s| s.linking.len() == 2);
@@ -223,7 +277,7 @@ mod tests {
         let q = query();
         let d = data();
         let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5), cand(3, 5)];
-        let plan = plan_join(&q, &d, &cands);
+        let plan = plan_join(&q, &d, &cands).expect("connected");
         for (i, step) in plan.steps.iter().enumerate() {
             for &(col, _) in &step.linking {
                 assert!(col <= i, "column {col} not yet materialized at step {i}");
@@ -238,7 +292,7 @@ mod tests {
         // The pendant u3 has the lowest score, so it seeds the order; every
         // later vertex must connect to the already-ordered prefix.
         let cands = vec![cand(0, 100), cand(1, 100), cand(2, 100), cand(3, 1)];
-        let plan = plan_join(&q, &d, &cands);
+        let plan = plan_join(&q, &d, &cands).expect("connected");
         assert_eq!(plan.order[0], 3);
         assert_eq!(plan.order[1], 2, "u2 is u3's only neighbor");
         for (i, &u) in plan.order.iter().enumerate().skip(1) {
@@ -251,8 +305,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "disconnected")]
-    fn disconnected_query_panics() {
+    fn disconnected_query_is_a_typed_error() {
         let mut b = GraphBuilder::new();
         let a = b.add_vertex(0);
         let c = b.add_vertex(0);
@@ -261,7 +314,27 @@ mod tests {
         let q = b.build();
         let d = data();
         let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5)];
-        plan_join(&q, &d, &cands);
+        let err = plan_join(&q, &d, &cands).expect_err("disconnected");
+        assert_eq!(err, PlanError::Disconnected { step: 2 });
+        assert!(err.to_string().contains("disconnected at step 2"));
+    }
+
+    #[test]
+    fn empty_query_and_candidate_mismatch_are_typed_errors() {
+        let d = data();
+        let q = GraphBuilder::new().build();
+        assert_eq!(plan_join(&q, &d, &[]), Err(PlanError::EmptyQuery));
+
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        let q1 = b.build();
+        assert_eq!(
+            plan_join(&q1, &d, &[]),
+            Err(PlanError::CandidateMismatch {
+                expected: 1,
+                got: 0
+            })
+        );
     }
 
     #[test]
@@ -270,7 +343,7 @@ mod tests {
         b.add_vertex(0);
         let q = b.build();
         let d = data();
-        let plan = plan_join(&q, &d, &[cand(0, 3)]);
+        let plan = plan_join(&q, &d, &[cand(0, 3)]).expect("planned");
         assert_eq!(plan.order, vec![0]);
         assert!(plan.steps.is_empty());
     }

@@ -5,86 +5,88 @@
 //! GBA offsets, allocate the **combined** buffer once, run each linking-edge
 //! kernel exactly once (results written straight into the GBA), then link.
 
-use crate::join::{count_pass, link_pass, order_linking_edges, run_edge_pass, JoinCtx, PassKind};
+use crate::config::JoinScheme;
+use crate::join::{count_pass, finalize_iteration, run_edge_pass, JoinCtx, JoinOverflow, PassKind};
 use crate::plan::JoinStep;
-use crate::set_ops::CandidateProbe;
+use crate::strategy::{IterationSetup, JoinStrategy};
 use crate::table::MatchTable;
 use gsi_gpu_sim::scan::exclusive_prefix_sum;
 use gsi_signature::CandidateSet;
 
-/// The join iteration would materialize a table beyond the configured
-/// intermediate-row bound; the engine reports this as a timeout, exactly
-/// like the paper's 100 s threshold kills runaway queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct JoinOverflow;
+/// The Prealloc-Combine output scheme as a pluggable [`JoinStrategy`].
+#[derive(Debug, Default)]
+pub struct PreallocCombine;
 
-/// Join `m` with `C(u)` using Prealloc-Combine; returns the new table `M'`.
-pub fn join_iteration(
-    ctx: &JoinCtx<'_>,
-    m: &MatchTable,
-    step: &JoinStep,
-    cand: &CandidateSet,
-) -> Result<MatchTable, JoinOverflow> {
-    let edges = order_linking_edges(ctx, &step.linking);
-    let (col0, l0) = edges[0];
-
-    // Algorithm 4: per-row upper bounds and the GBA offsets.
-    let counts = count_pass(ctx, m, col0, l0);
-    let counts_u32: Vec<u32> = counts.iter().map(|&c| c as u32).collect();
-    let offsets = exclusive_prefix_sum(ctx.gpu, &counts_u32);
-    let gba_len = *offsets.last().expect("scan returns total") as usize;
-
-    // "It is better to combine all buffers into a big array and assign
-    // consecutive memory space (GBA)" — one allocation request; the ablation
-    // issues one per row instead.
-    if ctx.cfg.combined_alloc {
-        ctx.gpu.stats().record_alloc(4 * gba_len as u64);
-        ctx.gpu.stats().record_alloc(4 * (m.n_rows() as u64)); // offset array F
-    } else {
-        for &c in &counts {
-            ctx.gpu.stats().record_alloc(4 * c as u64);
-        }
-        // Pointer array: 8 bytes per row (§V's space argument).
-        ctx.gpu.stats().record_alloc(8 * (m.n_rows() as u64));
+impl JoinStrategy for PreallocCombine {
+    fn scheme(&self) -> JoinScheme {
+        JoinScheme::PreallocCombine
     }
 
-    let out_bases: Vec<usize> = offsets[..m.n_rows()].iter().map(|&o| o as usize).collect();
+    fn name(&self) -> &'static str {
+        "prealloc-combine"
+    }
 
-    // First edge: buf = (N(v', l0) \ m_i) ∩ C(u).
-    let probe = CandidateProbe::build(ctx.gpu, ctx.cfg.set_ops, ctx.data.n_vertices(), cand);
-    let mut bufs = run_edge_pass(
-        ctx,
-        m,
-        col0,
-        l0,
-        &PassKind::FirstEdge { cand: &probe },
-        Some(&out_bases),
-        &counts,
-    );
+    /// Join `m` with `C(u)`; returns the new table `M'`.
+    fn join_iteration(
+        &self,
+        ctx: &JoinCtx<'_>,
+        m: &MatchTable,
+        step: &JoinStep,
+        cand: &CandidateSet,
+    ) -> Result<MatchTable, JoinOverflow> {
+        let IterationSetup { edges, probe } = IterationSetup::build(ctx, step, cand);
+        let (col0, l0) = edges[0];
 
-    // Remaining linking edges: in-place intersections against the GBA.
-    for &(col, label) in &edges[1..] {
-        let loads: Vec<usize> = bufs.iter().map(|b| b.len()).collect();
-        bufs = run_edge_pass(
+        // Algorithm 4: per-row upper bounds and the GBA offsets.
+        let counts = count_pass(ctx, m, col0, l0);
+        let counts_u32: Vec<u32> = counts.iter().map(|&c| c as u32).collect();
+        let offsets = exclusive_prefix_sum(ctx.gpu, &counts_u32);
+        let gba_len = *offsets.last().expect("scan returns total") as usize;
+
+        // "It is better to combine all buffers into a big array and assign
+        // consecutive memory space (GBA)" — one allocation request; the
+        // ablation issues one per row instead.
+        if ctx.cfg.combined_alloc {
+            ctx.gpu.stats().record_alloc(4 * gba_len as u64);
+            ctx.gpu.stats().record_alloc(4 * (m.n_rows() as u64)); // offset array F
+        } else {
+            for &c in &counts {
+                ctx.gpu.stats().record_alloc(4 * c as u64);
+            }
+            // Pointer array: 8 bytes per row (§V's space argument).
+            ctx.gpu.stats().record_alloc(8 * (m.n_rows() as u64));
+        }
+
+        let out_bases: Vec<usize> = offsets[..m.n_rows()].iter().map(|&o| o as usize).collect();
+
+        // First edge: buf = (N(v', l0) \ m_i) ∩ C(u).
+        let mut bufs = run_edge_pass(
             ctx,
             m,
-            col,
-            label,
-            &PassKind::Intersect {
-                bufs: &bufs,
-                buf_bases: Some(&out_bases),
-            },
+            col0,
+            l0,
+            &PassKind::FirstEdge { cand: &probe },
             Some(&out_bases),
-            &loads,
+            &counts,
         );
-    }
 
-    // Output offsets for M' and the link kernel (lines 14-21). Refuse to
-    // materialize a table beyond the row guard.
-    let final_counts: Vec<u32> = bufs.iter().map(|b| b.len() as u32).collect();
-    let out_offsets = exclusive_prefix_sum(ctx.gpu, &final_counts);
-    if *out_offsets.last().expect("total") as usize > ctx.cfg.max_intermediate_rows {
-        return Err(JoinOverflow);
+        // Remaining linking edges: in-place intersections against the GBA.
+        for &(col, label) in &edges[1..] {
+            let loads: Vec<usize> = bufs.iter().map(|b| b.len()).collect();
+            bufs = run_edge_pass(
+                ctx,
+                m,
+                col,
+                label,
+                &PassKind::Intersect {
+                    bufs: &bufs,
+                    buf_bases: Some(&out_bases),
+                },
+                Some(&out_bases),
+                &loads,
+            );
+        }
+
+        finalize_iteration(ctx, m, &bufs, Some(&out_bases))
     }
-    Ok(link_pass(ctx, m, &bufs, Some(&out_bases), &out_offsets))
 }

@@ -24,6 +24,13 @@ pub struct RunStats {
     pub max_intermediate_rows: usize,
     /// The run aborted (intermediate-table guard or timeout).
     pub timed_out: bool,
+    /// Total streamed elements executed by the join backend (parallel
+    /// "work" in the work/span sense).
+    pub join_work_units: u64,
+    /// Critical path of the executed join schedule: the busiest backend
+    /// worker's elements, summed over launches ("span"). Equals
+    /// `join_work_units` under the serial backend.
+    pub join_span_units: u64,
 }
 
 impl RunStats {
@@ -52,6 +59,16 @@ impl RunStats {
         self.device.gst_transactions - self.filter_device.gst_transactions
     }
 
+    /// Parallel speedup the executed join schedule admits (work / span);
+    /// `1.0` when no backend work was recorded.
+    pub fn join_schedule_speedup(&self) -> f64 {
+        if self.join_span_units == 0 {
+            1.0
+        } else {
+            self.join_work_units as f64 / self.join_span_units as f64
+        }
+    }
+
     /// Merge another run into an accumulating aggregate (used by the bench
     /// harness to average over the paper's 100 queries per configuration).
     pub fn accumulate(&mut self, other: &RunStats) {
@@ -69,6 +86,8 @@ impl RunStats {
         self.filter_device.gld_transactions += other.filter_device.gld_transactions;
         self.filter_device.gst_transactions += other.filter_device.gst_transactions;
         self.filter_device.kernel_launches += other.filter_device.kernel_launches;
+        self.join_work_units += other.join_work_units;
+        self.join_span_units += other.join_span_units;
         self.min_candidate += other.min_candidate;
         self.n_matches += other.n_matches;
         self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);

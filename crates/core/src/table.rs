@@ -108,6 +108,134 @@ impl MatchTable {
     pub fn charge_row_write(&self, gpu: &Gpu, i: usize) {
         gpu.stats().gst_range(i * self.n_cols, self.n_cols, 4);
     }
+
+    /// Charge the store of one row of `n_cols` words at row `i` of a table of
+    /// that width, without materializing the table (the link kernel charges
+    /// its output's shape before the output exists).
+    pub fn charge_write_at(gpu: &Gpu, n_cols: usize, i: usize) {
+        gpu.stats().gst_range(i * n_cols, n_cols, 4);
+    }
+}
+
+/// One keyed output segment produced by a single warp task.
+///
+/// The key is pass-specific: an edge pass uses `(row, offset-within-row)`,
+/// the link pass `(flat word offset, 0)`. Keys order segments totally, so
+/// merging is independent of which worker produced which segment — the
+/// property that makes the `HostParallel` backend bit-identical to the
+/// serial simulation.
+pub type Segment = (usize, usize, Vec<VertexId>);
+
+/// One worker's private, lock-free output buffer for a kernel launch.
+///
+/// Each execution-backend worker owns exactly one shard and appends the
+/// segments of the warp tasks it executed — no mutex, no per-chunk slot.
+#[derive(Debug, Default)]
+pub struct TableShard {
+    segments: Vec<Segment>,
+}
+
+impl TableShard {
+    /// Append one warp task's output.
+    pub fn push(&mut self, key_a: usize, key_b: usize, data: Vec<VertexId>) {
+        self.segments.push((key_a, key_b, data));
+    }
+
+    /// Number of segments held.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the shard holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// The sharded output of one kernel launch: one [`TableShard`] per worker.
+///
+/// This replaces the old per-chunk `Mutex<Option<…>>` slots — workers write
+/// shard-locally during the launch, and the shards are stitched once at
+/// iteration end.
+#[derive(Debug, Default)]
+pub struct TableShards {
+    shards: Vec<TableShard>,
+}
+
+impl TableShards {
+    /// Wrap the per-worker shards returned by a launch.
+    pub fn from_shards(shards: Vec<TableShard>) -> Self {
+        Self { shards }
+    }
+
+    /// Total segments across all shards.
+    pub fn n_segments(&self) -> usize {
+        self.shards.iter().map(|s| s.segments.len()).sum()
+    }
+
+    /// Drain every shard into one flat segment list (unordered).
+    pub fn into_segments(self) -> Vec<Segment> {
+        let mut out = Vec::with_capacity(self.n_segments());
+        for shard in self.shards {
+            out.extend(shard.segments);
+        }
+        out
+    }
+}
+
+/// Merge edge-pass segments (keyed `(row, chunk start)`) into per-row
+/// buffers, in stream order. Deterministic regardless of the worker
+/// interleaving that produced the segments.
+pub fn segments_into_row_buffers(mut segments: Vec<Segment>, n_rows: usize) -> Vec<Vec<VertexId>> {
+    segments.sort_unstable_by_key(|&(row, lo, _)| (row, lo));
+    let mut bufs: Vec<Vec<VertexId>> = vec![Vec::new(); n_rows];
+    for (row, _, mut piece) in segments {
+        if bufs[row].is_empty() {
+            // Single-chunk rows (the common case) move, not copy.
+            bufs[row] = std::mem::take(&mut piece);
+        } else {
+            bufs[row].extend_from_slice(&piece);
+        }
+    }
+    bufs
+}
+
+/// Stitch link-pass segments (keyed by flat word offset) into the backing
+/// store of a new table of `total_words` words.
+///
+/// Zero-copy when a single segment covers the whole output (a launch that
+/// ran as one block); otherwise one ordered placement pass. Segments must
+/// tile `[0, total_words)` exactly — a kernel body that dropped or
+/// double-wrote a region is a loud panic here, never a silently
+/// zero-filled match table (the guarantee the old per-chunk `expect` on
+/// every output slot provided).
+pub fn stitch_segments(mut segments: Vec<Segment>, total_words: usize) -> Vec<VertexId> {
+    let written: usize = segments.iter().map(|(_, _, d)| d.len()).sum();
+    assert_eq!(
+        written, total_words,
+        "output segments must tile the table exactly"
+    );
+    #[cfg(debug_assertions)]
+    {
+        // Full tiling check (debug builds): sorted spans are gap- and
+        // overlap-free, not merely length-balanced.
+        let mut spans: Vec<(usize, usize)> =
+            segments.iter().map(|(s, _, d)| (*s, d.len())).collect();
+        spans.sort_unstable();
+        let mut at = 0usize;
+        for (start, len) in spans {
+            debug_assert_eq!(start, at, "segment gap/overlap at word {at}");
+            at = start + len;
+        }
+    }
+    if segments.len() == 1 && segments[0].0 == 0 {
+        return std::mem::take(&mut segments[0].2);
+    }
+    let mut data = vec![0 as VertexId; total_words];
+    for (start, _, piece) in segments {
+        data[start..start + piece.len()].copy_from_slice(&piece);
+    }
+    data
 }
 
 #[cfg(test)]
@@ -138,6 +266,52 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_raw_rejected() {
         MatchTable::from_raw(3, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn segments_merge_into_row_buffers_in_stream_order() {
+        // Chunks arrive out of order (as from racing workers).
+        let segs: Vec<Segment> = vec![
+            (1, 2, vec![30, 40]),
+            (0, 0, vec![1, 2]),
+            (1, 0, vec![10, 20]),
+            (2, 0, vec![]),
+        ];
+        let bufs = segments_into_row_buffers(segs, 4);
+        assert_eq!(bufs[0], vec![1, 2]);
+        assert_eq!(bufs[1], vec![10, 20, 30, 40]);
+        assert!(bufs[2].is_empty());
+        assert!(bufs[3].is_empty());
+    }
+
+    #[test]
+    fn stitch_single_covering_segment_is_moved() {
+        let data: Vec<u32> = (0..12).collect();
+        let ptr = data.as_ptr();
+        let out = stitch_segments(vec![(0, 0, data)], 12);
+        assert_eq!(out, (0..12).collect::<Vec<u32>>());
+        assert_eq!(out.as_ptr(), ptr, "covering segment must not be copied");
+    }
+
+    #[test]
+    fn stitch_places_scattered_segments() {
+        let segs: Vec<Segment> = vec![(4, 0, vec![40, 50]), (0, 0, vec![0, 10, 20, 30])];
+        assert_eq!(stitch_segments(segs, 6), vec![0, 10, 20, 30, 40, 50]);
+        assert!(stitch_segments(Vec::new(), 0).is_empty());
+    }
+
+    #[test]
+    fn shards_flatten_to_segments() {
+        let mut a = TableShard::default();
+        a.push(0, 0, vec![1]);
+        let mut b = TableShard::default();
+        b.push(1, 0, vec![2]);
+        b.push(2, 0, vec![3]);
+        assert_eq!(a.len(), 1);
+        assert!(!b.is_empty());
+        let shards = TableShards::from_shards(vec![a, b]);
+        assert_eq!(shards.n_segments(), 3);
+        assert_eq!(shards.into_segments().len(), 3);
     }
 
     #[test]

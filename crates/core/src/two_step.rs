@@ -8,109 +8,118 @@
 //! same join and writes. All global reads are thus paid twice per edge, and
 //! each edge needs its own freshly allocated output buffer.
 
-use crate::join::{link_pass, order_linking_edges, run_edge_pass, JoinCtx, PassKind};
+use crate::config::JoinScheme;
+use crate::join::{finalize_iteration, run_edge_pass, JoinCtx, JoinOverflow, PassKind};
 use crate::plan::JoinStep;
-use crate::prealloc::JoinOverflow;
-use crate::set_ops::CandidateProbe;
+use crate::strategy::{IterationSetup, JoinStrategy};
 use crate::table::MatchTable;
 use gsi_gpu_sim::scan::exclusive_prefix_sum;
 use gsi_graph::VertexId;
 use gsi_signature::CandidateSet;
 
-/// Join `m` with `C(u)` using the two-step output scheme.
-pub fn join_iteration(
-    ctx: &JoinCtx<'_>,
-    m: &MatchTable,
-    step: &JoinStep,
-    cand: &CandidateSet,
-) -> Result<MatchTable, JoinOverflow> {
-    let edges = order_linking_edges(ctx, &step.linking);
-    let probe = CandidateProbe::build(ctx.gpu, ctx.cfg.set_ops, ctx.data.n_vertices(), cand);
+/// The two-step output scheme as a pluggable [`JoinStrategy`].
+#[derive(Debug, Default)]
+pub struct TwoStep;
 
-    let mut bufs: Vec<Vec<VertexId>> = Vec::new();
-    let mut buf_bases: Option<Vec<usize>> = None;
+impl JoinStrategy for TwoStep {
+    fn scheme(&self) -> JoinScheme {
+        JoinScheme::TwoStep
+    }
 
-    for (ei, &(col, label)) in edges.iter().enumerate() {
-        // Workload estimates for scheduling: first edge uses host-side
-        // degree metadata (no device charge — planning only), later edges
-        // the previous buffer lengths.
-        let loads: Vec<usize> = if ei == 0 {
-            (0..m.n_rows())
-                .map(|r| ctx.data.degree_with_label(m.row(r)[col], label))
-                .collect()
-        } else {
-            bufs.iter().map(|b| b.len()).collect()
-        };
+    fn name(&self) -> &'static str {
+        "two-step"
+    }
 
-        // Step 1: the full join, counting only (Fig. 3(a)).
-        let counted = if ei == 0 {
-            run_edge_pass(
-                ctx,
-                m,
-                col,
-                label,
-                &PassKind::FirstEdge { cand: &probe },
-                None,
-                &loads,
-            )
-        } else {
-            run_edge_pass(
-                ctx,
-                m,
-                col,
-                label,
-                &PassKind::Intersect {
-                    bufs: &bufs,
-                    buf_bases: buf_bases.as_deref(),
-                },
-                None,
-                &loads,
-            )
-        };
+    /// Join `m` with `C(u)` using count → scan → recompute-and-write.
+    fn join_iteration(
+        &self,
+        ctx: &JoinCtx<'_>,
+        m: &MatchTable,
+        step: &JoinStep,
+        cand: &CandidateSet,
+    ) -> Result<MatchTable, JoinOverflow> {
+        let IterationSetup { edges, probe } = IterationSetup::build(ctx, step, cand);
 
-        // Prefix-sum the counts and allocate this edge's output buffer.
-        let counts: Vec<u32> = counted.iter().map(|b| b.len() as u32).collect();
-        let offsets = exclusive_prefix_sum(ctx.gpu, &counts);
-        if *offsets.last().expect("total") as usize > 4 * ctx.cfg.max_intermediate_rows {
-            return Err(JoinOverflow);
+        let mut bufs: Vec<Vec<VertexId>> = Vec::new();
+        let mut buf_bases: Option<Vec<usize>> = None;
+
+        for (ei, &(col, label)) in edges.iter().enumerate() {
+            // Workload estimates for scheduling: first edge uses host-side
+            // degree metadata (no device charge — planning only), later edges
+            // the previous buffer lengths.
+            let loads: Vec<usize> = if ei == 0 {
+                (0..m.n_rows())
+                    .map(|r| ctx.data.degree_with_label(m.row(r)[col], label))
+                    .collect()
+            } else {
+                bufs.iter().map(|b| b.len()).collect()
+            };
+
+            // Step 1: the full join, counting only (Fig. 3(a)).
+            let counted = if ei == 0 {
+                run_edge_pass(
+                    ctx,
+                    m,
+                    col,
+                    label,
+                    &PassKind::FirstEdge { cand: &probe },
+                    None,
+                    &loads,
+                )
+            } else {
+                run_edge_pass(
+                    ctx,
+                    m,
+                    col,
+                    label,
+                    &PassKind::Intersect {
+                        bufs: &bufs,
+                        buf_bases: buf_bases.as_deref(),
+                    },
+                    None,
+                    &loads,
+                )
+            };
+
+            // Prefix-sum the counts and allocate this edge's output buffer.
+            let counts: Vec<u32> = counted.iter().map(|b| b.len() as u32).collect();
+            let offsets = exclusive_prefix_sum(ctx.gpu, &counts);
+            if *offsets.last().expect("total") as usize > 4 * ctx.cfg.max_intermediate_rows {
+                return Err(JoinOverflow);
+            }
+            ctx.gpu
+                .stats()
+                .record_alloc(4 * u64::from(*offsets.last().expect("total")));
+            let out_bases: Vec<usize> = offsets[..m.n_rows()].iter().map(|&o| o as usize).collect();
+
+            // Step 2: the same join again, now writing (Fig. 3(b)).
+            bufs = if ei == 0 {
+                run_edge_pass(
+                    ctx,
+                    m,
+                    col,
+                    label,
+                    &PassKind::FirstEdge { cand: &probe },
+                    Some(&out_bases),
+                    &loads,
+                )
+            } else {
+                run_edge_pass(
+                    ctx,
+                    m,
+                    col,
+                    label,
+                    &PassKind::Intersect {
+                        bufs: &bufs,
+                        buf_bases: buf_bases.as_deref(),
+                    },
+                    Some(&out_bases),
+                    &loads,
+                )
+            };
+            buf_bases = Some(out_bases);
         }
-        ctx.gpu
-            .stats()
-            .record_alloc(4 * u64::from(*offsets.last().expect("total")));
-        let out_bases: Vec<usize> = offsets[..m.n_rows()].iter().map(|&o| o as usize).collect();
 
-        // Step 2: the same join again, now writing (Fig. 3(b)).
-        bufs = if ei == 0 {
-            run_edge_pass(
-                ctx,
-                m,
-                col,
-                label,
-                &PassKind::FirstEdge { cand: &probe },
-                Some(&out_bases),
-                &loads,
-            )
-        } else {
-            run_edge_pass(
-                ctx,
-                m,
-                col,
-                label,
-                &PassKind::Intersect {
-                    bufs: &bufs,
-                    buf_bases: buf_bases.as_deref(),
-                },
-                Some(&out_bases),
-                &loads,
-            )
-        };
-        buf_bases = Some(out_bases);
+        finalize_iteration(ctx, m, &bufs, buf_bases.as_deref())
     }
-
-    let final_counts: Vec<u32> = bufs.iter().map(|b| b.len() as u32).collect();
-    let out_offsets = exclusive_prefix_sum(ctx.gpu, &final_counts);
-    if *out_offsets.last().expect("total") as usize > ctx.cfg.max_intermediate_rows {
-        return Err(JoinOverflow);
-    }
-    Ok(link_pass(ctx, m, &bufs, buf_bases.as_deref(), &out_offsets))
 }

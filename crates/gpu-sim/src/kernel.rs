@@ -130,6 +130,86 @@ where
     }
 }
 
+/// Launch a kernel over an *explicit* worker pool with per-worker state.
+///
+/// This is the primitive execution backends build on: the caller decides how
+/// many host workers play SM (`states.len()` — the legacy heuristic of
+/// [`launch_blocks`] is bypassed), and each worker carries a private mutable
+/// state `S` (e.g. a shard of the output table) that `f` can write without
+/// synchronization. Blocks are pulled dynamically from a shared counter, so
+/// per-worker block sets depend on timing — callers needing determinism must
+/// make `f`'s effects order-independent (the ledger's atomic sums and keyed
+/// output segments both are).
+///
+/// Records one kernel launch, charges the configured launch overhead, counts
+/// `tasks.len()` warp tasks, and returns the worker states. With a single
+/// state (or a single block) the launch runs inline on the calling thread —
+/// the faithful sequential simulation.
+pub fn launch_blocks_stateful<T, S, F>(
+    gpu: &Gpu,
+    tasks: &[T],
+    warps_per_block: usize,
+    mut states: Vec<S>,
+    f: F,
+) -> Vec<S>
+where
+    T: Sync,
+    S: Send,
+    F: Fn(&mut BlockCtx, &[T], &mut S) + Sync,
+{
+    assert!(!states.is_empty(), "at least one worker state required");
+    let stats = gpu.stats();
+    stats.record_kernel_launch();
+    gpu.charge_launch_overhead();
+    stats.add_warp_tasks(tasks.len() as u64);
+    if tasks.is_empty() {
+        return states;
+    }
+
+    let wpb = warps_per_block.clamp(1, gpu.config().warps_per_block());
+    let num_blocks = tasks.len().div_ceil(wpb);
+    let shared_cap = gpu.config().shared_mem_per_block;
+
+    let run_block = |block_id: usize, state: &mut S| {
+        let first = block_id * wpb;
+        let end = (first + wpb).min(tasks.len());
+        let mut ctx = BlockCtx {
+            block_id,
+            first_task: first,
+            shared: SharedMem::new(shared_cap),
+        };
+        f(&mut ctx, &tasks[first..end], state);
+    };
+
+    if states.len() == 1 || num_blocks == 1 {
+        let state = &mut states[0];
+        for b in 0..num_blocks {
+            run_block(b, state);
+        }
+        return states;
+    }
+
+    let next = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            // More states than blocks: the excess workers never start.
+            for state in states.iter_mut().take(num_blocks) {
+                let next = &next;
+                let run_block = &run_block;
+                s.spawn(move || loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= num_blocks {
+                        break;
+                    }
+                    run_block(b, state);
+                });
+            }
+        });
+    }));
+    result.unwrap_or_else(|_| panic!("simulated kernel worker panicked"));
+    states
+}
+
 /// Launch a kernel with one warp per task, using full blocks and the dynamic
 /// scheduler. `f` receives the global warp (task) id and the task itself.
 pub fn launch_warp_tasks<T, F>(gpu: &Gpu, tasks: &[T], f: F)
@@ -278,6 +358,60 @@ mod tests {
         let tasks: Vec<usize> = (0..10_000).collect();
         launch_warp_tasks(&g, &tasks, |_wid, &t| {
             assert!(t < 9_999, "injected fault");
+        });
+    }
+
+    #[test]
+    fn stateful_launch_covers_all_tasks_and_returns_states() {
+        for workers in [1, 3, 8] {
+            let g = gpu(1);
+            let n = 500;
+            let tasks: Vec<usize> = (0..n).collect();
+            let states: Vec<Vec<usize>> = vec![Vec::new(); workers];
+            let states = launch_blocks_stateful(
+                &g,
+                &tasks,
+                8,
+                states,
+                |_ctx, block, seen: &mut Vec<usize>| {
+                    seen.extend(block.iter().copied());
+                },
+            );
+            assert_eq!(states.len(), workers);
+            let mut all: Vec<usize> = states.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, tasks, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn stateful_launch_records_stats_once() {
+        let g = gpu(1);
+        let tasks = vec![(); 65];
+        launch_blocks_stateful(&g, &tasks, 32, vec![(), ()], |_, _, _| {});
+        let snap = g.stats().snapshot();
+        assert_eq!(snap.kernel_launches, 1);
+        assert_eq!(snap.warp_tasks, 65);
+    }
+
+    #[test]
+    fn stateful_launch_empty_tasks() {
+        let g = gpu(1);
+        let tasks: Vec<u32> = vec![];
+        let states = launch_blocks_stateful(&g, &tasks, 32, vec![0u32; 4], |_, _, _| {
+            panic!("no block should run");
+        });
+        assert_eq!(states, vec![0; 4]);
+        assert_eq!(g.stats().snapshot().kernel_launches, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn stateful_launch_propagates_worker_panics() {
+        let g = gpu(1);
+        let tasks: Vec<usize> = (0..200).collect();
+        launch_blocks_stateful(&g, &tasks, 8, vec![(), (), ()], |_ctx, block, _| {
+            assert!(block.iter().all(|&t| t < 199), "injected fault");
         });
     }
 

@@ -9,22 +9,48 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// One ledger counter, padded to its own cache line.
+///
+/// The ledger is charged concurrently by every worker of a parallel
+/// execution backend; atomicity alone keeps the counts *exact*, but eight
+/// adjacent atomics on two cache lines would ping-pong between cores.
+/// Padding keeps exactness cheap under the `HostParallel` backend.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Counter(AtomicU64);
+
+impl Counter {
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn zero(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Shared atomic counters for one simulated device.
 ///
 /// All counters use relaxed ordering: they are statistics, not
 /// synchronization. Accesses are batched (one update per 128-byte segment
-/// batch), so contention stays negligible.
+/// batch) and each counter sits on its own cache line, so concurrent
+/// kernels — including the `HostParallel` backend's worker pool — keep
+/// *exact* counts with negligible contention.
 #[derive(Debug)]
 pub struct GpuStats {
     transaction_bytes: u64,
-    gld: AtomicU64,
-    gst: AtomicU64,
-    kernel_launches: AtomicU64,
-    warp_tasks: AtomicU64,
-    work_units: AtomicU64,
-    device_allocs: AtomicU64,
-    device_alloc_bytes: AtomicU64,
-    idle_lane_work: AtomicU64,
+    gld: Counter,
+    gst: Counter,
+    kernel_launches: Counter,
+    warp_tasks: Counter,
+    work_units: Counter,
+    device_allocs: Counter,
+    device_alloc_bytes: Counter,
+    idle_lane_work: Counter,
 }
 
 impl GpuStats {
@@ -32,14 +58,14 @@ impl GpuStats {
     pub fn new(transaction_bytes: usize) -> Self {
         Self {
             transaction_bytes: transaction_bytes as u64,
-            gld: AtomicU64::new(0),
-            gst: AtomicU64::new(0),
-            kernel_launches: AtomicU64::new(0),
-            warp_tasks: AtomicU64::new(0),
-            work_units: AtomicU64::new(0),
-            device_allocs: AtomicU64::new(0),
-            device_alloc_bytes: AtomicU64::new(0),
-            idle_lane_work: AtomicU64::new(0),
+            gld: Counter::default(),
+            gst: Counter::default(),
+            kernel_launches: Counter::default(),
+            warp_tasks: Counter::default(),
+            work_units: Counter::default(),
+            device_allocs: Counter::default(),
+            device_alloc_bytes: Counter::default(),
+            idle_lane_work: Counter::default(),
         }
     }
 
@@ -52,40 +78,40 @@ impl GpuStats {
 
     /// Record `n` global-memory load transactions.
     pub fn add_gld(&self, n: u64) {
-        self.gld.fetch_add(n, Ordering::Relaxed);
+        self.gld.add(n);
     }
 
     /// Record `n` global-memory store transactions.
     pub fn add_gst(&self, n: u64) {
-        self.gst.fetch_add(n, Ordering::Relaxed);
+        self.gst.add(n);
     }
 
     /// Record one kernel launch.
     pub fn record_kernel_launch(&self) {
-        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.kernel_launches.add(1);
     }
 
     /// Record `n` warp tasks (one per intermediate-table row handled).
     pub fn add_warp_tasks(&self, n: u64) {
-        self.warp_tasks.fetch_add(n, Ordering::Relaxed);
+        self.warp_tasks.add(n);
     }
 
     /// Record `n` abstract work units (elements processed by lanes).
     pub fn add_work(&self, n: u64) {
-        self.work_units.fetch_add(n, Ordering::Relaxed);
+        self.work_units.add(n);
     }
 
     /// Record a device allocation request of `bytes` (Prealloc-Combine's GBA
     /// argument in §V is about *reducing the number of allocation requests*).
     pub fn record_alloc(&self, bytes: u64) {
-        self.device_allocs.fetch_add(1, Ordering::Relaxed);
-        self.device_alloc_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.device_allocs.add(1);
+        self.device_alloc_bytes.add(bytes);
     }
 
     /// Record wasted SIMD lanes (warp divergence / thread underutilization,
     /// e.g. CSR label scans where lanes holding wrong-label edges idle).
     pub fn add_idle_lanes(&self, n: u64) {
-        self.idle_lane_work.fetch_add(n, Ordering::Relaxed);
+        self.idle_lane_work.add(n);
     }
 
     // ---- coalescing-aware accounting ------------------------------------
@@ -184,27 +210,27 @@ impl GpuStats {
     /// Copy the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            gld_transactions: self.gld.load(Ordering::Relaxed),
-            gst_transactions: self.gst.load(Ordering::Relaxed),
-            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
-            warp_tasks: self.warp_tasks.load(Ordering::Relaxed),
-            work_units: self.work_units.load(Ordering::Relaxed),
-            device_allocs: self.device_allocs.load(Ordering::Relaxed),
-            device_alloc_bytes: self.device_alloc_bytes.load(Ordering::Relaxed),
-            idle_lane_work: self.idle_lane_work.load(Ordering::Relaxed),
+            gld_transactions: self.gld.get(),
+            gst_transactions: self.gst.get(),
+            kernel_launches: self.kernel_launches.get(),
+            warp_tasks: self.warp_tasks.get(),
+            work_units: self.work_units.get(),
+            device_allocs: self.device_allocs.get(),
+            device_alloc_bytes: self.device_alloc_bytes.get(),
+            idle_lane_work: self.idle_lane_work.get(),
         }
     }
 
     /// Zero every counter.
     pub fn reset(&self) {
-        self.gld.store(0, Ordering::Relaxed);
-        self.gst.store(0, Ordering::Relaxed);
-        self.kernel_launches.store(0, Ordering::Relaxed);
-        self.warp_tasks.store(0, Ordering::Relaxed);
-        self.work_units.store(0, Ordering::Relaxed);
-        self.device_allocs.store(0, Ordering::Relaxed);
-        self.device_alloc_bytes.store(0, Ordering::Relaxed);
-        self.idle_lane_work.store(0, Ordering::Relaxed);
+        self.gld.zero();
+        self.gst.zero();
+        self.kernel_launches.zero();
+        self.warp_tasks.zero();
+        self.work_units.zero();
+        self.device_allocs.zero();
+        self.device_alloc_bytes.zero();
+        self.idle_lane_work.zero();
     }
 }
 

@@ -66,8 +66,8 @@ pub use gsi_signature as signature;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gsi_core::{
-        FilterStrategy, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams, Matches,
-        QueryOptions, QueryOutput, RunStats, SetOpStrategy,
+        BackendKind, FilterStrategy, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams, Matches,
+        PlanError, QueryOptions, QueryOutput, RunStats, SetOpStrategy,
     };
     pub use gsi_datasets::{DatasetKind, DatasetSpec};
     pub use gsi_gpu_sim::{DeviceConfig, Gpu};

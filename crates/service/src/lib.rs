@@ -103,6 +103,16 @@ pub struct ServiceConfig {
     pub default_deadline: Option<Duration>,
     /// Maximum number of cached plans (LRU beyond it).
     pub plan_cache_capacity: usize,
+    /// Host-thread budget shared by the intra-query worker pools of
+    /// concurrently executing queries (engine backend `HostParallel`;
+    /// ignored by `Serial`). Each running query holds a grant of
+    /// `budget / busy_workers` threads, capped by what earlier grants
+    /// left unclaimed and released when the query finishes — so a lone
+    /// query fans out across the whole budget while the *sum* of
+    /// concurrent grants stays bounded by the budget (plus the 1-thread
+    /// floor each running query keeps), never oversubscribing cores
+    /// `workers × threads`-fold. `0` = all available host parallelism.
+    pub intra_query_parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -114,6 +124,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             default_deadline: None,
             plan_cache_capacity: 1024,
+            intra_query_parallelism: 0,
         }
     }
 }
@@ -129,6 +140,7 @@ impl ServiceConfig {
             queue_capacity: 64,
             plan_cache_capacity: 64,
             default_deadline: None,
+            intra_query_parallelism: 0,
         }
     }
 }
@@ -140,6 +152,15 @@ pub(crate) struct ServiceCore {
     pub(crate) plan_cache: PlanCache,
     pub(crate) stats: ServiceStats,
     pub(crate) default_deadline: Option<Duration>,
+    /// Resolved intra-query thread budget (see
+    /// [`ServiceConfig::intra_query_parallelism`]).
+    pub(crate) intra_budget: usize,
+    /// Workers currently executing a query (divides `intra_budget`).
+    pub(crate) busy_workers: std::sync::atomic::AtomicUsize,
+    /// Intra-query threads currently granted to running queries; grants
+    /// are held for each query's full run, so their sum stays bounded by
+    /// `intra_budget` (plus the 1-thread floor per running query).
+    pub(crate) intra_granted: std::sync::atomic::AtomicUsize,
     /// Device-ledger work attributable to graph preparation, accumulated
     /// across registrations and subtracted from the serving aggregate in
     /// [`GsiService::stats`].
@@ -158,12 +179,22 @@ pub struct GsiService {
 impl GsiService {
     /// Build the service and spawn its worker pool.
     pub fn new(config: ServiceConfig) -> Self {
+        let intra_budget = if config.intra_query_parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.intra_query_parallelism
+        };
         let core = Arc::new(ServiceCore {
             engine: GsiEngine::with_gpu(config.engine, Gpu::new(config.device)),
             catalog: GraphCatalog::new(),
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             stats: ServiceStats::new(),
             default_deadline: config.default_deadline,
+            intra_budget,
+            busy_workers: std::sync::atomic::AtomicUsize::new(0),
+            intra_granted: std::sync::atomic::AtomicUsize::new(0),
             prepare_device: Mutex::new(StatsSnapshot::default()),
         });
         let scheduler =
@@ -404,6 +435,34 @@ mod tests {
             .unwrap();
         assert!(!resp.result.unwrap().plan_cache_hit);
         assert_eq!(service.plan_cache().len(), 1);
+    }
+
+    #[test]
+    fn host_parallel_service_grants_budgeted_intra_threads() {
+        use gsi_core::BackendKind;
+        let mut cfg = ServiceConfig::for_tests();
+        cfg.engine = cfg.engine.with_backend(BackendKind::HostParallel, 1);
+        cfg.workers = 1;
+        cfg.intra_query_parallelism = 6;
+        let service = GsiService::new(cfg);
+        service.register_graph("g", data_graph());
+        let resp = service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        let outcome = resp.result.expect("runs");
+        // One busy worker → the whole budget goes to this query.
+        assert_eq!(outcome.intra_threads, 6);
+        assert_eq!(outcome.output.matches.len(), 10);
+    }
+
+    #[test]
+    fn serial_service_reports_one_intra_thread() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        let resp = service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        assert_eq!(resp.result.expect("runs").intra_threads, 1);
     }
 
     #[test]

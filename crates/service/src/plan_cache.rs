@@ -258,7 +258,7 @@ mod tests {
                 list: vec![u as u32],
             })
             .collect();
-        gsi_core::plan::plan_join(q, &data, &cands)
+        gsi_core::plan::plan_join(q, &data, &cands).expect("connected")
     }
 
     #[test]
@@ -340,6 +340,6 @@ mod tests {
                 list: vec![u as u32],
             })
             .collect();
-        gsi_core::plan::plan_join(q, &data, &cands)
+        gsi_core::plan::plan_join(q, &data, &cands).expect("connected")
     }
 }

@@ -13,15 +13,23 @@
 //! pattern, consult the plan cache, run the engine (reusing the cached join
 //! order on a hit), record the plan and its size estimates back, and
 //! deliver a [`QueryResponse`] through the submitter's [`QueryTicket`].
+//!
+//! When the engine runs the `HostParallel` backend, the scheduler also
+//! budgets **intra- against inter-query parallelism**: the service's core
+//! budget is divided by the number of currently busy workers, so one query
+//! on an idle service fans out across every core while a saturated worker
+//! pool degrades gracefully to one thread per query instead of
+//! oversubscribing the host `workers × threads`-fold.
 
 use crate::canon::canonicalize;
 use crate::catalog::CatalogEntry;
 use crate::plan_cache::PlanEstimates;
 use crate::ServiceCore;
-use gsi_core::{QueryOptions, QueryOutput};
+use gsi_core::{BackendKind, PlanError, QueryOptions, QueryOutput};
 use gsi_graph::Graph;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -94,6 +102,11 @@ pub enum QueryError {
         /// How long the query waited before being failed.
         waited: Duration,
     },
+    /// The planner rejected the pattern (empty or disconnected) with a
+    /// typed error. No worker panicked and nothing ran; submit-time
+    /// validation catches these up front, so this surfaces only for
+    /// patterns that degenerate after validation (defense in depth).
+    Plan(PlanError),
     /// The query's execution panicked. The panic is isolated: the worker
     /// survives, other queries are unaffected, and the failure is counted
     /// in the service stats.
@@ -117,6 +130,9 @@ pub struct QueryOutcome {
     pub plan_cache_hit: bool,
     /// Cross-run size estimates for the pattern, when cached.
     pub estimates: Option<PlanEstimates>,
+    /// Intra-query worker threads granted to this run by the scheduler's
+    /// parallelism budget (1 whenever the engine backend is serial).
+    pub intra_threads: usize,
     /// Time spent queued before a worker started the query.
     pub queue_wait: Duration,
     /// End-to-end latency (submit → response ready).
@@ -319,7 +335,55 @@ fn worker_loop(core: &ServiceCore, shared: &QueueShared) {
                 shared.not_empty.wait(&mut state);
             }
         };
+        // The busy count (self included) divides the intra-query budget.
+        core.busy_workers.fetch_add(1, Ordering::SeqCst);
         execute(core, job);
+        core.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// This worker's intra-query thread grant: the service's core budget split
+/// evenly over the workers currently executing queries, further capped by
+/// what earlier grants left unclaimed. Monotone in load — an idle service
+/// grants the whole budget, a saturated pool at least 1.
+fn intra_share(budget: usize, busy: usize, outstanding: usize) -> usize {
+    let fair = budget / busy.max(1);
+    fair.min(budget.saturating_sub(outstanding)).max(1)
+}
+
+/// A held intra-query thread grant: registered in the service's
+/// outstanding-grant ledger on creation, released on drop. Holding grants
+/// for each query's full run (not just its start instant) is what bounds
+/// the *sum* of concurrent grants by the budget.
+struct IntraGrant<'a> {
+    core: &'a ServiceCore,
+    threads: usize,
+}
+
+impl<'a> IntraGrant<'a> {
+    fn take(core: &'a ServiceCore) -> Self {
+        let busy = core.busy_workers.load(Ordering::SeqCst);
+        let mut outstanding = core.intra_granted.load(Ordering::SeqCst);
+        loop {
+            let threads = intra_share(core.intra_budget, busy, outstanding);
+            match core.intra_granted.compare_exchange(
+                outstanding,
+                outstanding + threads,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Self { core, threads },
+                Err(now) => outstanding = now,
+            }
+        }
+    }
+}
+
+impl Drop for IntraGrant<'_> {
+    fn drop(&mut self) {
+        self.core
+            .intra_granted
+            .fetch_sub(self.threads, Ordering::SeqCst);
     }
 }
 
@@ -374,6 +438,19 @@ fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
     let scope = job.entry.epoch();
     let cached = core.plan_cache.lookup(scope, &canon, &job.query);
 
+    // Budget intra- vs inter-query parallelism: meaningful only when the
+    // engine executes joins on the HostParallel backend. The grant is held
+    // in the outstanding-grant ledger for the query's whole run, so
+    // staggered arrivals cannot stack full-budget grants: concurrent
+    // grants never exceed the budget (beyond the 1-thread floor each
+    // running query keeps).
+    let grant = if core.engine.config().backend == BackendKind::HostParallel {
+        Some(IntraGrant::take(core))
+    } else {
+        None
+    };
+    let intra_threads = grant.as_ref().map_or(1, |g| g.threads);
+
     let output = core.engine.query_with_options(
         job.entry.graph(),
         job.entry.prepared(),
@@ -381,8 +458,23 @@ fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
         QueryOptions {
             timeout: remaining,
             plan: cached.as_ref().map(|c| &c.plan),
+            backend: None,
+            intra_query_threads: Some(intra_threads),
         },
     );
+    drop(grant);
+    let output = match output {
+        Ok(output) => output,
+        Err(e) => {
+            // Typed planner rejection: count it and answer the submitter —
+            // the worker neither panicked nor ran the join phase.
+            core.stats.record_plan_rejected();
+            return QueryResponse {
+                graph: job.entry.name().to_string(),
+                result: Err(QueryError::Plan(e)),
+            };
+        }
+    };
 
     // Record the executed plan and fold this run's sizes into the pattern's
     // estimates (first writer keeps the stable join order). Skipped for
@@ -408,8 +500,35 @@ fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
             output,
             plan_cache_hit,
             estimates: cached.map(|c| c.estimates),
+            intra_threads,
             queue_wait: waited,
             latency,
         }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::intra_share;
+
+    #[test]
+    fn intra_share_divides_budget_over_busy_workers() {
+        assert_eq!(intra_share(8, 1, 0), 8, "idle service: whole budget");
+        assert_eq!(intra_share(8, 2, 0), 4);
+        assert_eq!(intra_share(8, 3, 0), 2);
+        assert_eq!(intra_share(8, 16, 0), 1, "saturated: never below 1");
+        assert_eq!(intra_share(0, 0, 0), 1, "degenerate budget still runs");
+    }
+
+    #[test]
+    fn intra_share_respects_outstanding_grants() {
+        // A long-running query already holds 8 of 8: later arrivals get
+        // the 1-thread floor, not a fresh fair share.
+        assert_eq!(intra_share(8, 2, 8), 1);
+        // 5 of 8 held by one query, two workers busy: fair share 4 is
+        // capped to the 3 threads actually left.
+        assert_eq!(intra_share(8, 2, 5), 3);
+        // Released grants open the budget back up.
+        assert_eq!(intra_share(8, 2, 0), 4);
     }
 }

@@ -25,6 +25,7 @@ pub struct ServiceStats {
     completed: AtomicU64,
     engine_timeouts: AtomicU64,
     deadline_expired: AtomicU64,
+    plan_rejected: AtomicU64,
     worker_panics: AtomicU64,
     /// End-to-end (submit → response) latencies of *served* queries, in
     /// microseconds. Failed queries (deadline expiry, worker panic) are
@@ -57,6 +58,7 @@ impl ServiceStats {
             completed: AtomicU64::new(0),
             engine_timeouts: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            plan_rejected: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
             run_totals: Mutex::new(RunStats::default()),
@@ -76,6 +78,12 @@ impl ServiceStats {
     /// A query's deadline expired before it ran.
     pub fn record_deadline_expired(&self) {
         self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query was rejected at plan time (empty or disconnected pattern
+    /// that slipped past submit-time validation) — no panic, no run.
+    pub fn record_plan_rejected(&self) {
+        self.plan_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A query's execution panicked (isolated; the worker survives).
@@ -113,6 +121,7 @@ impl ServiceStats {
             completed: self.completed.load(Ordering::Relaxed),
             engine_timeouts: self.engine_timeouts.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            plan_rejected: self.plan_rejected.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             plan_cache_hits: 0,
             plan_cache_misses: 0,
@@ -137,6 +146,8 @@ pub struct ServiceStatsSnapshot {
     pub engine_timeouts: u64,
     /// Queries whose deadline expired while still queued.
     pub deadline_expired: u64,
+    /// Queries rejected at plan time (typed `PlanError`, no panic).
+    pub plan_rejected: u64,
     /// Query executions that panicked (isolated; the worker survived).
     pub worker_panics: u64,
     /// Plan-cache hits (filled in by the service, which owns the cache).
@@ -206,6 +217,7 @@ impl ServiceStatsSnapshot {
         self.completed += other.completed;
         self.engine_timeouts += other.engine_timeouts;
         self.deadline_expired += other.deadline_expired;
+        self.plan_rejected += other.plan_rejected;
         self.worker_panics += other.worker_panics;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
@@ -219,12 +231,13 @@ impl std::fmt::Display for ServiceStatsSnapshot {
         writeln!(
             f,
             "queries: {} submitted, {} completed, {} rejected, {} deadline-expired, \
-             {} engine timeouts, {} panics",
+             {} engine timeouts, {} plan-rejected, {} panics",
             self.submitted,
             self.completed,
             self.rejected,
             self.deadline_expired,
             self.engine_timeouts,
+            self.plan_rejected,
             self.worker_panics
         )?;
         writeln!(

@@ -8,6 +8,9 @@
 //!   fig12 fig13 fig14 fig15 all
 //!   backend            (repo perf trajectory: serial vs host-parallel join
 //!                       execution; writes BENCH_PR2.json)
+//!   update-churn       (repo perf trajectory: interleaved mutations +
+//!                       queries, incremental re-prepare vs full rebuild;
+//!                       writes BENCH_PR3.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -19,7 +22,10 @@
 //!   --threads <n>      host-parallel backend workers (backend only, default 4)
 //!   --latency <ns>     modeled memory latency per streamed element
 //!                      (backend only, default 100)
-//!   --out <path>       report path (backend only, default BENCH_PR2.json)
+//!   --rounds <n>       mutation rounds (update-churn only, default 8)
+//!   --batch <n>        ops per mutation batch (update-churn only, default 32)
+//!   --out <path>       report path (backend: BENCH_PR2.json,
+//!                      update-churn: BENCH_PR3.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -27,10 +33,10 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|backend|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
          [--timeout MS] [--cpu-timeout MS] \
-         [--threads N] [--latency NS] [--out PATH]"
+         [--threads N] [--latency NS] [--rounds N] [--batch N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -44,7 +50,9 @@ fn main() {
     let mut opts = HarnessOpts::default();
     let mut threads = 4usize;
     let mut latency_ns = 100u64;
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut rounds = 8usize;
+    let mut batch = 32usize;
+    let mut out_path: Option<String> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -59,7 +67,9 @@ fn main() {
             "--cpu-timeout" => opts.cpu_timeout_ms = val.parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = val.parse().unwrap_or_else(|_| usage()),
             "--latency" => latency_ns = val.parse().unwrap_or_else(|_| usage()),
-            "--out" => out_path = val.clone(),
+            "--rounds" => rounds = val.parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = val.parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = Some(val.clone()),
             _ => usage(),
         }
         i += 2;
@@ -85,7 +95,18 @@ fn main() {
         "fig13" => experiments::fig13(&opts),
         "fig14" => experiments::fig14(&opts),
         "fig15" => experiments::fig15(&opts),
-        "backend" => experiments::backend(&opts, threads, latency_ns, &out_path),
+        "backend" => experiments::backend(
+            &opts,
+            threads,
+            latency_ns,
+            out_path.as_deref().unwrap_or("BENCH_PR2.json"),
+        ),
+        "update-churn" => experiments::update_churn(
+            &opts,
+            rounds,
+            batch,
+            out_path.as_deref().unwrap_or("BENCH_PR3.json"),
+        ),
         "all" => experiments::all(&opts),
         _ => usage(),
     }

@@ -706,6 +706,246 @@ pub fn backend(opts: &HarnessOpts, threads: usize, latency_ns: u64, out_path: &s
     println!("wrote {out_path}");
 }
 
+/// PR 3 perf trajectory — dynamic update churn: interleaved mutation
+/// batches and queries on an evolving graph, incremental re-prepare
+/// (`PreparedData::apply_updates`: PCSR layer splices + touched-vertex
+/// signature refresh) vs a cold `prepare_shared` rebuild of the mutated
+/// graph (not part of the paper; the repo's own serving trajectory).
+///
+/// Each round mutates a couple of "hot" edge labels — the delta-locality
+/// regime PCSR's layer partitioning was built for — then runs the query
+/// batch against *both* preparations, asserting bit-identical match tables
+/// and exact device-ledger counters before trusting either wall time.
+/// Writes the measurements to `out_path` (`BENCH_PR3.json`).
+pub fn update_churn(opts: &HarnessOpts, rounds: usize, batch_size: usize, out_path: &str) {
+    use crate::report::JsonObj;
+    use gsi::graph::update::UpdateBatch;
+    use std::collections::BTreeSet;
+    use std::time::{Duration, Instant};
+
+    section(&format!(
+        "Update churn — incremental re-prepare vs full rebuild ({rounds} rounds × {batch_size} ops)"
+    ));
+    let n_elabels = 8usize;
+    let mut g = gowalla_with_labels(opts, 4, n_elabels);
+    println!(
+        "dataset: gowalla stand-in ({n_elabels} edge labels), {}",
+        statistics(&g)
+    );
+    let engine = GsiEngine::with_gpu(
+        GsiConfig::gsi_opt(),
+        Gpu::new(DeviceConfig {
+            worker_threads: 1,
+            ..DeviceConfig::titan_xp()
+        }),
+    );
+    let mut prepared = engine.prepare(&g);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut t_inc_total = Duration::ZERO;
+    let mut t_rebuild_total = Duration::ZERO;
+    let mut layers_spliced = 0usize;
+    let mut layers_rebuilt = 0usize;
+    let mut sigs_refreshed = 0usize;
+    let mut queries_checked = 0usize;
+    let mut matches_total = 0usize;
+    let mut equivalent = true;
+
+    let mut t = Table::new(vec![
+        "round",
+        "ops",
+        "incremental",
+        "rebuild",
+        "speedup",
+        "spliced",
+        "rebuilt",
+        "queries",
+    ]);
+    for round in 0..rounds {
+        // A mutation batch with delta locality: ops on two hot labels,
+        // endpoints drawn mostly from vertices already active in that
+        // label (attachment locality — and the regime where the canonical
+        // splice applies; a sprinkle of arbitrary endpoints keeps the
+        // local-rebuild path honest).
+        let hot: Vec<u32> = (0..2)
+            .map(|_| rng.random_range(0..n_elabels as u32))
+            .collect();
+        let mut edges: BTreeSet<(u32, u32, u32)> = g
+            .edges()
+            .into_iter()
+            .filter(|e| hot.contains(&e.label))
+            .map(|e| (e.u, e.v, e.label))
+            .collect();
+        let mut deg: std::collections::HashMap<(u32, u32), usize> = Default::default();
+        for &(u, v, l) in &edges {
+            *deg.entry((l, u)).or_default() += 1;
+            *deg.entry((l, v)).or_default() += 1;
+        }
+        let present: Vec<Vec<u32>> = hot
+            .iter()
+            .map(|&l| {
+                deg.keys()
+                    .filter(|&&(dl, _)| dl == l)
+                    .map(|&(_, v)| v)
+                    .collect()
+            })
+            .collect();
+        let n = g.n_vertices() as u32;
+        let mut batch = UpdateBatch::new();
+        for _ in 0..batch_size {
+            let roll = rng.random_range(0..10);
+            if roll < 3 && !edges.is_empty() {
+                // Remove an edge both of whose endpoints keep label-degree
+                // ≥ 1 (presence-preserving).
+                for _ in 0..8 {
+                    let idx = rng.random_range(0..edges.len());
+                    let &(u, v, l) = edges.iter().nth(idx).expect("in range");
+                    if deg[&(l, u)] >= 2 && deg[&(l, v)] >= 2 {
+                        batch.remove_edge(u, v, l);
+                        edges.remove(&(u, v, l));
+                        *deg.get_mut(&(l, u)).expect("present") -= 1;
+                        *deg.get_mut(&(l, v)).expect("present") -= 1;
+                        break;
+                    }
+                }
+            } else {
+                let li = rng.random_range(0..hot.len());
+                let l = hot[li];
+                for _ in 0..8 {
+                    // 1-in-10 inserts attach an arbitrary vertex (may force
+                    // a local layer rebuild); the rest stay label-local.
+                    let (u, v) = if roll == 9 || present[li].len() < 2 {
+                        (rng.random_range(0..n), rng.random_range(0..n))
+                    } else {
+                        (
+                            present[li][rng.random_range(0..present[li].len())],
+                            present[li][rng.random_range(0..present[li].len())],
+                        )
+                    };
+                    let key = (u.min(v), u.max(v), l);
+                    if u != v && !g.has_edge(u, v, l) && !edges.contains(&key) {
+                        batch.insert_edge(u, v, l);
+                        edges.insert(key);
+                        *deg.entry((l, u)).or_default() += 1;
+                        *deg.entry((l, v)).or_default() += 1;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Incremental path: delta re-prepare (includes the logical graph
+        // mutation, which the rebuild path gets for free — conservative).
+        let t0 = Instant::now();
+        let (updated, inc, report) = engine
+            .apply_updates(&g, &prepared, &batch)
+            .expect("generated batch is valid");
+        let t_inc = t0.elapsed();
+
+        // Rebuild path: cold offline phase on the already-mutated graph.
+        let t0 = Instant::now();
+        let cold = engine.prepare_shared(&updated);
+        let t_rebuild = t0.elapsed();
+
+        let store_report = report.store.as_ref().expect("pcsr storage");
+        let spliced = store_report.spliced();
+        let rebuilt = store_report.rebuilt();
+        layers_spliced += spliced;
+        layers_rebuilt += rebuilt;
+        sigs_refreshed += report.signatures_refreshed.unwrap_or(0);
+
+        // Interleaved queries, against both preparations: equivalence gate.
+        let queries = opts.query_batch(&updated);
+        for q in &queries {
+            let snap0 = engine.gpu().stats().snapshot();
+            let a = engine.query_with_timeout(&updated, &inc, q, Some(opts.timeout()));
+            let snap1 = engine.gpu().stats().snapshot();
+            let b = engine.query_with_timeout(&updated, &cold, q, Some(opts.timeout()));
+            let snap2 = engine.gpu().stats().snapshot();
+            equivalent &= a.matches.table == b.matches.table && snap1 - snap0 == snap2 - snap1;
+            matches_total += a.matches.len();
+            queries_checked += 1;
+        }
+
+        t.row(vec![
+            round.to_string(),
+            batch.len().to_string(),
+            ms(t_inc),
+            ms(t_rebuild),
+            speedup(t_rebuild, t_inc),
+            spliced.to_string(),
+            rebuilt.to_string(),
+            queries.len().to_string(),
+        ]);
+        t_inc_total += t_inc;
+        t_rebuild_total += t_rebuild;
+        g = updated;
+        prepared = inc;
+    }
+    t.print();
+    assert!(
+        equivalent,
+        "incremental re-prepare diverged from cold rebuild"
+    );
+    println!(
+        "re-prepare wall: incremental {} vs rebuild {} ({})   layers: {} spliced / {} rebuilt   sigs refreshed: {}",
+        ms(t_inc_total),
+        ms(t_rebuild_total),
+        speedup(t_rebuild_total, t_inc_total),
+        layers_spliced,
+        layers_rebuilt,
+        sigs_refreshed
+    );
+    println!(
+        "equivalence: tables bit-identical, device counters exact over {queries_checked} queries"
+    );
+
+    let report = JsonObj::new()
+        .u64("pr", 3)
+        .str("experiment", "update-churn")
+        .str(
+            "description",
+            "interleaved mutation batches + queries on an evolving graph: \
+             incremental PreparedData::apply_updates vs cold prepare_shared \
+             rebuild, equivalence-gated",
+        )
+        .str("dataset", "gowalla")
+        .f64("scale", opts.scale)
+        .u64("edge_labels", n_elabels as u64)
+        .u64("rounds", rounds as u64)
+        .u64("batch_size", batch_size as u64)
+        .u64("query_size", opts.query_size as u64)
+        .u64("seed", opts.seed)
+        .obj(
+            "incremental",
+            JsonObj::new()
+                .f64("reprepare_wall_ms", t_inc_total.as_secs_f64() * 1e3)
+                .u64("layers_spliced", layers_spliced as u64)
+                .u64("layers_rebuilt", layers_rebuilt as u64)
+                .u64("signatures_refreshed", sigs_refreshed as u64),
+        )
+        .obj(
+            "rebuild",
+            JsonObj::new().f64("reprepare_wall_ms", t_rebuild_total.as_secs_f64() * 1e3),
+        )
+        .obj(
+            "speedup",
+            JsonObj::new().f64(
+                "reprepare_wall",
+                t_rebuild_total.as_secs_f64() / t_inc_total.as_secs_f64().max(1e-12),
+            ),
+        )
+        .obj(
+            "equivalence",
+            JsonObj::new()
+                .bool("tables_bit_identical_and_counters_exact", equivalent)
+                .u64("queries_checked", queries_checked as u64)
+                .u64("matches_total", matches_total as u64),
+        );
+    report.write(out_path).expect("write bench report");
+    println!("wrote {out_path}");
+}
+
 /// Run every experiment in paper order.
 pub fn all(opts: &HarnessOpts) {
     table2(opts);

@@ -12,7 +12,8 @@ use gsi_gpu_sim::{DeviceConfig, Gpu};
 use gsi_graph::basic::BasicStore;
 use gsi_graph::compressed::CompressedStore;
 use gsi_graph::csr::Csr;
-use gsi_graph::pcsr::PcsrStore;
+use gsi_graph::pcsr::{PcsrStore, StoreUpdateReport};
+use gsi_graph::update::{UpdateBatch, UpdateError};
 use gsi_graph::{Graph, LabeledStore, StorageKind};
 use gsi_signature::filter::FilterInputs;
 use gsi_signature::{
@@ -50,6 +51,96 @@ impl PreparedData {
     /// The signature table, when the signature filter is configured.
     pub fn signature_table(&self) -> Option<&SignatureTable> {
         self.sig_table.as_ref()
+    }
+
+    /// Delta-aware re-prepare: absorb `batch` into the offline structures,
+    /// returning the mutated graph and a *new* `PreparedData` — `self`
+    /// stays untouched, so a serving layer can keep the old epoch's data
+    /// alive under in-flight queries while the new epoch takes traffic.
+    ///
+    /// `data` must be the graph this `PreparedData` was prepared from.
+    /// Only what the batch touched is recomputed:
+    ///
+    /// * PCSR storage reuses every untouched label layer by reference and
+    ///   splices or locally rebuilds the touched ones
+    ///   ([`gsi_graph::pcsr::MultiPcsr::apply_updates`]); non-PCSR storage
+    ///   structures are rebuilt wholesale.
+    /// * The signature table re-encodes only the endpoints of mutated
+    ///   edges; adding vertices forces a table rebuild (the column-first
+    ///   layout interleaves all signatures).
+    /// * The filter's label/degree arrays are re-uploaded (they are `O(|V|)`
+    ///   and not worth a delta path).
+    ///
+    /// The result is bit-identical to `engine.prepare_shared(&mutated)` —
+    /// queries against it produce the same tables and charge the same
+    /// device transactions as against a cold rebuild — which the oracle and
+    /// property tests assert.
+    pub fn apply_updates(
+        &self,
+        engine: &GsiEngine,
+        data: &Graph,
+        batch: &UpdateBatch,
+    ) -> Result<(Graph, PreparedData, UpdateReport), UpdateError> {
+        let updated = data.apply_updates(batch)?;
+
+        let (store, store_delta): (Arc<dyn LabeledStore>, Option<StoreUpdateReport>) =
+            match self.store.as_pcsr() {
+                Some(pcsr) => {
+                    let (next, report) = pcsr.apply_updates(&updated, batch);
+                    (Arc::new(next), Some(report))
+                }
+                None => (engine.build_store(&updated), None),
+            };
+
+        let mut signatures_refreshed = None;
+        let sig_table = self.sig_table.as_ref().map(|table| {
+            let touched = batch.touched_vertices();
+            match table.refreshed(engine.gpu(), &updated, &touched) {
+                Some(refreshed) => {
+                    signatures_refreshed = Some(touched.len());
+                    refreshed
+                }
+                None => SignatureTable::build(
+                    engine.gpu(),
+                    &updated,
+                    &engine.cfg.signature,
+                    engine.cfg.signature_layout,
+                ),
+            }
+        });
+
+        let filter_inputs = FilterInputs::build(engine.gpu(), &updated);
+        let report = UpdateReport {
+            store: store_delta,
+            signatures_refreshed,
+        };
+        Ok((
+            updated,
+            PreparedData {
+                store,
+                sig_table,
+                filter_inputs,
+            },
+            report,
+        ))
+    }
+}
+
+/// What [`PreparedData::apply_updates`] recomputed.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Per-layer PCSR actions when storage took the incremental path;
+    /// `None` when the configured storage structure was rebuilt wholesale.
+    pub store: Option<StoreUpdateReport>,
+    /// Signatures re-encoded in place; `None` when the table was rebuilt
+    /// (vertex additions) or the configured filter keeps no table.
+    pub signatures_refreshed: Option<usize>,
+}
+
+impl UpdateReport {
+    /// Whether storage was refreshed incrementally (vs rebuilt wholesale).
+    pub fn store_incremental(&self) -> bool {
+        self.store.is_some()
     }
 }
 
@@ -150,12 +241,7 @@ impl GsiEngine {
     /// queries are in flight must use this: zeroing the shared ledger
     /// mid-query would make concurrent snapshot deltas underflow.
     pub fn prepare_shared(&self, data: &Graph) -> PreparedData {
-        let store: Arc<dyn LabeledStore> = match self.cfg.storage {
-            StorageKind::Pcsr => Arc::new(PcsrStore::build_with_gpn(data, self.cfg.storage_gpn)),
-            StorageKind::Csr => Arc::new(Csr::build(data)),
-            StorageKind::Basic => Arc::new(BasicStore::build(data)),
-            StorageKind::Compressed => Arc::new(CompressedStore::build(data)),
-        };
+        let store = self.build_store(data);
         let sig_table = (self.cfg.filter == FilterStrategy::Signature).then(|| {
             SignatureTable::build(
                 &self.gpu,
@@ -170,6 +256,29 @@ impl GsiEngine {
             sig_table,
             filter_inputs,
         }
+    }
+
+    /// Build the configured storage structure for `data`.
+    fn build_store(&self, data: &Graph) -> Arc<dyn LabeledStore> {
+        match self.cfg.storage {
+            StorageKind::Pcsr => Arc::new(PcsrStore::build_with_gpn(data, self.cfg.storage_gpn)),
+            StorageKind::Csr => Arc::new(Csr::build(data)),
+            StorageKind::Basic => Arc::new(BasicStore::build(data)),
+            StorageKind::Compressed => Arc::new(CompressedStore::build(data)),
+        }
+    }
+
+    /// Absorb a mutation batch into prepared structures: delegate to
+    /// [`PreparedData::apply_updates`]. Returns the mutated graph, the new
+    /// prepared data (untouched label layers shared with `prepared`), and a
+    /// report of what was recomputed.
+    pub fn apply_updates(
+        &self,
+        data: &Graph,
+        prepared: &PreparedData,
+        batch: &UpdateBatch,
+    ) -> Result<(Graph, PreparedData, UpdateReport), UpdateError> {
+        prepared.apply_updates(self, data, batch)
     }
 
     /// Run the filtering phase only (used by the Table IV/V harness).
@@ -680,6 +789,75 @@ mod tests {
             .query_with_options(&data, &prepared, &q, QueryOptions::default())
             .expect_err("disconnected");
         assert!(matches!(err, crate::PlanError::Disconnected { step: 1 }));
+    }
+
+    #[test]
+    fn apply_updates_is_query_indistinguishable_from_cold_rebuild() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+
+        // Mutate: add a B–C edge (touches label 0 only) and drop one.
+        let mut batch = UpdateBatch::new();
+        batch.insert_edge(1, 102, 0).remove_edge(2, 102, 0);
+        let (updated, inc, report) = engine
+            .apply_updates(&data, &prepared, &batch)
+            .expect("valid batch");
+        assert!(report.store_incremental());
+        assert_eq!(report.signatures_refreshed, Some(3));
+        let store_report = report.store.expect("pcsr path");
+        assert_eq!(store_report.spliced(), 1, "label 0 spliced in place");
+
+        // The untouched b-layer is shared by reference with the old epoch.
+        let old = prepared.store().as_pcsr().expect("pcsr");
+        let new = inc.store().as_pcsr().expect("pcsr");
+        assert_eq!(old.shared_layers_with(new), 1);
+
+        // Queries on the incremental re-prepare are bit-identical — tables
+        // *and* device-ledger counters — to a cold rebuild.
+        let cold = engine.prepare_shared(&updated);
+        let snap0 = engine.gpu().stats().snapshot();
+        let a = engine.query(&updated, &inc, &query);
+        let snap1 = engine.gpu().stats().snapshot();
+        let b = engine.query(&updated, &cold, &query);
+        let snap2 = engine.gpu().stats().snapshot();
+        assert_eq!(a.matches.table, b.matches.table, "bit-identical tables");
+        assert_eq!(snap1 - snap0, snap2 - snap1, "exact device counters");
+
+        // The old prepared data still answers against the old graph.
+        let before = engine.query(&data, &prepared, &query);
+        assert_eq!(before.matches.len(), 100);
+    }
+
+    #[test]
+    fn apply_updates_rejects_invalid_batches() {
+        let (data, _) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let mut batch = UpdateBatch::new();
+        batch.insert_edge(0, 1, 0); // already exists
+        assert!(matches!(
+            engine.apply_updates(&data, &prepared, &batch),
+            Err(UpdateError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_updates_with_vertex_growth_rebuilds_signatures() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let mut batch = UpdateBatch::new();
+        batch.add_vertex(1); // new B vertex…
+        batch.insert_edge(0, 202, 0); // …wired to v0
+        let (updated, inc, report) = engine
+            .apply_updates(&data, &prepared, &batch)
+            .expect("valid");
+        assert_eq!(report.signatures_refreshed, None, "table grew: rebuilt");
+        let cold = engine.prepare_shared(&updated);
+        let a = engine.query(&updated, &inc, &query);
+        let b = engine.query(&updated, &cold, &query);
+        assert_eq!(a.matches.table, b.matches.table);
     }
 
     #[test]

@@ -81,7 +81,8 @@ pub mod write_cache;
 
 pub use backend::{ExecBackend, HostParallelBackend, SerialBackend};
 pub use config::{BackendKind, FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpStrategy};
-pub use engine::{GsiEngine, PreparedData, QueryOptions, QueryOutput};
+pub use engine::{GsiEngine, PreparedData, QueryOptions, QueryOutput, UpdateReport};
+pub use gsi_graph::update::{GraphOp, UpdateBatch, UpdateError};
 pub use matches::Matches;
 pub use plan::{JoinPlan, JoinStep, PlanError};
 pub use stats::RunStats;

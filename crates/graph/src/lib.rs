@@ -18,6 +18,10 @@
 //!     per group probe, overflow chaining with Claim 1 guarantees.
 //! * Generators for synthetic graphs ([`generate`]) and the paper's
 //!   random-walk query workload ([`query_gen`]).
+//! * Dynamic updates ([`update`]): [`UpdateBatch`]es of edge/vertex
+//!   mutations applied to immutable graphs, and the incremental PCSR
+//!   maintenance ([`pcsr::MultiPcsr::apply_updates`]) that absorbs them
+//!   without rebuilding untouched label layers.
 //! * A plain-text interchange format ([`io`]).
 //!
 //! [Zeng et al., ICDE 2020]: https://arxiv.org/abs/1906.03420
@@ -36,8 +40,11 @@ pub mod pcsr;
 pub mod query_gen;
 pub mod storage;
 pub mod types;
+pub mod update;
 
 pub use builder::GraphBuilder;
 pub use graph::Graph;
+pub use pcsr::{LayerAction, MultiPcsr, StoreUpdateReport};
 pub use storage::{LabeledStore, Neighbors, StorageKind};
 pub use types::{EdgeLabel, VertexId, VertexLabel};
+pub use update::{GraphOp, UpdateBatch, UpdateError};

@@ -84,6 +84,35 @@ pub fn partition_by_label(g: &Graph) -> Vec<LabelPartition> {
     parts
 }
 
+/// Extract the single [`LabelPartition`] `P(g, label)` without splitting the
+/// whole graph — the incremental-update path rebuilds only touched label
+/// layers, so it must not pay for the labels it is about to reuse.
+///
+/// Produces exactly the partition [`partition_by_label`] would emit for
+/// `label` (same vertex order, same neighbor order), or an *empty* partition
+/// when no edge carries the label.
+pub fn partition_for_label(g: &Graph, label: EdgeLabel) -> LabelPartition {
+    let mut part = LabelPartition {
+        label,
+        vertices: Vec::new(),
+        offsets: vec![0],
+        neighbors: Vec::new(),
+    };
+    for v in 0..g.n_vertices() as VertexId {
+        let adj = g.neighbors(v);
+        let start = adj.partition_point(|&(_, el)| el < label);
+        let end = adj.partition_point(|&(_, el)| el <= label);
+        if start == end {
+            continue;
+        }
+        part.vertices.push(v);
+        part.neighbors
+            .extend(adj[start..end].iter().map(|&(n, _)| n));
+        part.offsets.push(part.neighbors.len());
+    }
+    part
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +160,22 @@ mod tests {
             for v in 0..g.n_vertices() as u32 {
                 let truth: Vec<_> = g.neighbors_with_label(v, p.label).collect();
                 assert_eq!(p.neighbors_of(v), truth.as_slice(), "v={v} l={}", p.label);
+            }
+        }
+    }
+
+    #[test]
+    fn single_label_extraction_matches_full_split() {
+        let g = crate::fixtures::random_labeled(200, 700, 3, 5, 11);
+        let full = partition_by_label(&g);
+        for l in 0..6 {
+            let one = partition_for_label(&g, l);
+            match full.iter().find(|p| p.label == l) {
+                Some(p) => assert_eq!(&one, p, "label {l}"),
+                None => {
+                    assert_eq!(one.n_vertices(), 0, "label {l} absent");
+                    assert_eq!(one.n_entries(), 0);
+                }
             }
         }
     }

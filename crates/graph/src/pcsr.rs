@@ -14,12 +14,28 @@
 //! to an empty group and the origin's `GID` chains to it. Claim 1 proves
 //! enough empty groups always exist; [`Pcsr::build`] implements the proof's
 //! construction and asserts it.
+//!
+//! **Dynamic updates.** The hash-group layout is exactly what makes PCSR
+//! updatable without a full rebuild: an edge mutation between two vertices
+//! already present in a layer leaves the group assignment — hash buckets,
+//! overflow chains, probe lengths — untouched, so [`Pcsr::splice_batch`]
+//! only re-threads the column index and the offset words, reproducing the
+//! *bit-identical canonical layout* a cold [`Pcsr::build`] of the mutated
+//! partition would emit (lookups therefore charge identical transactions).
+//! Mutations that change the present-vertex set change the group count and
+//! hash modulus (and can create or retire overflow chains), so they trigger
+//! a local layer rebuild instead. [`MultiPcsr`] applies this per label
+//! layer with copy-on-write sharing and keeps a delta log of what each
+//! batch did — see [`MultiPcsr::apply_updates`].
 
-use crate::partition::LabelPartition;
+use crate::partition::{partition_for_label, LabelPartition};
 use crate::storage::{LabeledStore, Neighbors, StorageKind};
 use crate::types::{EdgeLabel, VertexId, INVALID_VERTEX};
+use crate::update::UpdateBatch;
 use gsi_gpu_sim::Gpu;
 use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Marker for "no overflow group" (the paper's `GID = -1`).
 const NO_GID: u32 = u32::MAX;
@@ -27,8 +43,19 @@ const NO_GID: u32 = u32::MAX;
 /// Default pairs per group: 16 pairs = 128 bytes = one memory transaction.
 pub const DEFAULT_GPN: usize = 16;
 
+/// Most recent [`StoreUpdateReport`]s a [`MultiPcsr`] retains in its delta
+/// log; older entries are dropped when new batches apply.
+pub const DELTA_LOG_CAP: usize = 64;
+
+/// A splice could not preserve the canonical layout: the mutation changes
+/// the layer's present-vertex set (new/retired keys shift the hash modulus
+/// and can move overflow chains), or the layer has drifted from the logical
+/// graph. The caller falls back to a local rebuild of this one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeedsRebuild;
+
 /// PCSR for a single edge label partition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pcsr {
     label: EdgeLabel,
     gpn: usize,
@@ -263,15 +290,160 @@ impl Pcsr {
     pub fn neighbor_count(&self, gpu: &Gpu, v: VertexId) -> usize {
         self.locate(gpu, v).map_or(0, |(s, e)| e - s)
     }
+
+    /// Apply a batch of edge mutations *in place*, preserving the canonical
+    /// layout: afterwards the structure is bit-identical to a cold
+    /// [`Pcsr::build`] of the mutated partition.
+    ///
+    /// `ops` are `(insert?, u, v)` undirected edge mutations in application
+    /// order (both directions are spliced). The group assignment is frozen —
+    /// only the column index and the offset words are re-threaded — so the
+    /// splice is legal only while the present-vertex set is unchanged:
+    ///
+    /// * inserting an edge whose endpoint has no edge in this layer yet, or
+    /// * removing a vertex's last edge in this layer
+    ///
+    /// would change the group count, the hash modulus, and potentially the
+    /// overflow chains; those return [`NeedsRebuild`] *before any mutation*
+    /// and the caller rebuilds this layer from its partition. A duplicate
+    /// insert or a missing removal (a drifted delta log) is refused the same
+    /// way rather than corrupting the layout.
+    pub fn splice_batch(&mut self, ops: &[(bool, VertexId, VertexId)]) -> Result<(), NeedsRebuild> {
+        let gw = self.group_words();
+
+        // Decode the frozen layout: per group, the occupied slots' keys and
+        // owned neighbor lists, plus a key → (group, slot) index.
+        let mut lists: Vec<Vec<(VertexId, Vec<VertexId>)>> = Vec::with_capacity(self.n_groups);
+        let mut index: HashMap<VertexId, (usize, usize)> = HashMap::new();
+        for g in 0..self.n_groups {
+            let base = g * gw;
+            let end_flag = self.groups[base + 2 * (self.gpn - 1) + 1] as usize;
+            let mut slots = Vec::new();
+            for slot in 0..self.gpn - 1 {
+                let key = self.groups[base + 2 * slot];
+                if key == INVALID_VERTEX {
+                    break;
+                }
+                let start = self.groups[base + 2 * slot + 1] as usize;
+                let end = if slot + 1 < self.gpn - 1
+                    && self.groups[base + 2 * (slot + 1)] != INVALID_VERTEX
+                {
+                    self.groups[base + 2 * (slot + 1) + 1] as usize
+                } else {
+                    end_flag
+                };
+                index.insert(key, (g, slots.len()));
+                slots.push((key, self.ci[start..end].to_vec()));
+            }
+            lists.push(slots);
+        }
+
+        // Apply every op on the decoded lists; abort (leaving `self`
+        // untouched) on any presence change or drift.
+        for &(insert, u, v) in ops {
+            for (a, b) in [(u, v), (v, u)] {
+                let Some(&(g, p)) = index.get(&a) else {
+                    return Err(NeedsRebuild);
+                };
+                let list = &mut lists[g][p].1;
+                match (list.binary_search(&b), insert) {
+                    (Err(i), true) => list.insert(i, b),
+                    (Ok(_), false) if list.len() == 1 => return Err(NeedsRebuild),
+                    (Ok(i), false) => {
+                        list.remove(i);
+                    }
+                    // Duplicate insert / missing removal: drifted input.
+                    _ => return Err(NeedsRebuild),
+                }
+            }
+        }
+
+        // Re-emit offsets and the column index exactly like Algorithm 1
+        // lines 9-13, with the assignment frozen: group/slot order, END =
+        // cursor after each group's content.
+        let mut ci = Vec::with_capacity(self.ci.len());
+        for (g, slots) in lists.iter().enumerate() {
+            let base = g * gw;
+            for (slot, (key, list)) in slots.iter().enumerate() {
+                debug_assert_eq!(self.groups[base + 2 * slot], *key);
+                self.groups[base + 2 * slot + 1] = ci.len() as u32;
+                ci.extend_from_slice(list);
+            }
+            self.groups[base + 2 * (self.gpn - 1) + 1] = ci.len() as u32;
+        }
+        self.ci = ci;
+        // max_chain / overflowed are untouched: the assignment is frozen.
+        Ok(())
+    }
 }
 
-/// PCSR over every edge label of a graph.
+/// What [`MultiPcsr::apply_updates`] did to one label layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerAction {
+    /// The layer absorbed its edge ops in place: group assignment frozen,
+    /// column index and offsets re-threaded, untouched bytes shared.
+    Spliced {
+        /// Edge ops spliced into the layer.
+        ops: usize,
+    },
+    /// The mutation changed the layer's present-vertex set (or would have
+    /// changed its overflow chains), so the one layer was rebuilt from its
+    /// partition — a *local* rebuild; every other layer is reused.
+    Rebuilt {
+        /// Edge ops that forced the rebuild.
+        ops: usize,
+    },
+    /// The label did not exist before this batch; a fresh layer was built.
+    Created,
+    /// The batch removed the label's last edge; the layer was retired.
+    Dropped,
+}
+
+/// Per-batch record in the [`MultiPcsr`] delta log: what happened to each
+/// touched label layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreUpdateReport {
+    /// `(label, action)` for every touched layer, sorted by label.
+    pub actions: Vec<(EdgeLabel, LayerAction)>,
+}
+
+impl StoreUpdateReport {
+    /// Layers updated in place.
+    pub fn spliced(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|(_, a)| matches!(a, LayerAction::Spliced { .. }))
+            .count()
+    }
+
+    /// Layers rebuilt (including created and dropped ones).
+    pub fn rebuilt(&self) -> usize {
+        self.actions.len() - self.spliced()
+    }
+}
+
+/// PCSR over every edge label of a graph — the multi-layer store the engine
+/// serves queries from, with per-layer copy-on-write updates.
+///
+/// Layers live behind [`Arc`]s: [`MultiPcsr::apply_updates`] returns a new
+/// store that *shares every untouched label layer* with its parent, so an
+/// epoch-versioned catalog can keep old and new store versions alive
+/// side-by-side at the cost of the touched layers only. A delta log records
+/// what each applied batch did ([`StoreUpdateReport`]).
 #[derive(Debug, Clone)]
-pub struct PcsrStore {
-    layers: Vec<Pcsr>,
+pub struct MultiPcsr {
+    gpn: usize,
+    layers: Vec<Arc<Pcsr>>,
+    /// Delta log: one entry per recent batch, newest last (bounded by
+    /// [`DELTA_LOG_CAP`] so a long-running serving loop doesn't accumulate
+    /// history in every published store version).
+    log: Vec<StoreUpdateReport>,
 }
 
-impl PcsrStore {
+/// The historical name of [`MultiPcsr`] (one `Pcsr` per label, no updates).
+pub type PcsrStore = MultiPcsr;
+
+impl MultiPcsr {
     /// Build one PCSR per distinct edge label with the default group size.
     pub fn build(g: &crate::graph::Graph) -> Self {
         Self::build_with_gpn(g, DEFAULT_GPN)
@@ -281,30 +453,122 @@ impl PcsrStore {
     pub fn build_with_gpn(g: &crate::graph::Graph, gpn: usize) -> Self {
         let layers = crate::partition::partition_by_label(g)
             .iter()
-            .map(|p| Pcsr::build_with_gpn(p, gpn))
+            .map(|p| Arc::new(Pcsr::build_with_gpn(p, gpn)))
             .collect();
-        Self { layers }
+        Self {
+            gpn,
+            layers,
+            log: Vec::new(),
+        }
     }
 
     /// The per-label layers, sorted by label.
-    pub fn layers(&self) -> &[Pcsr] {
+    pub fn layers(&self) -> &[Arc<Pcsr>] {
         &self.layers
+    }
+
+    /// The configured group size.
+    pub fn gpn(&self) -> usize {
+        self.gpn
+    }
+
+    /// The delta log: one report per recently applied batch, newest last
+    /// (at most [`DELTA_LOG_CAP`] entries are retained).
+    pub fn update_log(&self) -> &[StoreUpdateReport] {
+        &self.log
     }
 
     fn layer(&self, l: EdgeLabel) -> Option<&Pcsr> {
         self.layers
             .binary_search_by_key(&l, |p| p.label())
             .ok()
-            .map(|i| &self.layers[i])
+            .map(|i| &*self.layers[i])
     }
 
     /// Longest probe chain over all layers.
     pub fn max_chain(&self) -> usize {
         self.layers.iter().map(|p| p.max_chain()).max().unwrap_or(0)
     }
+
+    /// Absorb an [`UpdateBatch`] and return the updated store plus the
+    /// report appended to its delta log.
+    ///
+    /// `updated` must be the graph *after* the batch (the output of
+    /// [`crate::graph::Graph::apply_updates`]); it is consulted only for
+    /// layers that need rebuilding. Per touched label, the cheap path is a
+    /// canonical [`Pcsr::splice_batch`] on a copy of that one layer; when
+    /// the splice would change the layer's present-vertex set (and hence
+    /// its group count or overflow chains), that layer alone is rebuilt.
+    /// Untouched layers are shared with `self` by reference — the
+    /// copy-on-write property epoch-versioned serving relies on.
+    ///
+    /// The result is observation-equivalent — in fact bit-identical, layer
+    /// by layer — to `MultiPcsr::build_with_gpn(updated, self.gpn())`.
+    pub fn apply_updates(
+        &self,
+        updated: &crate::graph::Graph,
+        batch: &UpdateBatch,
+    ) -> (MultiPcsr, StoreUpdateReport) {
+        let mut layers = self.layers.clone();
+        let mut actions = Vec::new();
+        for label in batch.touched_labels() {
+            let ops = batch.edge_ops_for_label(label);
+            match layers.binary_search_by_key(&label, |p| p.label()) {
+                Ok(i) => {
+                    let mut patched = (*layers[i]).clone();
+                    match patched.splice_batch(&ops) {
+                        Ok(()) => {
+                            layers[i] = Arc::new(patched);
+                            actions.push((label, LayerAction::Spliced { ops: ops.len() }));
+                        }
+                        Err(NeedsRebuild) => {
+                            let part = partition_for_label(updated, label);
+                            if part.n_vertices() == 0 {
+                                layers.remove(i);
+                                actions.push((label, LayerAction::Dropped));
+                            } else {
+                                layers[i] = Arc::new(Pcsr::build_with_gpn(&part, self.gpn));
+                                actions.push((label, LayerAction::Rebuilt { ops: ops.len() }));
+                            }
+                        }
+                    }
+                }
+                Err(i) => {
+                    let part = partition_for_label(updated, label);
+                    // An empty partition here means the batch inserted and
+                    // removed the label's edges within itself; no layer.
+                    if part.n_vertices() > 0 {
+                        layers.insert(i, Arc::new(Pcsr::build_with_gpn(&part, self.gpn)));
+                        actions.push((label, LayerAction::Created));
+                    }
+                }
+            }
+        }
+        let report = StoreUpdateReport { actions };
+        let start = self.log.len().saturating_sub(DELTA_LOG_CAP - 1);
+        let mut log = self.log[start..].to_vec();
+        log.push(report.clone());
+        (
+            MultiPcsr {
+                gpn: self.gpn,
+                layers,
+                log,
+            },
+            report,
+        )
+    }
+
+    /// How many layers `other` shares with `self` by reference (diagnostic
+    /// for the copy-on-write property).
+    pub fn shared_layers_with(&self, other: &MultiPcsr) -> usize {
+        self.layers
+            .iter()
+            .filter(|a| other.layers.iter().any(|b| Arc::ptr_eq(a, b)))
+            .count()
+    }
 }
 
-impl LabeledStore for PcsrStore {
+impl LabeledStore for MultiPcsr {
     fn kind(&self) -> StorageKind {
         StorageKind::Pcsr
     }
@@ -322,6 +586,10 @@ impl LabeledStore for PcsrStore {
 
     fn space_bytes(&self) -> usize {
         self.layers.iter().map(|p| p.space_bytes()).sum()
+    }
+
+    fn as_pcsr(&self) -> Option<&MultiPcsr> {
+        Some(self)
     }
 }
 
@@ -448,6 +716,145 @@ mod tests {
         let g = paper_example_data();
         let parts = partition_by_label(&g);
         let _ = Pcsr::build_with_gpn(&parts[0], 17);
+    }
+
+    #[test]
+    fn splice_insert_remove_matches_cold_build() {
+        // Mutate edges between already-present vertices: the splice must
+        // reproduce the cold build of the mutated partition bit for bit.
+        let g = random_labeled(120, 500, 2, 1, 3);
+        let parts = partition_by_label(&g);
+        let mut pcsr = Pcsr::build(&parts[0]);
+
+        // Pick two present vertices with no edge between them, and one
+        // existing edge whose endpoints both keep another neighbor.
+        let (u, v) = {
+            let vs = &parts[0].vertices;
+            let mut found = None;
+            'outer: for &a in vs {
+                for &b in vs {
+                    if a != b && !pcsr.neighbors_host(a).contains(&b) {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("non-adjacent present pair")
+        };
+        let (ru, rv) = {
+            let vs = &parts[0].vertices;
+            let mut found = None;
+            'outer: for &a in vs {
+                if pcsr.neighbors_host(a).len() < 2 {
+                    continue;
+                }
+                for &b in pcsr.neighbors_host(a) {
+                    if b != u && b != v && pcsr.neighbors_host(b).len() >= 2 {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("removable edge")
+        };
+
+        pcsr.splice_batch(&[(true, u, v), (false, ru, rv)])
+            .expect("both ops are presence-preserving");
+
+        // Cold build of the mutated graph's partition.
+        let mut batch = crate::update::UpdateBatch::new();
+        batch.insert_edge(u, v, 0).remove_edge(ru, rv, 0);
+        let g2 = g.apply_updates(&batch).expect("valid");
+        let cold = Pcsr::build(&partition_by_label(&g2)[0]);
+        assert_eq!(pcsr, cold, "spliced layer must be bit-identical");
+    }
+
+    #[test]
+    fn splice_refuses_presence_changes() {
+        let g = paper_example_data();
+        let parts = partition_by_label(&g);
+        // b-partition holds exactly v0 –b– v201: removing it empties both.
+        let mut pcsr = Pcsr::build(&parts[1]);
+        assert_eq!(pcsr.splice_batch(&[(false, 0, 201)]), Err(NeedsRebuild));
+        // Inserting an edge to a vertex absent from the layer also refuses.
+        assert_eq!(pcsr.splice_batch(&[(true, 0, 5)]), Err(NeedsRebuild));
+        // Drift: re-inserting an existing edge, removing a missing one.
+        assert_eq!(pcsr.splice_batch(&[(true, 0, 201)]), Err(NeedsRebuild));
+        let mut a = Pcsr::build(&parts[0]);
+        assert_eq!(a.splice_batch(&[(false, 1, 2)]), Err(NeedsRebuild));
+    }
+
+    #[test]
+    fn store_updates_share_untouched_layers() {
+        let g = random_labeled(150, 600, 3, 6, 17);
+        let store = MultiPcsr::build(&g);
+        let n_layers = store.layers().len();
+        assert!(n_layers >= 4, "want several label layers");
+
+        // Mutate one label only: every other layer must be shared by Arc.
+        let l = store.layers()[0].label();
+        let (u, v) = {
+            let mut found = None;
+            'outer: for u in 0..g.n_vertices() as u32 {
+                if g.neighbors_with_label(u, l).next().is_none() {
+                    continue;
+                }
+                for v in 0..g.n_vertices() as u32 {
+                    if u != v
+                        && g.neighbors_with_label(v, l).next().is_some()
+                        && !g.has_edge(u, v, l)
+                    {
+                        found = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("insertable pair")
+        };
+        let mut batch = crate::update::UpdateBatch::new();
+        batch.insert_edge(u, v, l);
+        let g2 = g.apply_updates(&batch).expect("valid");
+        let (updated, report) = store.apply_updates(&g2, &batch);
+
+        assert_eq!(report.actions.len(), 1);
+        assert_eq!(report.spliced() + report.rebuilt(), 1);
+        assert_eq!(store.shared_layers_with(&updated), n_layers - 1);
+        assert_eq!(updated.update_log().len(), 1);
+
+        // Layer-by-layer bit-identical to a cold build of the mutated graph.
+        let cold = MultiPcsr::build(&g2);
+        assert_eq!(updated.layers().len(), cold.layers().len());
+        for (a, b) in updated.layers().iter().zip(cold.layers()) {
+            assert_eq!(**a, **b, "label {}", a.label());
+        }
+    }
+
+    #[test]
+    fn store_updates_create_and_drop_layers() {
+        let mut b = crate::builder::GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(2);
+        b.add_edge(v0, v1, 0);
+        b.add_edge(v1, v2, 1);
+        let g = b.build();
+        let store = MultiPcsr::build(&g);
+        assert_eq!(store.layers().len(), 2);
+
+        // Drop label 1's only edge, create label 7.
+        let mut batch = crate::update::UpdateBatch::new();
+        batch.remove_edge(v1, v2, 1).insert_edge(v0, v2, 7);
+        let g2 = g.apply_updates(&batch).expect("valid");
+        let (updated, report) = store.apply_updates(&g2, &batch);
+        assert_eq!(
+            report.actions,
+            vec![(1, LayerAction::Dropped), (7, LayerAction::Created),]
+        );
+        let cold = MultiPcsr::build(&g2);
+        assert_eq!(updated.layers().len(), cold.layers().len());
+        for (a, b) in updated.layers().iter().zip(cold.layers()) {
+            assert_eq!(**a, **b, "label {}", a.label());
+        }
     }
 
     #[test]

@@ -131,6 +131,13 @@ pub trait LabeledStore: Send + Sync {
 
     /// Total simulated global memory held by the structure, in bytes.
     fn space_bytes(&self) -> usize;
+
+    /// Downcast hook for the incremental-update path: the PCSR store
+    /// supports per-layer copy-on-write updates, every other structure is
+    /// rebuilt wholesale on mutation. Default: not a PCSR store.
+    fn as_pcsr(&self) -> Option<&crate::pcsr::MultiPcsr> {
+        None
+    }
 }
 
 #[cfg(test)]

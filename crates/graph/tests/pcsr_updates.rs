@@ -1,0 +1,150 @@
+//! Property test locking down incremental PCSR maintenance: after any
+//! random interleaved sequence of edge insertions/removals and vertex
+//! additions, the incrementally-mutated [`MultiPcsr`] must be
+//! *observation-equivalent* to a cold `MultiPcsr::build` of the final graph
+//! — identical neighbor lists (host path and device-ledger path with
+//! identical transaction counts), identical probe-chain lengths, and
+//! identical group statistics. The strongest check is structural: every
+//! layer must be **bit-identical** to its cold-built twin, which is what
+//! guarantees that any query against the updated store charges exactly the
+//! transactions a rebuilt store would.
+//!
+//! The CI `update-fuzz` job raises the case count through the
+//! `UPDATE_FUZZ_CASES` environment variable (seeds are fixed by the
+//! deterministic proptest runner, so every run explores the same cases).
+
+use gsi_gpu_sim::{DeviceConfig, Gpu};
+use gsi_graph::generate::{erdos_renyi, LabelModel};
+use gsi_graph::pcsr::MultiPcsr;
+use gsi_graph::update::random_update_batch;
+use gsi_graph::{Graph, LabeledStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cases per property: 48 locally, raised by CI's update-fuzz job.
+fn fuzz_cases() -> u32 {
+    std::env::var("UPDATE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Drive `rounds` random batches through `Graph::apply_updates` +
+/// `MultiPcsr::apply_updates` and return the final graph and store.
+fn churn(
+    mut g: Graph,
+    gpn: usize,
+    rounds: usize,
+    batch_size: usize,
+    n_elabels: usize,
+    rng: &mut StdRng,
+) -> (Graph, MultiPcsr) {
+    let mut store = MultiPcsr::build_with_gpn(&g, gpn);
+    for _ in 0..rounds {
+        let batch = random_update_batch(&g, batch_size, n_elabels as u32, rng);
+        let g2 = g.apply_updates(&batch).expect("generated batch is valid");
+        let (s2, report) = store.apply_updates(&g2, &batch);
+        assert_eq!(report.spliced() + report.rebuilt(), report.actions.len());
+        g = g2;
+        store = s2;
+    }
+    (g, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    #[test]
+    fn incremental_store_is_observation_equivalent_to_cold_build(
+        seed in any::<u64>(),
+        n in 20usize..100,
+        edge_mult in 1usize..4,
+        n_elabels in 1usize..5,
+        rounds in 1usize..5,
+        batch_size in 1usize..12,
+        gpn in prop_oneof![Just(2usize), Just(4), Just(8), Just(16)],
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = LabelModel::uniform(3, n_elabels);
+        let g0 = erdos_renyi(n, n * edge_mult, &labels, &mut rng);
+        let (g, inc) = churn(g0, gpn, rounds, batch_size, n_elabels, &mut rng);
+        let cold = MultiPcsr::build_with_gpn(&g, gpn);
+
+        // Structural: every layer bit-identical to its cold-built twin
+        // (same keys, offsets, chains, column index — hence identical
+        // charges for any access pattern).
+        prop_assert_eq!(inc.layers().len(), cold.layers().len());
+        for (a, b) in inc.layers().iter().zip(cold.layers()) {
+            prop_assert_eq!(a.label(), b.label());
+            prop_assert!(**a == **b, "layer {} diverged from cold build", a.label());
+        }
+
+        // Group statistics and chain lengths.
+        prop_assert_eq!(inc.max_chain(), cold.max_chain());
+        for (a, b) in inc.layers().iter().zip(cold.layers()) {
+            prop_assert_eq!(a.n_groups(), b.n_groups());
+            prop_assert_eq!(a.overflowed_groups(), b.overflowed_groups());
+            for v in 0..g.n_vertices() as u32 {
+                prop_assert_eq!(a.chain_length(v), b.chain_length(v),
+                    "chain length of v{} in layer {}", v, a.label());
+            }
+        }
+
+        // Host observation path.
+        for v in 0..g.n_vertices() as u32 {
+            for l in 0..n_elabels as u32 {
+                let truth: Vec<u32> = g.neighbors_with_label(v, l).collect();
+                let a = inc.layers().iter().find(|p| p.label() == l)
+                    .map_or(&[][..], |p| p.neighbors_host(v));
+                prop_assert_eq!(a, truth.as_slice(), "host N(v{}, l{})", v, l);
+            }
+        }
+
+        // Device-ledger observation path: identical lists *and* identical
+        // transaction counters on fresh devices.
+        let gpu_a = Gpu::new(DeviceConfig::test_device());
+        let gpu_b = Gpu::new(DeviceConfig::test_device());
+        for v in 0..g.n_vertices() as u32 {
+            for l in 0..n_elabels as u32 {
+                let na = inc.neighbors_with_label(&gpu_a, v, l);
+                let nb = cold.neighbors_with_label(&gpu_b, v, l);
+                prop_assert_eq!(&*na.list, &*nb.list, "device N(v{}, l{})", v, l);
+                prop_assert_eq!(na.ci_offset, nb.ci_offset);
+                na.for_each_batch(&gpu_a, |_| {});
+                nb.for_each_batch(&gpu_b, |_| {});
+            }
+        }
+        let sa = gpu_a.stats().snapshot();
+        let sb = gpu_b.stats().snapshot();
+        prop_assert_eq!(sa.gld_transactions, sb.gld_transactions,
+            "device-ledger transaction counts diverged");
+        prop_assert_eq!(sa.gst_transactions, sb.gst_transactions);
+    }
+
+    #[test]
+    fn update_log_accounts_every_touched_layer(
+        seed in any::<u64>(),
+        n in 20usize..60,
+        rounds in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = LabelModel::uniform(3, 3);
+        let mut g = erdos_renyi(n, n * 2, &labels, &mut rng);
+        let mut store = MultiPcsr::build(&g);
+        for round in 0..rounds {
+            let batch = random_update_batch(&g, 6, 3, &mut rng);
+            let touched = batch.touched_labels();
+            let g2 = g.apply_updates(&batch).expect("valid");
+            let (s2, report) = store.apply_updates(&g2, &batch);
+            // Every reported label was touched; dropped/created layers
+            // reconcile the layer sets.
+            for (l, _) in &report.actions {
+                prop_assert!(touched.contains(l));
+            }
+            prop_assert_eq!(s2.update_log().len(), round + 1);
+            g = g2;
+            store = s2;
+        }
+    }
+}

@@ -19,11 +19,13 @@
 //! * [`baselines`] — GpSM, GunrockSM, VF2, VF3-like, CFL-like.
 //! * [`datasets`] — Table III dataset stand-ins.
 //! * [`service`] — the concurrent query-serving subsystem: a graph catalog
-//!   sharing prepared graphs across queries, a bounded-queue scheduler with
-//!   worker threads, deadlines and admission control, a plan cache keyed by
-//!   canonical query hashes, and aggregated serving statistics (see the
+//!   sharing prepared graphs across queries with epoch-versioned in-place
+//!   updates, a bounded-queue scheduler with worker threads, deadlines and
+//!   admission control, a plan cache keyed by canonical query hashes, and
+//!   aggregated serving statistics with per-epoch attribution (see the
 //!   `gsi-service` crate docs for the architecture, and the repository
-//!   `README.md` for the crate map).
+//!   `README.md` for the crate map and the "Updating graphs in place"
+//!   walkthrough).
 //!
 //! ## Quickstart
 //!
@@ -66,8 +68,9 @@ pub use gsi_signature as signature;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gsi_core::{
-        BackendKind, FilterStrategy, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams, Matches,
-        PlanError, QueryOptions, QueryOutput, RunStats, SetOpStrategy,
+        BackendKind, FilterStrategy, GraphOp, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams,
+        Matches, PlanError, QueryOptions, QueryOutput, RunStats, SetOpStrategy, UpdateBatch,
+        UpdateError, UpdateReport,
     };
     pub use gsi_datasets::{DatasetKind, DatasetSpec};
     pub use gsi_gpu_sim::{DeviceConfig, Gpu};

@@ -12,8 +12,14 @@
 //!
 //! * **[`GraphCatalog`]** (`catalog`) — named data graphs, each prepared
 //!   once at registration and shared with every in-flight query through an
-//!   `Arc`. Re-registering a name bumps an *epoch*, so cached state tied to
-//!   the old graph is never replayed against the new one.
+//!   `Arc`. Every published state carries an *epoch*: re-registering a name
+//!   bumps it, and [`GraphCatalog::update`] applies an [`UpdateBatch`]
+//!   through the incremental re-prepare path (untouched PCSR label layers
+//!   are shared between epochs) and atomically publishes the next epoch —
+//!   in-flight queries finish against the epoch they pinned at submit,
+//!   while new queries see the update. Cached state tied to an old epoch is
+//!   never replayed against a new one, and [`ServiceStats`] attributes
+//!   every completion to the epoch it ran against.
 //! * **[`QueryScheduler`]** (`scheduler`) — a bounded submission queue in
 //!   front of a worker-thread pool. The bound *is* the admission control:
 //!   a full queue rejects immediately ([`SubmitError::QueueFull`]) rather
@@ -74,12 +80,13 @@ pub mod scheduler;
 pub mod stats;
 
 pub use canon::{canonicalize, CanonicalQuery};
-pub use catalog::{CatalogEntry, GraphCatalog};
+pub use catalog::{CatalogEntry, CatalogUpdate, CatalogUpdateError, GraphCatalog, Registration};
+pub use gsi_core::{GraphOp, UpdateBatch, UpdateError};
 pub use plan_cache::{CachedPlan, PlanCache, PlanEstimates};
 pub use scheduler::{
     QueryError, QueryOutcome, QueryRequest, QueryResponse, QueryScheduler, QueryTicket, SubmitError,
 };
-pub use stats::{ServiceStats, ServiceStatsSnapshot};
+pub use stats::{EpochStats, ServiceStats, ServiceStatsSnapshot};
 
 use gsi_core::{GsiConfig, GsiEngine};
 use gsi_gpu_sim::{DeviceConfig, Gpu, StatsSnapshot};
@@ -211,20 +218,47 @@ impl GsiService {
     /// that lands inside the preparation window is attributed to
     /// preparation — register up front for exact accounting.
     pub fn register_graph(&self, name: &str, graph: Graph) -> Arc<CatalogEntry> {
-        let replaced = self.core.catalog.get(name);
         let before = self.core.engine.gpu().stats().snapshot();
-        let entry = self.core.catalog.register(&self.core.engine, name, graph);
+        let reg = self.core.catalog.register(&self.core.engine, name, graph);
         let delta = self.core.engine.gpu().stats().snapshot() - before;
         {
             let mut prep = self.core.prepare_device.lock();
             *prep = *prep + delta;
         }
         // A replaced registration's epoch can never match again; drop its
-        // plans instead of waiting for LRU pressure to evict them.
-        if let Some(old) = replaced {
+        // plans instead of waiting for LRU pressure to evict them, and
+        // retire its stats entry.
+        if let Some(old) = reg.displaced {
             self.core.plan_cache.invalidate_scope(old.epoch());
+            self.core.stats.retire_epoch(old.epoch());
         }
-        entry
+        reg.entry
+    }
+
+    /// Apply a mutation batch to a registered graph and publish the result
+    /// as the graph's next epoch (see [`GraphCatalog::update`]).
+    ///
+    /// Queries in flight keep the old epoch's data pinned and finish
+    /// against it; queries submitted after this returns see the new epoch.
+    /// The old epoch's cached plans are dropped (its epoch can never be
+    /// looked up again) and the re-prepare's device work is attributed to
+    /// preparation, like registration's.
+    pub fn update_graph(
+        &self,
+        name: &str,
+        batch: &UpdateBatch,
+    ) -> Result<CatalogUpdate, CatalogUpdateError> {
+        let before = self.core.engine.gpu().stats().snapshot();
+        let result = self.core.catalog.update(&self.core.engine, name, batch);
+        let delta = self.core.engine.gpu().stats().snapshot() - before;
+        {
+            let mut prep = self.core.prepare_device.lock();
+            *prep = *prep + delta;
+        }
+        let up = result?;
+        self.core.plan_cache.invalidate_scope(up.displaced.epoch());
+        self.core.stats.retire_epoch(up.displaced.epoch());
+        Ok(up)
     }
 
     /// Unregister a graph and drop its cached plans.
@@ -232,6 +266,7 @@ impl GsiService {
         match self.core.catalog.unregister(name) {
             Some(entry) => {
                 self.core.plan_cache.invalidate_scope(entry.epoch());
+                self.core.stats.retire_epoch(entry.epoch());
                 true
             }
             None => false,

@@ -126,6 +126,11 @@ pub struct QueryOutcome {
     /// transactions are included. Wall times and match counts are exact;
     /// for exact aggregate device work use `GsiService::stats`.
     pub output: QueryOutput,
+    /// Catalog epoch whose data the query pinned at submit time. Under
+    /// concurrent `GraphCatalog::update`s this is the proof of which graph
+    /// state the query actually saw — `ServiceStats` attributes the
+    /// completion to the same epoch.
+    pub epoch: u64,
     /// Whether the join order came from the plan cache.
     pub plan_cache_hit: bool,
     /// Cross-run size estimates for the pattern, when cached.
@@ -492,12 +497,13 @@ fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
 
     let plan_cache_hit = output.plan_reused;
     let latency = job.submitted.elapsed();
-    core.stats.record_completed(latency, &output.stats);
+    core.stats.record_completed(scope, latency, &output.stats);
 
     QueryResponse {
         graph: job.entry.name().to_string(),
         result: Ok(QueryOutcome {
             output,
+            epoch: scope,
             plan_cache_hit,
             estimates: cached.map(|c| c.estimates),
             intra_threads,

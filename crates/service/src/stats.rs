@@ -9,12 +9,22 @@
 
 use gsi_core::RunStats;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Upper bound on retained latency samples; beyond it every other sample is
 /// dropped (keeps percentiles meaningful without unbounded memory).
 const RESERVOIR_CAP: usize = 65_536;
+
+/// Most recently *retired* epochs whose per-epoch counters are retained.
+/// Every `update_graph` bumps the epoch, so a long-running serving loop
+/// would otherwise accumulate (and `snapshot()` would clone) one entry per
+/// update ever applied. Only epochs the service has explicitly retired
+/// ([`ServiceStats::retire_epoch`] — displaced by an update or
+/// re-registration, or unregistered) are evictable; a currently-serving
+/// epoch is never dropped, however many graphs the catalog holds.
+const RETIRED_EPOCH_CAP: usize = 64;
 
 /// Live, thread-safe statistics ledger for one service.
 #[derive(Debug)]
@@ -40,6 +50,25 @@ pub struct ServiceStats {
     /// substitutes an exact ledger-level delta when it builds its snapshot
     /// (see `GsiService::stats`).
     run_totals: Mutex<RunStats>,
+    /// Served-query counters keyed by the catalog epoch each query pinned —
+    /// the observable record that epoch-versioned serving attributed every
+    /// query to the graph state it actually ran against. Entries for live
+    /// epochs are kept unconditionally (at most one per registered graph);
+    /// retired epochs keep the [`RETIRED_EPOCH_CAP`] most recent.
+    per_epoch: Mutex<BTreeMap<u64, EpochStats>>,
+    /// Epochs retired by the service, oldest first (the eviction queue).
+    retired_epochs: Mutex<std::collections::VecDeque<u64>>,
+}
+
+/// Served-query counters for one catalog epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Queries completed against this epoch's data.
+    pub completed: u64,
+    /// Matches those queries produced.
+    pub matches: u64,
+    /// Of the completed queries, how many hit the engine timeout/guard.
+    pub engine_timeouts: u64,
 }
 
 impl Default for ServiceStats {
@@ -62,6 +91,8 @@ impl ServiceStats {
             worker_panics: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
             run_totals: Mutex::new(RunStats::default()),
+            per_epoch: Mutex::new(BTreeMap::new()),
+            retired_epochs: Mutex::new(std::collections::VecDeque::new()),
         }
     }
 
@@ -92,13 +123,39 @@ impl ServiceStats {
     }
 
     /// A query ran to completion (`stats` is its engine run report).
-    pub fn record_completed(&self, latency: Duration, stats: &RunStats) {
+    /// `epoch` is the catalog epoch whose data the query pinned.
+    pub fn record_completed(&self, epoch: u64, latency: Duration, stats: &RunStats) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         if stats.timed_out {
             self.engine_timeouts.fetch_add(1, Ordering::Relaxed);
         }
         self.push_latency(latency);
         self.run_totals.lock().accumulate(stats);
+        let mut per_epoch = self.per_epoch.lock();
+        let e = per_epoch.entry(epoch).or_default();
+        e.completed += 1;
+        e.matches += stats.n_matches as u64;
+        if stats.timed_out {
+            e.engine_timeouts += 1;
+        }
+    }
+
+    /// Mark an epoch retired (displaced by an update or re-registration,
+    /// or unregistered): its counters become evictable, and the oldest
+    /// retired epochs beyond [`RETIRED_EPOCH_CAP`] are dropped. Live
+    /// epochs are never evicted, so per-epoch attribution stays exact for
+    /// every graph still serving.
+    pub fn retire_epoch(&self, epoch: u64) {
+        let mut retired = self.retired_epochs.lock();
+        retired.push_back(epoch);
+        if retired.len() > RETIRED_EPOCH_CAP {
+            let mut per_epoch = self.per_epoch.lock();
+            while retired.len() > RETIRED_EPOCH_CAP {
+                if let Some(old) = retired.pop_front() {
+                    per_epoch.remove(&old);
+                }
+            }
+        }
     }
 
     fn push_latency(&self, latency: Duration) {
@@ -127,7 +184,14 @@ impl ServiceStats {
             plan_cache_misses: 0,
             run_totals: self.run_totals.lock().clone(),
             latencies_us: latencies,
+            per_epoch: self.per_epoch.lock().clone(),
         }
+    }
+
+    /// Served-query counters for one catalog epoch (`None`: no query
+    /// completed against it).
+    pub fn epoch_stats(&self, epoch: u64) -> Option<EpochStats> {
+        self.per_epoch.lock().get(&epoch).copied()
     }
 }
 
@@ -164,6 +228,10 @@ pub struct ServiceStatsSnapshot {
     /// Retained end-to-end latency samples of *served* queries,
     /// microseconds (unsorted). Failed queries are not sampled.
     pub latencies_us: Vec<u64>,
+    /// Served-query counters keyed by catalog epoch: which graph state each
+    /// completed query actually ran against under epoch-versioned updates
+    /// (the most recent epochs; old entries are evicted).
+    pub per_epoch: BTreeMap<u64, EpochStats>,
 }
 
 impl ServiceStatsSnapshot {
@@ -223,6 +291,12 @@ impl ServiceStatsSnapshot {
         self.plan_cache_misses += other.plan_cache_misses;
         self.run_totals.accumulate(&other.run_totals);
         self.latencies_us.extend_from_slice(&other.latencies_us);
+        for (&epoch, stats) in &other.per_epoch {
+            let e = self.per_epoch.entry(epoch).or_default();
+            e.completed += stats.completed;
+            e.matches += stats.matches;
+            e.engine_timeouts += stats.engine_timeouts;
+        }
     }
 }
 
@@ -257,6 +331,14 @@ impl std::fmt::Display for ServiceStatsSnapshot {
             self.plan_cache_hits,
             self.plan_cache_misses
         )?;
+        if !self.per_epoch.is_empty() {
+            let cells: Vec<String> = self
+                .per_epoch
+                .iter()
+                .map(|(e, s)| format!("e{e}:{}q/{}m", s.completed, s.matches))
+                .collect();
+            writeln!(f, "epochs: {}", cells.join(" "))?;
+        }
         write!(
             f,
             "matches: {} total; device: {} GLD, {} GST, {} kernels",
@@ -278,6 +360,7 @@ mod tests {
         for i in 1..=100u64 {
             s.record_submitted();
             s.record_completed(
+                i % 2, // two epochs, evenly split
                 Duration::from_micros(i * 1000),
                 &RunStats {
                     n_matches: 1,
@@ -296,12 +379,20 @@ mod tests {
         let p99 = snap.p99().unwrap();
         assert!(p99 >= Duration::from_millis(98));
         assert!(snap.throughput_qps() > 0.0);
+        // Per-epoch attribution: every completed query landed in its epoch.
+        assert_eq!(snap.per_epoch.len(), 2);
+        assert_eq!(snap.per_epoch[&0].completed, 50);
+        assert_eq!(snap.per_epoch[&1].completed, 50);
+        assert_eq!(snap.per_epoch[&0].matches, 50);
+        assert_eq!(s.epoch_stats(1).unwrap().completed, 50);
+        assert!(s.epoch_stats(9).is_none());
     }
 
     #[test]
     fn timeouts_tracked() {
         let s = ServiceStats::new();
         s.record_completed(
+            3,
             Duration::from_micros(5),
             &RunStats {
                 timed_out: true,
@@ -316,6 +407,7 @@ mod tests {
         assert_eq!(snap.worker_panics, 1);
         // Only the served query is sampled: failures don't skew p50/p99.
         assert_eq!(snap.latencies_us.len(), 1);
+        assert_eq!(snap.per_epoch[&3].engine_timeouts, 1);
     }
 
     #[test]
@@ -323,9 +415,10 @@ mod tests {
         let a = ServiceStats::new();
         let b = ServiceStats::new();
         a.record_submitted();
-        a.record_completed(Duration::from_micros(10), &RunStats::default());
+        a.record_completed(7, Duration::from_micros(10), &RunStats::default());
         b.record_submitted();
         b.record_rejected();
+        b.record_completed(7, Duration::from_micros(20), &RunStats::default());
         let mut snap = a.snapshot();
         snap.plan_cache_hits = 3;
         let mut other = b.snapshot();
@@ -336,6 +429,29 @@ mod tests {
         assert_eq!(snap.plan_cache_hits, 3);
         assert_eq!(snap.plan_cache_misses, 1);
         assert!(snap.plan_cache_hit_rate() > 0.7);
+        assert_eq!(snap.per_epoch[&7].completed, 2, "epoch counters add up");
+    }
+
+    #[test]
+    fn retired_epochs_evict_oldest_beyond_cap_live_ones_never() {
+        let s = ServiceStats::new();
+        // Epoch 0 stays live (never retired) while a long churn of
+        // update-displaced epochs 1..=N+10 retires each in turn.
+        let churned = RETIRED_EPOCH_CAP as u64 + 10;
+        for epoch in 0..=churned {
+            s.record_completed(epoch, Duration::from_micros(1), &RunStats::default());
+            if epoch > 0 {
+                s.retire_epoch(epoch);
+            }
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.per_epoch.len(), RETIRED_EPOCH_CAP + 1);
+        assert!(
+            s.epoch_stats(0).is_some(),
+            "live epoch survives any amount of churn"
+        );
+        assert!(s.epoch_stats(1).is_none(), "oldest retired epoch evicted");
+        assert!(s.epoch_stats(churned).is_some(), "recent history kept");
     }
 
     #[test]
@@ -353,7 +469,7 @@ mod tests {
     fn display_is_complete() {
         let s = ServiceStats::new();
         s.record_submitted();
-        s.record_completed(Duration::from_micros(42), &RunStats::default());
+        s.record_completed(0, Duration::from_micros(42), &RunStats::default());
         let mut snap = s.snapshot();
         snap.plan_cache_hits = 1;
         let text = format!("{snap}");

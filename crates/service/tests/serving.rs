@@ -7,7 +7,9 @@ use gsi_datasets::{build, DatasetKind, DatasetSpec};
 use gsi_gpu_sim::{DeviceConfig, Gpu};
 use gsi_graph::query_gen::random_walk_query;
 use gsi_graph::{Graph, GraphBuilder};
-use gsi_service::{canonicalize, GsiService, QueryRequest, ServiceConfig, SubmitError};
+use gsi_service::{
+    canonicalize, GsiService, QueryRequest, ServiceConfig, SubmitError, UpdateBatch,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -217,6 +219,140 @@ fn relabeled_queries_share_plan_entries() {
         second.output.matches.len(),
         "relabeling cannot change the embedding count"
     );
+}
+
+/// Epoch isolation: a query admitted *before* `GraphCatalog::update`
+/// publishes completes against the old epoch's data even though it executes
+/// *after* the publish, while a query admitted after sees the new epoch.
+/// No torn reads — each query's match count is exactly one epoch's answer —
+/// and `ServiceStats` attributes each completion to the epoch it pinned.
+#[test]
+fn queries_pin_their_epoch_across_updates() {
+    // One worker: a heavy blocker query occupies it while the lighter
+    // queries sit in the queue, so the epoch-e0 query provably *executes*
+    // after the update has published epoch e1.
+    let service = GsiService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::for_tests()
+    });
+
+    // "g": v0(A) fanning out to 3 B-vertices over label 0.
+    let mut b = GraphBuilder::new();
+    let v0 = b.add_vertex(0);
+    let bs: Vec<u32> = (0..3).map(|_| b.add_vertex(1)).collect();
+    for &vb in &bs {
+        b.add_edge(v0, vb, 0);
+    }
+    b.add_vertex(1); // v4: unwired B vertex the update will connect
+    let e0 = service.register_graph("g", b.build());
+
+    // A dense blocker graph whose 4-path query takes a while.
+    let mut d = GraphBuilder::new();
+    let vs: Vec<u32> = (0..48).map(|i| d.add_vertex(i % 2)).collect();
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            d.add_edge(vs[i], vs[j], 0);
+        }
+    }
+    service.register_graph("dense", d.build());
+    let mut qb = GraphBuilder::new();
+    let u0 = qb.add_vertex(0);
+    let u1 = qb.add_vertex(1);
+    let u2 = qb.add_vertex(0);
+    let u3 = qb.add_vertex(1);
+    qb.add_edge(u0, u1, 0);
+    qb.add_edge(u1, u2, 0);
+    qb.add_edge(u2, u3, 0);
+    let blocker = service
+        .submit(QueryRequest::new("dense", qb.build()))
+        .expect("blocker admitted");
+
+    // Admitted now: pins epoch e0 (3 matches), runs after the update.
+    let before = service
+        .submit(QueryRequest::new("g", edge_query_ab()))
+        .expect("admitted before update");
+
+    // Publish epoch e1: wire v4 to v0, raising the match count to 4. v4
+    // had no label-0 edge, so this exercises the local-rebuild path of the
+    // incremental store update.
+    let mut batch = UpdateBatch::new();
+    batch.insert_edge(0, 4, 0);
+    let up = service.update_graph("g", &batch).expect("update applies");
+    assert_eq!(up.displaced.epoch(), e0.epoch());
+    let e1 = up.entry.epoch();
+    assert_ne!(e0.epoch(), e1);
+
+    // Admitted now: pins epoch e1.
+    let after = service
+        .submit(QueryRequest::new("g", edge_query_ab()))
+        .expect("admitted after update");
+
+    blocker.wait();
+    let before = before.wait().result.expect("ran");
+    let after = after.wait().result.expect("ran");
+
+    // Old-epoch query saw exactly the old graph; new-epoch the new one.
+    assert_eq!(before.epoch, e0.epoch());
+    assert_eq!(before.output.matches.len(), 3, "old epoch's data, untorn");
+    assert_eq!(after.epoch, e1);
+    assert_eq!(after.output.matches.len(), 4, "new epoch's data, untorn");
+
+    // Stats attribute each completion to its epoch.
+    let snap = service.stats();
+    assert_eq!(snap.per_epoch[&e0.epoch()].completed, 1);
+    assert_eq!(snap.per_epoch[&e0.epoch()].matches, 3);
+    assert_eq!(snap.per_epoch[&e1].completed, 1);
+    assert_eq!(snap.per_epoch[&e1].matches, 4);
+}
+
+/// An A–a–B edge query (used by the epoch tests).
+fn edge_query_ab() -> Graph {
+    let mut qb = GraphBuilder::new();
+    let u0 = qb.add_vertex(0);
+    let u1 = qb.add_vertex(1);
+    qb.add_edge(u0, u1, 0);
+    qb.build()
+}
+
+/// After an update, new queries re-plan under the new epoch (the old
+/// epoch's cached plans are invalidated, not replayed).
+#[test]
+fn updates_invalidate_old_epoch_plans() {
+    let service = GsiService::new(test_service(1));
+    let mut b = GraphBuilder::new();
+    let v0 = b.add_vertex(0);
+    let v1 = b.add_vertex(1);
+    let v2 = b.add_vertex(1);
+    b.add_edge(v0, v1, 0);
+    b.add_edge(v0, v2, 0);
+    service.register_graph("g", b.build());
+
+    let first = service
+        .query_blocking(QueryRequest::new("g", edge_query_ab()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(!first.plan_cache_hit);
+    assert_eq!(service.plan_cache().len(), 1);
+
+    let mut batch = UpdateBatch::new();
+    batch.remove_edge(0, 2, 0);
+    service.update_graph("g", &batch).expect("applies");
+    assert_eq!(service.plan_cache().len(), 0, "old epoch's plans dropped");
+
+    let second = service
+        .query_blocking(QueryRequest::new("g", edge_query_ab()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(!second.plan_cache_hit, "new epoch misses, re-plans");
+    assert_eq!(second.output.matches.len(), 1);
+    let third = service
+        .query_blocking(QueryRequest::new("g", edge_query_ab()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(third.plan_cache_hit, "new epoch's plan now cached");
 }
 
 /// The same pattern on two different catalog graphs gets two cache entries

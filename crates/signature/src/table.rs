@@ -97,6 +97,37 @@ impl SignatureTable {
         self.words.as_slice()[self.addr(sig, word)]
     }
 
+    /// Incremental refresh after a graph mutation: re-encode only `touched`
+    /// vertices against the mutated graph `g` and return a new table (the
+    /// original stays valid for epochs still serving it).
+    ///
+    /// An edge mutation perturbs exactly its endpoints' signatures — a
+    /// vertex's signature reads its own label and its incident `(edge
+    /// label, neighbor label)` pairs, nothing transitive — so re-encoding
+    /// the touched set reproduces `SignatureTable::build(gpu, g, ..)` bit
+    /// for bit. Returns `None` when the vertex count changed (the
+    /// column-first layout interleaves all signatures word-by-word, so
+    /// growth forces a relayout): the caller rebuilds instead.
+    pub fn refreshed(&self, gpu: &Gpu, g: &Graph, touched: &[u32]) -> Option<Self> {
+        if g.n_vertices() != self.n_sigs {
+            return None;
+        }
+        let mut words = self.words.as_slice().to_vec();
+        for &v in touched {
+            let sig = crate::encode::encode_vertex(g, v, &self.cfg);
+            for (w, &val) in sig.words().iter().enumerate() {
+                words[self.addr(v as usize, w)] = val;
+            }
+        }
+        Some(Self {
+            layout: self.layout,
+            n_sigs: self.n_sigs,
+            words_per_sig: self.words_per_sig,
+            words: DeviceVec::from_vec(gpu, words),
+            cfg: self.cfg,
+        })
+    }
+
     /// Charge a warp's read of word `word` for the given (≤ 32) signature
     /// indices — one transaction per distinct 128-byte segment, which is 1
     /// for a full warp in column-first layout and up to 32 in row-first.
@@ -193,6 +224,49 @@ mod tests {
         row.charge_warp_word_read(&gpu, 0, &sigs);
         // 64B stride: 2 sigs per segment ⇒ 16 transactions vs 1 coalesced.
         assert_eq!(gpu.stats().snapshot().gld_transactions, 16);
+    }
+
+    #[test]
+    fn refresh_matches_cold_build_after_mutation() {
+        use gsi_graph::update::UpdateBatch;
+        let g = graph();
+        let gpu = gpu();
+        let cfg = SignatureConfig::default();
+        for layout in [Layout::RowFirst, Layout::ColumnFirst] {
+            let table = SignatureTable::build(&gpu, &g, &cfg, layout);
+            let mut batch = UpdateBatch::new();
+            batch.insert_edge(0, 5, 2).remove_edge(
+                g.edges()[0].u,
+                g.edges()[0].v,
+                g.edges()[0].label,
+            );
+            let g2 = g.apply_updates(&batch).expect("valid");
+            let refreshed = table
+                .refreshed(&gpu, &g2, &batch.touched_vertices())
+                .expect("vertex count unchanged");
+            let cold = SignatureTable::build(&gpu, &g2, &cfg, layout);
+            for sig in 0..g2.n_vertices() {
+                for w in 0..cfg.words() {
+                    assert_eq!(
+                        refreshed.word_host(sig, w),
+                        cold.word_host(sig, w),
+                        "sig {sig} word {w} ({layout:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_refuses_vertex_growth() {
+        use gsi_graph::update::UpdateBatch;
+        let g = graph();
+        let gpu = gpu();
+        let table = SignatureTable::build(&gpu, &g, &SignatureConfig::default(), Layout::default());
+        let mut batch = UpdateBatch::new();
+        batch.add_vertex(0);
+        let g2 = g.apply_updates(&batch).expect("valid");
+        assert!(table.refreshed(&gpu, &g2, &[]).is_none());
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Oracle tests: the GSI engine must return exactly the match set the VF2
-//! reference enumerates, on randomized graphs and workloads.
+//! reference enumerates, on randomized graphs and workloads — including
+//! graphs that *mutate* between queries, where the engine serves from
+//! incrementally re-prepared structures while VF2 recomputes from the
+//! mutated logical graph.
 
 use gsi::baselines::vf2;
 use gsi::graph::generate::{barabasi_albert, erdos_renyi, mesh, LabelModel};
 use gsi::graph::query_gen::{random_walk_query, random_walk_query_with_edges};
+use gsi::graph::update::random_update_batch;
 use gsi::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -112,6 +116,85 @@ fn queries_with_no_matches_are_empty_for_both() {
     qb.add_edge(u0, u1, 0);
     let query = qb.build();
     check_against_oracle(&data, &query, GsiConfig::gsi_opt(), "no-match");
+}
+
+/// Differential oracle under churn: interleave mutation batches with
+/// queries. After every batch, the engine — serving from *incrementally*
+/// re-prepared structures — must return exactly VF2's match set on the
+/// mutated graph, across both execution backends and both join schemes.
+/// The incremental path must also be indistinguishable from a cold rebuild:
+/// bit-identical match tables and exact device-ledger counters.
+#[test]
+fn mutated_graphs_track_vf2_across_backends_and_schemes() {
+    let configs: Vec<(String, GsiConfig)> = [JoinScheme::PreallocCombine, JoinScheme::TwoStep]
+        .into_iter()
+        .flat_map(|scheme| {
+            let base = GsiConfig {
+                join_scheme: scheme,
+                ..GsiConfig::gsi_opt()
+            };
+            [
+                (format!("{scheme:?}/serial"), base.clone()),
+                (
+                    format!("{scheme:?}/parallel"),
+                    base.with_backend(BackendKind::HostParallel, 3),
+                ),
+            ]
+        })
+        .collect();
+
+    for (tag, cfg) in configs {
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        let model = LabelModel::zipf(4, 3, 0.8);
+        let mut data = barabasi_albert(120, 2, &model, &mut rng);
+        let engine = test_engine(cfg);
+        let mut prepared = engine.prepare(&data);
+
+        for round in 0..5 {
+            let batch = random_update_batch(&data, 8, 3, &mut rng);
+            let (updated, inc, _report) = engine
+                .apply_updates(&data, &prepared, &batch)
+                .expect("generated batch is valid");
+
+            // Incremental re-prepare vs cold rebuild: queries must be
+            // bit-identical in tables and exact in device counters.
+            let cold = engine.prepare_shared(&updated);
+            let Some(query) = (0..50).find_map(|_| random_walk_query(&updated, 4, &mut rng)) else {
+                // Graph too fragmented for this query size; keep churning.
+                data = updated;
+                prepared = inc;
+                continue;
+            };
+            let snap0 = engine.gpu().stats().snapshot();
+            let a = engine.query(&updated, &inc, &query);
+            let snap1 = engine.gpu().stats().snapshot();
+            let b = engine.query(&updated, &cold, &query);
+            let snap2 = engine.gpu().stats().snapshot();
+            assert_eq!(
+                a.matches.table, b.matches.table,
+                "{tag} round {round}: incremental vs rebuild tables"
+            );
+            assert_eq!(
+                snap1 - snap0,
+                snap2 - snap1,
+                "{tag} round {round}: device counters"
+            );
+
+            // Both must equal the VF2 oracle on the mutated graph.
+            a.matches
+                .verify(&updated, &query)
+                .unwrap_or_else(|e| panic!("{tag} round {round}: invalid match: {e}"));
+            let oracle = vf2::run(&updated, &query, None);
+            assert_eq!(
+                a.matches.canonical(),
+                oracle.assignments,
+                "{tag} round {round}: match set differs from VF2"
+            );
+
+            data = updated;
+            prepared = inc;
+        }
+    }
 }
 
 #[test]

@@ -42,7 +42,7 @@ fn bench_strategies(c: &mut Criterion) {
     let members: Vec<u32> = (0..100_000).step_by(3).collect();
     let cand = CandidateSet {
         query_vertex: 0,
-        list: members,
+        list: std::sync::Arc::new(members),
     };
     let bitset = CandidateProbe::build(&gpu, SetOpStrategy::GpuFriendly, 100_000, &cand);
     let sorted = CandidateProbe::build(&gpu, SetOpStrategy::Naive, 100_000, &cand);

@@ -11,6 +11,10 @@
 //!   update-churn       (repo perf trajectory: interleaved mutations +
 //!                       queries, incremental re-prepare vs full rebuild;
 //!                       writes BENCH_PR3.json)
+//!   batch              (repo perf trajectory: inter-query batched execution
+//!                       with shared candidate filtering vs per-query serial
+//!                       runs at 8/16/32 concurrent queries, equivalence-
+//!                       gated; writes BENCH_PR4.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -24,8 +28,11 @@
 //!                      (backend only, default 100)
 //!   --rounds <n>       mutation rounds (update-churn only, default 8)
 //!   --batch <n>        ops per mutation batch (update-churn only, default 32)
+//!   --pool <n>         recurring-pattern pool size (batch only, default 4)
+//!   --min-speedup <f>  required shared-filter speedup at 16 concurrent
+//!                      queries (batch only, default 1.3)
 //!   --out <path>       report path (backend: BENCH_PR2.json,
-//!                      update-churn: BENCH_PR3.json)
+//!                      update-churn: BENCH_PR3.json, batch: BENCH_PR4.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -33,10 +40,10 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
-         [--timeout MS] [--cpu-timeout MS] \
-         [--threads N] [--latency NS] [--rounds N] [--batch N] [--out PATH]"
+         [--timeout MS] [--cpu-timeout MS] [--threads N] [--latency NS] \
+         [--rounds N] [--batch N] [--pool N] [--min-speedup F] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -52,6 +59,8 @@ fn main() {
     let mut latency_ns = 100u64;
     let mut rounds = 8usize;
     let mut batch = 32usize;
+    let mut pool = 4usize;
+    let mut min_speedup = 1.3f64;
     let mut out_path: Option<String> = None;
 
     let mut i = 1;
@@ -69,6 +78,8 @@ fn main() {
             "--latency" => latency_ns = val.parse().unwrap_or_else(|_| usage()),
             "--rounds" => rounds = val.parse().unwrap_or_else(|_| usage()),
             "--batch" => batch = val.parse().unwrap_or_else(|_| usage()),
+            "--pool" => pool = val.parse().unwrap_or_else(|_| usage()),
+            "--min-speedup" => min_speedup = val.parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(val.clone()),
             _ => usage(),
         }
@@ -106,6 +117,12 @@ fn main() {
             rounds,
             batch,
             out_path.as_deref().unwrap_or("BENCH_PR3.json"),
+        ),
+        "batch" => experiments::batch_queries(
+            &opts,
+            pool,
+            min_speedup,
+            out_path.as_deref().unwrap_or("BENCH_PR4.json"),
         ),
         "all" => experiments::all(&opts),
         _ => usage(),

@@ -124,7 +124,9 @@ pub fn run_gsi_on_device(
     let prepared = engine.prepare(data);
     let mut agg = Aggregate::default();
     for q in queries {
-        let out = engine.query_with_timeout(data, &prepared, q, Some(opts.timeout()));
+        let out = engine
+            .query_with_timeout(data, &prepared, q, Some(opts.timeout()))
+            .expect("plans");
         agg.queries += 1;
         agg.total_time += out.stats.total_time;
         agg.filter_time += out.stats.filter_time;

@@ -17,7 +17,8 @@ use gsi_graph::update::{UpdateBatch, UpdateError};
 use gsi_graph::{Graph, LabeledStore, StorageKind};
 use gsi_signature::filter::FilterInputs;
 use gsi_signature::{
-    filter_label_degree, filter_label_only, filter_signature, min_candidate_size, CandidateSet,
+    filter_label_degree, filter_label_degree_cached, filter_label_only, filter_label_only_cached,
+    filter_signature, filter_signature_cached, min_candidate_size, CandidateSet, FilterCache,
     SignatureTable,
 };
 use std::sync::Arc;
@@ -142,6 +143,15 @@ impl UpdateReport {
     pub fn store_incremental(&self) -> bool {
         self.store.is_some()
     }
+
+    /// The report of an update that recomputed nothing (an empty batch
+    /// short-circuited before any re-prepare).
+    pub fn noop() -> Self {
+        Self {
+            store: None,
+            signatures_refreshed: None,
+        }
+    }
 }
 
 /// Per-run execution options: everything [`GsiEngine::query`] defaults.
@@ -163,6 +173,13 @@ pub struct QueryOptions<'a> {
     /// A serving layer sets this per query to budget intra- against
     /// inter-query parallelism.
     pub intra_query_threads: Option<usize>,
+    /// Shared filter cache for this run: distinct label demands already
+    /// computed under it are reused instead of re-scanned, so a batch of
+    /// queries against one prepared graph pays each demand once
+    /// ([`GsiEngine::query_batch`] supplies this). Candidate lists are
+    /// shared by `Arc` and bit-identical to an uncached run's; only the
+    /// device work (and wall time) of the filtering phase changes.
+    pub filter_cache: Option<&'a FilterCache>,
 }
 
 /// Result of one query run.
@@ -302,13 +319,50 @@ impl GsiEngine {
         }
     }
 
+    /// The filtering phase through a shared [`FilterCache`]: label demands
+    /// already computed under `cache` reuse their candidate list (one `Arc`
+    /// clone, zero device work); fresh demands are computed and cached.
+    /// Output is bit-identical to [`GsiEngine::filter`].
+    pub fn filter_cached(
+        &self,
+        prepared: &PreparedData,
+        query: &Graph,
+        cache: &FilterCache,
+    ) -> Vec<CandidateSet> {
+        match self.cfg.filter {
+            FilterStrategy::Signature => filter_signature_cached(
+                &self.gpu,
+                prepared
+                    .sig_table
+                    .as_ref()
+                    .expect("signature filter requires a prepared table"),
+                query,
+                &self.cfg.signature,
+                cache,
+            ),
+            FilterStrategy::LabelDegree => {
+                filter_label_degree_cached(&self.gpu, &prepared.filter_inputs, query, cache)
+            }
+            FilterStrategy::LabelOnly => {
+                filter_label_only_cached(&self.gpu, &prepared.filter_inputs, query, cache)
+            }
+        }
+    }
+
     /// Answer a query: all subgraph-isomorphism matches of `query` in `data`.
     ///
-    /// Panics on a query Algorithm 2 cannot plan (empty or disconnected) —
-    /// exactly the inputs that always panicked here; fallible callers use
-    /// [`GsiEngine::query_with_options`] and get a typed [`PlanError`]
-    /// instead, or [`GsiEngine::query_disconnected`] to split components.
-    pub fn query(&self, data: &Graph, prepared: &PreparedData, query: &Graph) -> QueryOutput {
+    /// Fails with a typed [`PlanError`] on a query Algorithm 2 cannot plan
+    /// (empty or disconnected). This entry point used to panic on those
+    /// inputs; every query path is now fallible so a degenerate pattern can
+    /// never take down a serving worker. Use
+    /// [`GsiEngine::query_disconnected`] to split disconnected patterns
+    /// into components instead of rejecting them.
+    pub fn query(
+        &self,
+        data: &Graph,
+        prepared: &PreparedData,
+        query: &Graph,
+    ) -> Result<QueryOutput, PlanError> {
         self.query_with_timeout(data, prepared, query, None)
     }
 
@@ -324,19 +378,19 @@ impl GsiEngine {
         prepared: &PreparedData,
         query: &Graph,
         limit: Option<usize>,
-    ) -> (Vec<Vec<gsi_graph::VertexId>>, RunStats) {
+    ) -> Result<(Vec<Vec<gsi_graph::VertexId>>, RunStats), PlanError> {
         use crate::components::{combine_component_matches, split_components};
         let comps = split_components(query);
         let mut total = RunStats::default();
         let mut per_comp = Vec::with_capacity(comps.len());
         for c in &comps {
-            let out = self.query(data, prepared, &c.graph);
+            let out = self.query(data, prepared, &c.graph)?;
             total.accumulate(&out.stats);
             per_comp.push(out.matches);
         }
         let combined = combine_component_matches(&comps, &per_comp, query.n_vertices(), limit);
         total.n_matches = combined.len();
-        (combined, total)
+        Ok((combined, total))
     }
 
     /// Like [`GsiEngine::query`], aborting (with `stats.timed_out`) when the
@@ -348,7 +402,7 @@ impl GsiEngine {
         prepared: &PreparedData,
         query: &Graph,
         timeout: Option<Duration>,
-    ) -> QueryOutput {
+    ) -> Result<QueryOutput, PlanError> {
         self.query_with_options(
             data,
             prepared,
@@ -358,7 +412,6 @@ impl GsiEngine {
                 ..QueryOptions::default()
             },
         )
-        .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The fully general entry point: [`GsiEngine::query`] plus a timeout,
@@ -382,7 +435,10 @@ impl GsiEngine {
         let snap_start = self.gpu.stats().snapshot();
 
         // ---- filtering phase ------------------------------------------
-        let cands = self.filter(prepared, query);
+        let cands = match opts.filter_cache {
+            Some(cache) => self.filter_cached(prepared, query, cache),
+            None => self.filter(prepared, query),
+        };
         let filter_time = t_start.elapsed();
         let snap_filter = self.gpu.stats().snapshot();
         let min_candidate = min_candidate_size(&cands);
@@ -470,6 +526,96 @@ impl GsiEngine {
             plan_reused,
         })
     }
+
+    /// Answer a *batch* of queries against one prepared graph, sharing the
+    /// filtering phase across them.
+    ///
+    /// The filtering phase is a pure function of each query vertex's label
+    /// demand (its encoded signature, or its label/degree bound), so within
+    /// a batch each **distinct** demand pays exactly one pass over the
+    /// prepared structures; every repeat — across queries or within one —
+    /// reuses the cached candidate list by `Arc`. The join phase then runs
+    /// per query through the configured [`ExecBackend`], honoring each
+    /// item's own [`QueryOptions`] (timeout, cached plan, backend override).
+    ///
+    /// Results are **bit-identical** to running each item alone through
+    /// [`GsiEngine::query_with_options`]: candidate lists are deterministic
+    /// per demand, so plans, match tables, and per-query join work are
+    /// unchanged — only filtering's device work and wall time shrink. One
+    /// item's [`PlanError`] fails that item alone, not the batch.
+    pub fn query_batch(
+        &self,
+        data: &Graph,
+        prepared: &PreparedData,
+        items: &[BatchItem<'_>],
+    ) -> BatchOutput {
+        let cache = FilterCache::new();
+        let results = items
+            .iter()
+            .map(|item| {
+                self.query_with_options(
+                    data,
+                    prepared,
+                    item.query,
+                    QueryOptions {
+                        filter_cache: Some(&cache),
+                        ..item.opts
+                    },
+                )
+            })
+            .collect();
+        BatchOutput {
+            results,
+            filter_demands_computed: cache.demands_computed(),
+            filter_demands_reused: cache.demands_reused(),
+        }
+    }
+}
+
+/// One query of a [`GsiEngine::query_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// The pattern to match.
+    pub query: &'a Graph,
+    /// Per-run options for this item. `opts.filter_cache` is overridden by
+    /// the batch's shared cache.
+    pub opts: QueryOptions<'a>,
+}
+
+impl<'a> BatchItem<'a> {
+    /// Item with default options.
+    pub fn new(query: &'a Graph) -> Self {
+        Self {
+            query,
+            opts: QueryOptions::default(),
+        }
+    }
+}
+
+/// What one [`GsiEngine::query_batch`] call produced.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// Per-item outcome, in input order. A [`PlanError`] is per item — the
+    /// rest of the batch still ran.
+    pub results: Vec<Result<QueryOutput, PlanError>>,
+    /// Distinct label demands the batch computed (each one filter pass).
+    pub filter_demands_computed: u64,
+    /// Demand lookups served from the shared cache (each one skipped pass).
+    pub filter_demands_reused: u64,
+}
+
+impl BatchOutput {
+    /// Fraction of demand lookups served by sharing, in `[0, 1]`; `0.0`
+    /// before any lookup. `(queries alone would have paid computed+reused
+    /// passes; the batch paid computed.)`
+    pub fn filter_reuse_rate(&self) -> f64 {
+        let total = self.filter_demands_computed + self.filter_demands_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.filter_demands_reused as f64 / total as f64
+        }
+    }
 }
 
 // The serving layer shares engines and prepared graphs across worker
@@ -527,7 +673,7 @@ mod tests {
         let (data, query) = paper_example();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let out = engine.query(&data, &prepared, &query);
+        let out = engine.query(&data, &prepared, &query).expect("plans");
         assert_eq!(out.matches.len(), 100);
         out.matches
             .verify(&data, &query)
@@ -554,7 +700,7 @@ mod tests {
         ] {
             let engine = test_engine(cfg);
             let prepared = engine.prepare(&data);
-            let out = engine.query(&data, &prepared, &query);
+            let out = engine.query(&data, &prepared, &query).expect("plans");
             out.matches.verify(&data, &query).expect("valid");
             let c = out.matches.canonical();
             match &canon {
@@ -573,7 +719,7 @@ mod tests {
         let q = qb.build();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let out = engine.query(&data, &prepared, &q);
+        let out = engine.query(&data, &prepared, &q).expect("plans");
         assert_eq!(out.matches.len(), 101); // all C vertices
     }
 
@@ -587,7 +733,7 @@ mod tests {
         let q = qb.build();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let out = engine.query(&data, &prepared, &q);
+        let out = engine.query(&data, &prepared, &q).expect("plans");
         assert!(out.matches.is_empty());
         assert_eq!(out.stats.n_matches, 0);
     }
@@ -597,7 +743,7 @@ mod tests {
         let (data, query) = paper_example();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let out = engine.query(&data, &prepared, &query);
+        let out = engine.query(&data, &prepared, &query).expect("plans");
         let s = &out.stats;
         assert!(s.gld() > 0, "join must read global memory");
         assert!(s.gst() > 0, "join must write global memory");
@@ -617,7 +763,7 @@ mod tests {
         };
         let engine = test_engine(cfg);
         let prepared = engine.prepare(&data);
-        let out = engine.query(&data, &prepared, &query);
+        let out = engine.query(&data, &prepared, &query).expect("plans");
         assert!(out.stats.timed_out);
         assert!(out.matches.is_empty());
     }
@@ -634,7 +780,9 @@ mod tests {
         let q = qb.build();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let (assignments, stats) = engine.query_disconnected(&data, &prepared, &q, None);
+        let (assignments, stats) = engine
+            .query_disconnected(&data, &prepared, &q, None)
+            .expect("plans");
         // 100 (A,B) pairs × 101 C vertices, minus combinations reusing a
         // vertex (disjoint label sets ⇒ none collide): 100 × 101.
         assert_eq!(assignments.len(), 100 * 101);
@@ -658,7 +806,9 @@ mod tests {
         let q = qb.build();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let (assignments, _) = engine.query_disconnected(&data, &prepared, &q, Some(10));
+        let (assignments, _) = engine
+            .query_disconnected(&data, &prepared, &q, Some(10))
+            .expect("plans");
         assert!(assignments.len() <= 10);
         assert!(!assignments.is_empty());
     }
@@ -668,7 +818,7 @@ mod tests {
         let (data, query) = paper_example();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let first = engine.query(&data, &prepared, &query);
+        let first = engine.query(&data, &prepared, &query).expect("plans");
         assert!(!first.plan_reused);
         let second = engine
             .query_with_options(
@@ -698,7 +848,7 @@ mod tests {
         let u1 = qb.add_vertex(1);
         qb.add_edge(u0, u1, 0);
         let other = qb.build();
-        let stale = engine.query(&data, &prepared, &other).plan;
+        let stale = engine.query(&data, &prepared, &other).expect("plans").plan;
         let out = engine
             .query_with_options(
                 &data,
@@ -719,8 +869,8 @@ mod tests {
         let (data, query) = paper_example();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let mut a = engine.query(&data, &prepared, &query);
-        let b = engine.query(&data, &prepared, &query);
+        let mut a = engine.query(&data, &prepared, &query).expect("plans");
+        let b = engine.query(&data, &prepared, &query).expect("plans");
         a.merge(&b).expect("same pattern merges");
         assert_eq!(a.matches.len(), 200);
         assert_eq!(a.stats.n_matches, 200);
@@ -728,7 +878,7 @@ mod tests {
         let mut qb = GraphBuilder::new();
         qb.add_vertex(0);
         let single = qb.build();
-        let c = engine.query(&data, &prepared, &single);
+        let c = engine.query(&data, &prepared, &single).expect("plans");
         assert!(a.merge(&c).is_err());
     }
 
@@ -742,7 +892,7 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let (e, p, d, q) = (engine.clone(), prepared.clone(), &data, &query);
-                    s.spawn(move || e.query(d, &p, q).matches.len())
+                    s.spawn(move || e.query(d, &p, q).expect("plans").matches.len())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -763,11 +913,11 @@ mod tests {
             };
             let serial = test_engine(cfg.clone());
             let prepared = serial.prepare(&data);
-            let a = serial.query(&data, &prepared, &query);
+            let a = serial.query(&data, &prepared, &query).expect("plans");
 
             let par = test_engine(cfg.with_backend(crate::BackendKind::HostParallel, 4));
             let prepared = par.prepare(&data);
-            let b = par.query(&data, &prepared, &query);
+            let b = par.query(&data, &prepared, &query).expect("plans");
 
             assert_eq!(a.matches.table, b.matches.table, "bit-identical tables");
             assert_eq!(a.stats.device, b.stats.device, "exact device counters");
@@ -789,6 +939,102 @@ mod tests {
             .query_with_options(&data, &prepared, &q, QueryOptions::default())
             .expect_err("disconnected");
         assert!(matches!(err, crate::PlanError::Disconnected { step: 1 }));
+    }
+
+    #[test]
+    fn query_returns_typed_errors_not_panics_on_degenerate_patterns() {
+        // Regression for the serving path: `query` / `query_with_timeout`
+        // used to panic on anything Algorithm 2 cannot plan. They now
+        // surface the same typed `PlanError` as `query_with_options`.
+        let (data, _) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+
+        let empty = GraphBuilder::new().build();
+        assert!(matches!(
+            engine.query(&data, &prepared, &empty),
+            Err(crate::PlanError::EmptyQuery)
+        ));
+
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(0);
+        qb.add_vertex(1);
+        let disconnected = qb.build();
+        assert!(matches!(
+            engine.query_with_timeout(&data, &prepared, &disconnected, None),
+            Err(crate::PlanError::Disconnected { step: 1 })
+        ));
+    }
+
+    #[test]
+    fn query_batch_is_bit_identical_to_solo_runs_and_shares_filters() {
+        let (data, query) = paper_example();
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        let edge = qb.build();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+
+        // A mixed batch with heavy demand repetition: 3× the paper query,
+        // 2× the edge query, plus one degenerate pattern mid-batch.
+        let empty = GraphBuilder::new().build();
+        let patterns: Vec<&Graph> = vec![&query, &edge, &query, &empty, &edge, &query];
+        let solo: Vec<Result<QueryOutput, PlanError>> = patterns
+            .iter()
+            .map(|q| engine.query(&data, &prepared, q))
+            .collect();
+
+        let items: Vec<BatchItem<'_>> = patterns.iter().map(|q| BatchItem::new(q)).collect();
+        let batch = engine.query_batch(&data, &prepared, &items);
+
+        assert_eq!(batch.results.len(), solo.len());
+        for (i, (b, s)) in batch.results.iter().zip(&solo).enumerate() {
+            match (b, s) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.matches.table, s.matches.table, "item {i}: bit-identical");
+                    assert_eq!(b.plan, s.plan, "item {i}: same plan");
+                    assert_eq!(
+                        b.stats.join_work_units, s.stats.join_work_units,
+                        "item {i}: identical join work"
+                    );
+                }
+                (Err(b), Err(s)) => assert_eq!(b, s, "item {i}: same typed error"),
+                _ => panic!("item {i}: batch and solo outcomes diverge"),
+            }
+        }
+
+        // Demand sharing: the repeats contribute only reuse, not recompute.
+        assert!(batch.filter_demands_reused > 0, "repeats must share");
+        let total_vertices: u64 = patterns.iter().map(|q| q.n_vertices() as u64).sum();
+        assert_eq!(
+            batch.filter_demands_computed + batch.filter_demands_reused,
+            total_vertices,
+            "every query vertex resolves through the shared cache"
+        );
+        assert!(batch.filter_reuse_rate() > 0.5, "repetition-heavy batch");
+    }
+
+    #[test]
+    fn query_batch_shares_filters_on_host_parallel_backend_too() {
+        let (data, query) = paper_example();
+        let cfg = GsiConfig::gsi_opt().with_backend(crate::BackendKind::HostParallel, 4);
+        let engine = test_engine(cfg);
+        let prepared = engine.prepare(&data);
+        let serial = test_engine(GsiConfig::gsi_opt());
+        let serial_prepared = serial.prepare(&data);
+        let reference = serial
+            .query(&data, &serial_prepared, &query)
+            .expect("plans");
+
+        let items = [BatchItem::new(&query), BatchItem::new(&query)];
+        let batch = engine.query_batch(&data, &prepared, &items);
+        for r in &batch.results {
+            let out = r.as_ref().expect("plans");
+            assert_eq!(out.matches.table, reference.matches.table);
+        }
+        assert!(batch.filter_demands_reused > 0);
     }
 
     #[test]
@@ -817,15 +1063,15 @@ mod tests {
         // *and* device-ledger counters — to a cold rebuild.
         let cold = engine.prepare_shared(&updated);
         let snap0 = engine.gpu().stats().snapshot();
-        let a = engine.query(&updated, &inc, &query);
+        let a = engine.query(&updated, &inc, &query).expect("plans");
         let snap1 = engine.gpu().stats().snapshot();
-        let b = engine.query(&updated, &cold, &query);
+        let b = engine.query(&updated, &cold, &query).expect("plans");
         let snap2 = engine.gpu().stats().snapshot();
         assert_eq!(a.matches.table, b.matches.table, "bit-identical tables");
         assert_eq!(snap1 - snap0, snap2 - snap1, "exact device counters");
 
         // The old prepared data still answers against the old graph.
-        let before = engine.query(&data, &prepared, &query);
+        let before = engine.query(&data, &prepared, &query).expect("plans");
         assert_eq!(before.matches.len(), 100);
     }
 
@@ -855,8 +1101,8 @@ mod tests {
             .expect("valid");
         assert_eq!(report.signatures_refreshed, None, "table grew: rebuilt");
         let cold = engine.prepare_shared(&updated);
-        let a = engine.query(&updated, &inc, &query);
-        let b = engine.query(&updated, &cold, &query);
+        let a = engine.query(&updated, &inc, &query).expect("plans");
+        let b = engine.query(&updated, &cold, &query).expect("plans");
         assert_eq!(a.matches.table, b.matches.table);
     }
 
@@ -865,8 +1111,9 @@ mod tests {
         let (data, query) = paper_example();
         let engine = test_engine(GsiConfig::gsi());
         let prepared = engine.prepare(&data);
-        let out =
-            engine.query_with_timeout(&data, &prepared, &query, Some(Duration::from_nanos(0)));
+        let out = engine
+            .query_with_timeout(&data, &prepared, &query, Some(Duration::from_nanos(0)))
+            .expect("plans");
         assert!(out.stats.timed_out);
     }
 }

@@ -56,7 +56,7 @@
 //!
 //! let engine = GsiEngine::new(GsiConfig::gsi());
 //! let prepared = engine.prepare(&data);
-//! let out = engine.query(&data, &prepared, &query);
+//! let out = engine.query(&data, &prepared, &query).expect("connected query");
 //! assert_eq!(out.matches.len(), 2); // v0→{v1, v2}
 //! ```
 //!
@@ -81,8 +81,11 @@ pub mod write_cache;
 
 pub use backend::{ExecBackend, HostParallelBackend, SerialBackend};
 pub use config::{BackendKind, FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpStrategy};
-pub use engine::{GsiEngine, PreparedData, QueryOptions, QueryOutput, UpdateReport};
+pub use engine::{
+    BatchItem, BatchOutput, GsiEngine, PreparedData, QueryOptions, QueryOutput, UpdateReport,
+};
 pub use gsi_graph::update::{GraphOp, UpdateBatch, UpdateError};
+pub use gsi_signature::{FilterCache, FilterDemand};
 pub use matches::Matches;
 pub use plan::{JoinPlan, JoinStep, PlanError};
 pub use stats::RunStats;

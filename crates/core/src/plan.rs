@@ -218,7 +218,7 @@ mod tests {
     fn cand(u: u32, n: usize) -> CandidateSet {
         CandidateSet {
             query_vertex: u,
-            list: (0..n as u32).collect(),
+            list: std::sync::Arc::new((0..n as u32).collect()),
         }
     }
 

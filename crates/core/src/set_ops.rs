@@ -47,7 +47,7 @@ impl CandidateProbe {
                 n_data_vertices.max(1),
                 &cand.list,
             )),
-            SetOpStrategy::Naive => Self::Sorted(DeviceVec::from_vec(gpu, cand.list.clone())),
+            SetOpStrategy::Naive => Self::Sorted(DeviceVec::from_vec(gpu, cand.list.to_vec())),
         }
     }
 
@@ -257,7 +257,7 @@ mod tests {
     fn cand_set(list: Vec<u32>) -> CandidateSet {
         CandidateSet {
             query_vertex: 0,
-            list,
+            list: std::sync::Arc::new(list),
         }
     }
 

@@ -47,11 +47,11 @@ proptest! {
 
         let serial = engine(cfg.clone());
         let prepared = serial.prepare(&data);
-        let a = serial.query(&data, &prepared, &query);
+        let a = serial.query(&data, &prepared, &query).expect("plans");
 
         let parallel = engine(cfg.with_backend(BackendKind::HostParallel, threads));
         let prepared = parallel.prepare(&data);
-        let b = parallel.query(&data, &prepared, &query);
+        let b = parallel.query(&data, &prepared, &query).expect("plans");
 
         // Identical match counts; bit-identical tables even *before* the
         // canonical row sort (deterministic stitch order), and after it.

@@ -47,7 +47,7 @@ proptest! {
         let cand_list: Vec<u32> = cand.iter().copied().collect();
         let probe = CandidateProbe::build(&g, strategy, 512, &CandidateSet {
             query_vertex: 0,
-            list: cand_list,
+            list: std::sync::Arc::new(cand_list),
         });
         let exec = SetOpExec { strategy, write_cache: cache };
         let n = nbrs(n_list.clone(), in_global, offset);
@@ -87,7 +87,7 @@ proptest! {
         let cand: Vec<u32> = (0..600).step_by(2).collect();
         let probe = CandidateProbe::build(&g, SetOpStrategy::GpuFriendly, 600, &CandidateSet {
             query_vertex: 0,
-            list: cand,
+            list: std::sync::Arc::new(cand),
         });
         let exec = SetOpExec { strategy: SetOpStrategy::GpuFriendly, write_cache: true };
         let n = nbrs(n_list.clone(), true, 5);
@@ -135,7 +135,7 @@ proptest! {
         let n_list = sorted_unique(n_list);
         let probe = CandidateProbe::build(&g, SetOpStrategy::GpuFriendly, 300, &CandidateSet {
             query_vertex: 0,
-            list: (0..300).collect(),
+            list: std::sync::Arc::new((0..300).collect()),
         });
         let exec = SetOpExec { strategy: SetOpStrategy::GpuFriendly, write_cache: true };
         g.reset_stats();

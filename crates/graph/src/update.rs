@@ -280,6 +280,11 @@ impl Graph {
     /// downstream structure (CSR layouts, partitions, signatures) sees
     /// exactly the graph a cold construction would.
     pub fn apply_updates(&self, batch: &UpdateBatch) -> Result<Graph, UpdateError> {
+        // An empty batch is a cheap no-op: one clone of the existing
+        // buffers, no validation pass, no CSR merge.
+        if batch.is_empty() {
+            return Ok(self.clone());
+        }
         // Validate against the evolving edge set.
         let mut n = self.n_vertices() as u64;
         let mut inserted: BTreeSet<Edge> = BTreeSet::new();

@@ -49,10 +49,11 @@
 //! qb.add_edge(u, w, 0);
 //! let query = qb.build();
 //!
-//! // …and the GSI engine.
+//! // …and the GSI engine. Planning is fallible (typed `PlanError` on
+//! // empty/disconnected patterns — no panic), hence the `expect`.
 //! let engine = GsiEngine::new(GsiConfig::gsi_opt());
 //! let prepared = engine.prepare(&data);
-//! let out = engine.query(&data, &prepared, &query);
+//! let out = engine.query(&data, &prepared, &query).expect("connected query");
 //! assert_eq!(out.matches.len(), 2);
 //! println!("GLD transactions: {}", out.stats.gld());
 //! ```
@@ -68,9 +69,9 @@ pub use gsi_signature as signature;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gsi_core::{
-        BackendKind, FilterStrategy, GraphOp, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams,
-        Matches, PlanError, QueryOptions, QueryOutput, RunStats, SetOpStrategy, UpdateBatch,
-        UpdateError, UpdateReport,
+        BackendKind, BatchItem, BatchOutput, FilterCache, FilterStrategy, GraphOp, GsiConfig,
+        GsiEngine, JoinPlan, JoinScheme, LbParams, Matches, PlanError, QueryOptions, QueryOutput,
+        RunStats, SetOpStrategy, UpdateBatch, UpdateError, UpdateReport,
     };
     pub use gsi_datasets::{DatasetKind, DatasetSpec};
     pub use gsi_gpu_sim::{DeviceConfig, Gpu};

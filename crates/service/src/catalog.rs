@@ -184,6 +184,17 @@ impl GraphCatalog {
         let base = self
             .get(name)
             .ok_or_else(|| CatalogUpdateError::UnknownGraph(name.to_string()))?;
+        // An empty batch is a cheap no-op: the current entry stays
+        // published under its current epoch — no COW re-prepare, no epoch
+        // bump, nothing for the caller to invalidate (`entry` and
+        // `displaced` are the same entry; compare epochs to detect this).
+        if batch.is_empty() {
+            return Ok(CatalogUpdate {
+                entry: Arc::clone(&base),
+                displaced: base,
+                report: UpdateReport::noop(),
+            });
+        }
         let (graph, prepared, report) = base
             .prepared
             .apply_updates(engine, &base.graph, batch)
@@ -301,7 +312,7 @@ mod tests {
         let u1 = qb.add_vertex(1);
         qb.add_edge(u0, u1, 0);
         let q = qb.build();
-        let out = engine.query(e.graph(), e.prepared(), &q);
+        let out = engine.query(e.graph(), e.prepared(), &q).expect("plans");
         assert_eq!(out.matches.len(), 1);
     }
 
@@ -331,14 +342,36 @@ mod tests {
         qb.add_edge(u0, u1, 0);
         let q = qb.build();
         assert_eq!(
-            engine.query(old.graph(), old.prepared(), &q).matches.len(),
+            engine
+                .query(old.graph(), old.prepared(), &q)
+                .expect("plans")
+                .matches
+                .len(),
             2
         );
         let cur = cat.get("g").unwrap();
         assert_eq!(
-            engine.query(cur.graph(), cur.prepared(), &q).matches.len(),
+            engine
+                .query(cur.graph(), cur.prepared(), &q)
+                .expect("plans")
+                .matches
+                .len(),
             1
         );
+    }
+
+    #[test]
+    fn empty_update_batch_keeps_entry_and_epoch() {
+        let engine = engine();
+        let cat = GraphCatalog::new();
+        let before = cat.register(&engine, "g", tiny(0)).entry;
+        let up = cat
+            .update(&engine, "g", &UpdateBatch::new())
+            .expect("no-op applies");
+        assert!(Arc::ptr_eq(&up.entry, &before), "same entry stays current");
+        assert!(Arc::ptr_eq(&up.displaced, &before));
+        assert_eq!(up.entry.epoch(), before.epoch(), "no epoch bump");
+        assert!(Arc::ptr_eq(&cat.get("g").unwrap(), &before));
     }
 
     #[test]

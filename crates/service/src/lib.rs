@@ -106,6 +106,15 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Bounded submission-queue capacity (admission-control threshold).
     pub queue_capacity: usize,
+    /// Most *compatible* queued queries — same graph, same epoch — one
+    /// worker pickup drains into a single batched run over a shared
+    /// filter cache (shared candidate filtering; the mechanism of
+    /// `GsiEngine::query_batch`). Batches form only from already-queued
+    /// work and only when every other worker is busy, so a lone query
+    /// never waits and parallel dispatch wins while the pool has idle
+    /// capacity; `1` (or `0`) disables batching. Results are
+    /// bit-identical either way.
+    pub batch_window: usize,
     /// Deadline applied to queries that don't set their own.
     pub default_deadline: Option<Duration>,
     /// Maximum number of cached plans (LRU beyond it).
@@ -129,6 +138,7 @@ impl Default for ServiceConfig {
             device: DeviceConfig::titan_xp(),
             workers: 0,
             queue_capacity: 256,
+            batch_window: 8,
             default_deadline: None,
             plan_cache_capacity: 1024,
             intra_query_parallelism: 0,
@@ -145,6 +155,7 @@ impl ServiceConfig {
             device: DeviceConfig::test_device(),
             workers: 2,
             queue_capacity: 64,
+            batch_window: 4,
             plan_cache_capacity: 64,
             default_deadline: None,
             intra_query_parallelism: 0,
@@ -204,8 +215,12 @@ impl GsiService {
             intra_granted: std::sync::atomic::AtomicUsize::new(0),
             prepare_device: Mutex::new(StatsSnapshot::default()),
         });
-        let scheduler =
-            QueryScheduler::new(Arc::clone(&core), config.workers, config.queue_capacity);
+        let scheduler = QueryScheduler::new(
+            Arc::clone(&core),
+            config.workers,
+            config.queue_capacity,
+            config.batch_window,
+        );
         Self { core, scheduler }
     }
 
@@ -243,6 +258,11 @@ impl GsiService {
     /// The old epoch's cached plans are dropped (its epoch can never be
     /// looked up again) and the re-prepare's device work is attributed to
     /// preparation, like registration's.
+    ///
+    /// An **empty** batch is a cheap no-op: the current epoch stays
+    /// published, nothing is re-prepared, and the epoch's cached plans and
+    /// stats are untouched (the returned [`CatalogUpdate`] has
+    /// `entry.epoch() == displaced.epoch()`).
     pub fn update_graph(
         &self,
         name: &str,
@@ -256,8 +276,10 @@ impl GsiService {
             *prep = *prep + delta;
         }
         let up = result?;
-        self.core.plan_cache.invalidate_scope(up.displaced.epoch());
-        self.core.stats.retire_epoch(up.displaced.epoch());
+        if up.entry.epoch() != up.displaced.epoch() {
+            self.core.plan_cache.invalidate_scope(up.displaced.epoch());
+            self.core.stats.retire_epoch(up.displaced.epoch());
+        }
         Ok(up)
     }
 
@@ -498,6 +520,74 @@ mod tests {
             .query_blocking(QueryRequest::new("g", edge_query()))
             .unwrap();
         assert_eq!(resp.result.expect("runs").intra_threads, 1);
+    }
+
+    #[test]
+    fn empty_update_batch_is_a_noop() {
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+        service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        assert_eq!(service.plan_cache().len(), 1);
+        let before = service.catalog().get("g").unwrap();
+
+        let up = service
+            .update_graph("g", &UpdateBatch::new())
+            .expect("empty batch applies trivially");
+        // No epoch bump, no re-prepare: the very same entry stays current.
+        assert_eq!(up.entry.epoch(), before.epoch());
+        assert!(Arc::ptr_eq(&up.entry, &before));
+        assert!(Arc::ptr_eq(&up.displaced, &before));
+        assert!(!up.report.store_incremental());
+        let after = service.catalog().get("g").unwrap();
+        assert!(Arc::ptr_eq(&after, &before));
+
+        // No plan-cache invalidation: the next query still hits.
+        assert_eq!(service.plan_cache().len(), 1);
+        let resp = service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        let outcome = resp.result.unwrap();
+        assert!(outcome.plan_cache_hit, "cached plan survived the no-op");
+        assert_eq!(outcome.epoch, before.epoch());
+    }
+
+    #[test]
+    fn degenerate_submissions_get_typed_errors_and_panic_no_worker() {
+        // Regression for the old `query_with_timeout` panic path: a
+        // disconnected/degenerate query submitted to the service must be
+        // answered with a typed error; no worker may die.
+        let service = GsiService::new(ServiceConfig::for_tests());
+        service.register_graph("g", data_graph());
+
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(0);
+        qb.add_vertex(2); // isolated second vertex: disconnected
+        let disconnected = qb.build();
+        assert!(matches!(
+            service.submit(QueryRequest::new("g", disconnected)),
+            Err(SubmitError::InvalidQuery(_))
+        ));
+
+        // A label absent from the data flows through the whole pipeline
+        // and comes back as an ordinary empty result.
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(999);
+        let u1 = qb.add_vertex(0);
+        qb.add_edge(u0, u1, 0);
+        let resp = service
+            .query_blocking(QueryRequest::new("g", qb.build()))
+            .expect("admitted");
+        assert_eq!(resp.match_count(), 0);
+        assert!(resp.result.is_ok());
+
+        // The pool is intact: a normal query still runs, nothing panicked.
+        let resp = service
+            .query_blocking(QueryRequest::new("g", edge_query()))
+            .unwrap();
+        assert_eq!(resp.match_count(), 10);
+        assert_eq!(service.stats().worker_panics, 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::canon::CanonicalQuery;
 use gsi_core::{JoinPlan, JoinStep, RunStats};
 use gsi_graph::Graph;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One cached pattern: the canonical-space plan plus run statistics that
@@ -57,6 +57,37 @@ pub struct CachedPlan {
     pub estimates: PlanEstimates,
 }
 
+/// The locked half of the cache: the entry map plus an LRU order index.
+///
+/// `order` maps each entry's `last_used` tick back to its key, so the
+/// eviction victim is `order`'s first element — an `O(log n)` pop instead
+/// of the full `O(n)` min-scan this used to do under the lock on every
+/// insert past capacity. Ticks are unique (the clock increments under the
+/// same lock), keeping `map` and `order` in 1:1 correspondence.
+#[derive(Debug, Default)]
+struct LruState {
+    map: HashMap<(u64, u64), CacheEntry>,
+    order: BTreeMap<u64, (u64, u64)>,
+    clock: u64,
+}
+
+impl LruState {
+    fn next_tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Move `key`'s entry to the most-recently-used position.
+    fn promote(&mut self, key: (u64, u64)) {
+        let tick = self.next_tick();
+        if let Some(e) = self.map.get_mut(&key) {
+            self.order.remove(&e.last_used);
+            e.last_used = tick;
+            self.order.insert(tick, key);
+        }
+    }
+}
+
 /// Concurrent LRU cache of join plans keyed by `(scope, canonical key)`.
 ///
 /// `scope` lets one cache serve many data graphs: plans are data-dependent
@@ -65,8 +96,7 @@ pub struct CachedPlan {
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    inner: Mutex<HashMap<(u64, u64), CacheEntry>>,
-    clock: AtomicU64,
+    inner: Mutex<LruState>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -76,8 +106,7 @@ impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
-            inner: Mutex::new(HashMap::new()),
-            clock: AtomicU64::new(0),
+            inner: Mutex::new(LruState::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -88,9 +117,8 @@ impl PlanCache {
     /// `query`'s vertex ids and validated; an invalid mapping counts as a
     /// miss.
     pub fn lookup(&self, scope: u64, canon: &CanonicalQuery, query: &Graph) -> Option<CachedPlan> {
-        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let map = self.inner.lock();
-        let hit = map.get(&(scope, canon.key)).map(|e| {
+        let key = (scope, canon.key);
+        let hit = self.inner.lock().map.get(&key).map(|e| {
             (
                 e.plan.clone(),
                 PlanEstimates {
@@ -100,7 +128,6 @@ impl PlanCache {
                 },
             )
         });
-        drop(map);
         let Some((canonical_plan, estimates)) = hit else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -111,9 +138,7 @@ impl PlanCache {
             // Promote in the LRU only on a *usable* hit: an entry that keeps
             // failing validation must not stay hot off the back of lookups
             // it cannot serve.
-            if let Some(e) = self.inner.lock().get_mut(&(scope, canon.key)) {
-                e.last_used = tick;
-            }
+            self.inner.lock().promote(key);
             self.hits.fetch_add(1, Ordering::Relaxed);
             Some(CachedPlan { plan, estimates })
         } else {
@@ -126,49 +151,56 @@ impl PlanCache {
     /// Record the plan a fresh run computed for `query`, folding the run's
     /// candidate/match sizes into the pattern's estimates.
     pub fn record(&self, scope: u64, canon: &CanonicalQuery, plan: &JoinPlan, stats: &RunStats) {
-        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut map = self.inner.lock();
-        match map.entry((scope, canon.key)) {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                let e = o.get_mut();
-                // Fold sizes; keep the existing plan (first-writer wins, so
-                // repeated patterns keep one stable order).
-                const ALPHA: f64 = 0.3;
-                e.min_candidate_ewma =
-                    (1.0 - ALPHA) * e.min_candidate_ewma + ALPHA * stats.min_candidate as f64;
-                e.matches_ewma = (1.0 - ALPHA) * e.matches_ewma + ALPHA * stats.n_matches as f64;
-                e.runs += 1;
-                e.last_used = tick;
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(CacheEntry {
+        let key = (scope, canon.key);
+        let mut state = self.inner.lock();
+        if let Some(e) = state.map.get_mut(&key) {
+            // Fold sizes; keep the existing plan (first-writer wins, so
+            // repeated patterns keep one stable order).
+            const ALPHA: f64 = 0.3;
+            e.min_candidate_ewma =
+                (1.0 - ALPHA) * e.min_candidate_ewma + ALPHA * stats.min_candidate as f64;
+            e.matches_ewma = (1.0 - ALPHA) * e.matches_ewma + ALPHA * stats.n_matches as f64;
+            e.runs += 1;
+        } else {
+            state.map.insert(
+                key,
+                CacheEntry {
                     plan: map_plan(plan, &canon.perm),
                     min_candidate_ewma: stats.min_candidate as f64,
                     matches_ewma: stats.n_matches as f64,
                     runs: 1,
-                    last_used: tick,
-                });
-            }
+                    last_used: 0, // placeholder; promoted below
+                },
+            );
         }
-        // LRU eviction.
-        while map.len() > self.capacity {
-            let victim = map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("non-empty map");
-            map.remove(&victim);
+        state.promote(key);
+        // LRU eviction: pop the least-recently-used tick until at capacity.
+        while state.map.len() > self.capacity {
+            let Some((_, victim)) = state.order.pop_first() else {
+                break;
+            };
+            state.map.remove(&victim);
         }
     }
 
     /// Drop every entry under `scope` (a graph was unregistered/replaced).
     pub fn invalidate_scope(&self, scope: u64) {
-        self.inner.lock().retain(|&(s, _), _| s != scope);
+        let mut state = self.inner.lock();
+        let victims: Vec<((u64, u64), u64)> = state
+            .map
+            .iter()
+            .filter(|(&(s, _), _)| s == scope)
+            .map(|(k, e)| (*k, e.last_used))
+            .collect();
+        for (key, tick) in victims {
+            state.map.remove(&key);
+            state.order.remove(&tick);
+        }
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().map.len()
     }
 
     /// Whether the cache is empty.
@@ -255,7 +287,7 @@ mod tests {
         let cands: Vec<gsi_signature::CandidateSet> = (0..q.n_vertices())
             .map(|u| gsi_signature::CandidateSet {
                 query_vertex: u as u32,
-                list: vec![u as u32],
+                list: std::sync::Arc::new(vec![u as u32]),
             })
             .collect();
         gsi_core::plan::plan_join(q, &data, &cands).expect("connected")
@@ -326,6 +358,59 @@ mod tests {
         assert!(cache.lookup(0, &cs[2], &qs[2]).is_some());
     }
 
+    #[test]
+    fn usable_hit_promotes_and_saves_entry_from_eviction() {
+        let cache = PlanCache::new(2);
+        let qs: Vec<Graph> = (0..3)
+            .map(|i| {
+                let mut b = GraphBuilder::new();
+                let u0 = b.add_vertex(0);
+                let u1 = b.add_vertex(1);
+                b.add_edge(u0, u1, i);
+                b.build()
+            })
+            .collect();
+        let cs: Vec<CanonicalQuery> = qs.iter().map(canonicalize).collect();
+        cache.record(0, &cs[0], &plan_for_edge(&qs[0]), &stats(1, 1));
+        cache.record(0, &cs[1], &plan_for_edge(&qs[1]), &stats(1, 1));
+        // Touch entry 0: it becomes most-recently-used, so inserting a
+        // third entry must evict entry 1, not entry 0.
+        assert!(cache.lookup(0, &cs[0], &qs[0]).is_some());
+        cache.record(0, &cs[2], &plan_for_edge(&qs[2]), &stats(1, 1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(0, &cs[0], &qs[0]).is_some(), "promoted: kept");
+        assert!(cache.lookup(0, &cs[1], &qs[1]).is_none(), "LRU: evicted");
+    }
+
+    #[test]
+    fn invalidation_keeps_lru_order_consistent() {
+        let cache = PlanCache::new(2);
+        let q0 = path([0, 1, 2]);
+        let c0 = canonicalize(&q0);
+        cache.record(1, &c0, &plan_for(&q0), &stats(1, 1));
+        cache.record(2, &c0, &plan_for(&q0), &stats(1, 1));
+        cache.invalidate_scope(1);
+        assert_eq!(cache.len(), 1);
+        // Two fresh inserts after invalidation: eviction must pick the
+        // true LRU survivor, never a stale order entry.
+        let qs: Vec<Graph> = (0..2)
+            .map(|i| {
+                let mut b = GraphBuilder::new();
+                let u0 = b.add_vertex(0);
+                let u1 = b.add_vertex(1);
+                b.add_edge(u0, u1, i);
+                b.build()
+            })
+            .collect();
+        let cs: Vec<CanonicalQuery> = qs.iter().map(canonicalize).collect();
+        cache.record(3, &cs[0], &plan_for_edge(&qs[0]), &stats(1, 1));
+        cache.record(3, &cs[1], &plan_for_edge(&qs[1]), &stats(1, 1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(2, &c0, &q0).is_none(), "oldest evicted");
+        assert!(cache.lookup(3, &cs[0], &qs[0]).is_some());
+        assert!(cache.lookup(3, &cs[1], &qs[1]).is_some());
+    }
+
     fn plan_for_edge(q: &Graph) -> JoinPlan {
         let mut b = GraphBuilder::new();
         let v0 = b.add_vertex(0);
@@ -337,7 +422,7 @@ mod tests {
         let cands: Vec<gsi_signature::CandidateSet> = (0..q.n_vertices())
             .map(|u| gsi_signature::CandidateSet {
                 query_vertex: u as u32,
-                list: vec![u as u32],
+                list: std::sync::Arc::new(vec![u as u32]),
             })
             .collect();
         gsi_core::plan::plan_join(q, &data, &cands).expect("connected")

@@ -14,6 +14,21 @@
 //! order on a hit), record the plan and its size estimates back, and
 //! deliver a [`QueryResponse`] through the submitter's [`QueryTicket`].
 //!
+//! **Batched execution.** When a worker picks up work and every *other*
+//! worker is already busy, it drains up to `batch_window` *compatible*
+//! queued jobs — jobs that pinned the same catalog entry, i.e. the same
+//! `(graph, epoch)` — into one batch served over a shared
+//! [`FilterCache`] (the same mechanism as
+//! [`gsi_core::GsiEngine::query_batch`]): each distinct label demand's
+//! candidate set is computed once and shared across the batch's joins.
+//! Results are bit-identical to running each query alone; only the shared
+//! filtering work (and wall time) shrinks. A query never waits for a
+//! batch to fill (batches form only from jobs *already* queued, so an
+//! idle service runs singletons immediately), an idle peer worker
+//! disables draining (parallel dispatch beats serializing joins behind
+//! one worker), and jobs for other graphs or epochs are left queued in
+//! order for the next worker.
+//!
 //! When the engine runs the `HostParallel` backend, the scheduler also
 //! budgets **intra- against inter-query parallelism**: the service's core
 //! budget is divided by the number of currently busy workers, so one query
@@ -25,7 +40,7 @@ use crate::canon::canonicalize;
 use crate::catalog::CatalogEntry;
 use crate::plan_cache::PlanEstimates;
 use crate::ServiceCore;
-use gsi_core::{BackendKind, PlanError, QueryOptions, QueryOutput};
+use gsi_core::{BackendKind, FilterCache, PlanError, QueryOptions, QueryOutput};
 use gsi_graph::Graph;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -138,6 +153,11 @@ pub struct QueryOutcome {
     /// Intra-query worker threads granted to this run by the scheduler's
     /// parallelism budget (1 whenever the engine backend is serial).
     pub intra_threads: usize,
+    /// How many queries were drained into the pickup this query executed
+    /// in (`1` when it executed alone; members that expired in the queue
+    /// are included). Queries in a batch share one filtering pass per
+    /// distinct label demand; results are identical either way.
+    pub batch_size: usize,
     /// Time spent queued before a worker started the query.
     pub queue_wait: Duration,
     /// End-to-end latency (submit → response ready).
@@ -204,6 +224,9 @@ struct QueueShared {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     capacity: usize,
+    batch_window: usize,
+    /// Size of the worker pool (batching engages only at full occupancy).
+    n_workers: usize,
 }
 
 /// The worker pool plus its bounded submission queue.
@@ -214,16 +237,14 @@ pub struct QueryScheduler {
 }
 
 impl QueryScheduler {
-    /// Spawn `workers` threads serving from a queue of `queue_capacity`.
-    pub(crate) fn new(core: Arc<ServiceCore>, workers: usize, queue_capacity: usize) -> Self {
-        let shared = Arc::new(QueueShared {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            not_empty: Condvar::new(),
-            capacity: queue_capacity.max(1),
-        });
+    /// Spawn `workers` threads serving from a queue of `queue_capacity`,
+    /// draining up to `batch_window` compatible jobs per pickup.
+    pub(crate) fn new(
+        core: Arc<ServiceCore>,
+        workers: usize,
+        queue_capacity: usize,
+        batch_window: usize,
+    ) -> Self {
         let n = if workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -231,6 +252,16 @@ impl QueryScheduler {
         } else {
             workers
         };
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            batch_window: batch_window.max(1),
+            n_workers: n,
+        });
         let handles = (0..n)
             .map(|i| {
                 let core = Arc::clone(&core);
@@ -256,6 +287,12 @@ impl QueryScheduler {
     /// Queue capacity (admission-control threshold).
     pub fn queue_capacity(&self) -> usize {
         self.shared.capacity
+    }
+
+    /// Most compatible queued jobs one worker pickup executes as a batch
+    /// (`1` = batching disabled).
+    pub fn batch_window(&self) -> usize {
+        self.shared.batch_window
     }
 
     /// Queries currently waiting (excludes ones being executed).
@@ -328,11 +365,21 @@ impl Drop for QueryScheduler {
 
 fn worker_loop(core: &ServiceCore, shared: &QueueShared) {
     loop {
-        let job = {
+        let jobs = {
             let mut state = shared.state.lock();
             loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
+                if let Some(first) = state.jobs.pop_front() {
+                    // Batch only when every *other* worker is already busy:
+                    // with an idle worker available, parallel dispatch of
+                    // the queued jobs beats serializing their join phases
+                    // behind this one's for the sake of shared filtering.
+                    let busy_others = core.busy_workers.load(Ordering::SeqCst);
+                    let window = if busy_others + 1 < shared.n_workers {
+                        1
+                    } else {
+                        shared.batch_window
+                    };
+                    break drain_compatible(&mut state, first, window);
                 }
                 if state.shutdown {
                     return;
@@ -342,9 +389,31 @@ fn worker_loop(core: &ServiceCore, shared: &QueueShared) {
         };
         // The busy count (self included) divides the intra-query budget.
         core.busy_workers.fetch_add(1, Ordering::SeqCst);
-        execute(core, job);
+        execute_batch(core, jobs);
         core.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// Starting from `first`, pull every queued job that pinned the same
+/// catalog entry — the same `(graph, epoch)`, by `Arc` identity — up to
+/// `window` jobs total, preserving their relative order. Incompatible jobs
+/// stay queued in place for the next worker; a job never waits for a batch
+/// to fill.
+fn drain_compatible(state: &mut QueueState, first: Job, window: usize) -> Vec<Job> {
+    let mut batch = vec![first];
+    if window > 1 {
+        let mut i = 0;
+        while i < state.jobs.len() && batch.len() < window {
+            if Arc::ptr_eq(&state.jobs[i].entry, &batch[0].entry) {
+                if let Some(job) = state.jobs.remove(i) {
+                    batch.push(job);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    batch
 }
 
 /// This worker's intra-query thread grant: the service's core budget split
@@ -392,63 +461,31 @@ impl Drop for IntraGrant<'_> {
     }
 }
 
-/// Run one job end to end and deliver its response. A panic anywhere in
-/// the query's execution is isolated here: the submitter receives
-/// [`QueryError::Internal`], the failure is counted, and the worker thread
-/// survives to serve the next query — one poisoned pattern must not shrink
-/// the pool or take the service down.
-fn execute(core: &ServiceCore, job: Job) {
-    let graph_name = job.entry.name().to_string();
-    let tx = job.tx.clone();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_query(core, job)));
-    match result {
-        Ok(response) => {
-            let _ = tx.send(response);
-        }
-        Err(payload) => {
-            core.stats.record_worker_panic();
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            let _ = tx.send(QueryResponse {
-                graph: graph_name,
-                result: Err(QueryError::Internal { message }),
-            });
-        }
-    }
-}
-
-/// The serving pipeline for one admitted query.
-fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
-    let waited = job.submitted.elapsed();
-
-    // Deadline budget: queue wait is part of the query's latency budget.
-    let remaining = match job.deadline {
-        Some(d) => match d.checked_sub(waited) {
-            Some(rem) => Some(rem),
-            None => {
-                core.stats.record_deadline_expired();
-                return QueryResponse {
-                    graph: job.entry.name().to_string(),
-                    result: Err(QueryError::DeadlineExpired { waited }),
-                };
-            }
-        },
-        None => None,
-    };
-
-    let canon = canonicalize(&job.query);
-    let scope = job.entry.epoch();
-    let cached = core.plan_cache.lookup(scope, &canon, &job.query);
+/// Run one compatible batch of jobs end to end and deliver every response.
+///
+/// Items execute sequentially over one shared [`FilterCache`] — the same
+/// mechanism as [`gsi_core::GsiEngine::query_batch`], unrolled here so
+/// each item's deadline triage, queue-wait accounting, and plan-cache
+/// lookup happen at *its own* execution instant: time spent running
+/// earlier batch items charges later items' deadline budgets exactly as
+/// if each had been picked up on its own, a repeated pattern later in the
+/// batch hits the plan its predecessor just recorded, and every submitter
+/// is answered the moment their item finishes.
+///
+/// Panic isolation is **per item**: a poisoned query gets
+/// [`QueryError::Internal`], is counted, and the rest of the batch (and
+/// the worker) carries on — exactly the old single-job guarantee.
+fn execute_batch(core: &ServiceCore, jobs: Vec<Job>) {
+    let entry = Arc::clone(&jobs[0].entry);
+    let scope = entry.epoch();
+    let batch_size = jobs.len();
 
     // Budget intra- vs inter-query parallelism: meaningful only when the
     // engine executes joins on the HostParallel backend. The grant is held
-    // in the outstanding-grant ledger for the query's whole run, so
+    // in the outstanding-grant ledger for the batch's whole run, so
     // staggered arrivals cannot stack full-budget grants: concurrent
     // grants never exceed the budget (beyond the 1-thread floor each
-    // running query keeps).
+    // running batch keeps).
     let grant = if core.engine.config().backend == BackendKind::HostParallel {
         Some(IntraGrant::take(core))
     } else {
@@ -456,39 +493,117 @@ fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
     };
     let intra_threads = grant.as_ref().map_or(1, |g| g.threads);
 
+    // Shared filtering for the whole batch: each distinct label demand
+    // pays one filter pass, repeats share the cached candidate list.
+    let cache = FilterCache::new();
+    let mut ran = 0u64;
+    for job in jobs {
+        let graph = job.entry.name().to_string();
+        let tx = job.tx.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(core, &entry, scope, intra_threads, batch_size, &cache, job)
+        }));
+        match result {
+            Ok(executed) => ran += executed as u64,
+            Err(payload) => {
+                // The engine was attempted; the panic is this item's alone.
+                ran += 1;
+                core.stats.record_worker_panic();
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let _ = tx.send(QueryResponse {
+                    graph,
+                    result: Err(QueryError::Internal { message }),
+                });
+            }
+        }
+    }
+    drop(grant);
+
+    // Only real batches — two or more items that actually reached the
+    // engine — count toward the sharing stats: singletons' intra-query
+    // demand repeats (or a batch whose other members expired in the
+    // queue) would otherwise inflate a rate read as "what batching buys".
+    if ran > 1 {
+        core.stats
+            .record_filter_demands(cache.demands_computed(), cache.demands_reused());
+        core.stats.record_batched(ran);
+    }
+}
+
+/// Serve one batch item end to end; returns whether the engine was
+/// actually invoked (deadline-expired items never reach it).
+fn run_job(
+    core: &ServiceCore,
+    entry: &Arc<CatalogEntry>,
+    scope: u64,
+    intra_threads: usize,
+    batch_size: usize,
+    cache: &FilterCache,
+    job: Job,
+) -> bool {
+    // Deadline budget, measured when this item actually starts: queue
+    // wait *and* earlier batch items' run time are part of its latency
+    // budget; an expired job is answered without running.
+    let waited = job.submitted.elapsed();
+    let remaining = match job.deadline {
+        Some(d) => match d.checked_sub(waited) {
+            Some(rem) => Some(rem),
+            None => {
+                core.stats.record_deadline_expired();
+                let _ = job.tx.send(QueryResponse {
+                    graph: job.entry.name().to_string(),
+                    result: Err(QueryError::DeadlineExpired { waited }),
+                });
+                return false;
+            }
+        },
+        None => None,
+    };
+
+    let canon = canonicalize(&job.query);
+    let cached = core.plan_cache.lookup(scope, &canon, &job.query);
     let output = core.engine.query_with_options(
-        job.entry.graph(),
-        job.entry.prepared(),
+        entry.graph(),
+        entry.prepared(),
         &job.query,
         QueryOptions {
             timeout: remaining,
             plan: cached.as_ref().map(|c| &c.plan),
-            backend: None,
             intra_query_threads: Some(intra_threads),
+            filter_cache: Some(cache),
+            ..QueryOptions::default()
         },
     );
-    drop(grant);
+
+    let graph = job.entry.name().to_string();
     let output = match output {
         Ok(output) => output,
         Err(e) => {
             // Typed planner rejection: count it and answer the submitter —
-            // the worker neither panicked nor ran the join phase.
+            // the worker neither panicked nor ran the join phase, and the
+            // rest of the batch is unaffected.
             core.stats.record_plan_rejected();
-            return QueryResponse {
-                graph: job.entry.name().to_string(),
+            let _ = job.tx.send(QueryResponse {
+                graph,
                 result: Err(QueryError::Plan(e)),
-            };
+            });
+            return true;
         }
     };
 
-    // Record the executed plan and fold this run's sizes into the pattern's
-    // estimates (first writer keeps the stable join order). Skipped for
-    // aborted runs — a timed-out run's zero match count would poison the
-    // estimates — and for scopes no longer current in the catalog, so a
-    // concurrent unregister/re-register doesn't resurrect dead entries.
+    // Record the executed plan and fold this run's sizes into the
+    // pattern's estimates (first writer keeps the stable join order).
+    // Skipped for aborted runs — a timed-out run's zero match count would
+    // poison the estimates — and for scopes no longer current in the
+    // catalog, so a concurrent unregister/re-register doesn't resurrect
+    // dead entries.
     let scope_current = core
         .catalog
-        .get(job.entry.name())
+        .get(entry.name())
         .is_some_and(|cur| cur.epoch() == scope);
     if !output.stats.timed_out && scope_current {
         core.plan_cache
@@ -498,24 +613,88 @@ fn run_query(core: &ServiceCore, job: Job) -> QueryResponse {
     let plan_cache_hit = output.plan_reused;
     let latency = job.submitted.elapsed();
     core.stats.record_completed(scope, latency, &output.stats);
-
-    QueryResponse {
-        graph: job.entry.name().to_string(),
+    let _ = job.tx.send(QueryResponse {
+        graph,
         result: Ok(QueryOutcome {
             output,
             epoch: scope,
             plan_cache_hit,
             estimates: cached.map(|c| c.estimates),
             intra_threads,
+            batch_size,
             queue_wait: waited,
             latency,
         }),
-    }
+    });
+    true
 }
 
 #[cfg(test)]
 mod tests {
-    use super::intra_share;
+    use super::{drain_compatible, intra_share, Job, QueueState};
+    use crate::GraphCatalog;
+    use gsi_core::{GsiConfig, GsiEngine};
+    use gsi_gpu_sim::{DeviceConfig, Gpu};
+    use gsi_graph::GraphBuilder;
+    use std::collections::VecDeque;
+    use std::sync::{mpsc, Arc};
+    use std::time::Instant;
+
+    fn tiny_graph(label: u32) -> gsi_graph::Graph {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(label);
+        let v1 = b.add_vertex(label + 1);
+        b.add_edge(v0, v1, 0);
+        b.build()
+    }
+
+    fn job_for(entry: &Arc<crate::CatalogEntry>) -> Job {
+        let (tx, _rx) = mpsc::channel();
+        Job {
+            entry: Arc::clone(entry),
+            query: tiny_graph(0),
+            deadline: None,
+            submitted: Instant::now(),
+            tx,
+        }
+    }
+
+    #[test]
+    fn drain_compatible_batches_same_entry_only_and_respects_window() {
+        let engine = GsiEngine::with_gpu(GsiConfig::gsi(), Gpu::new(DeviceConfig::test_device()));
+        let catalog = GraphCatalog::new();
+        let a = catalog.register(&engine, "a", tiny_graph(0)).entry;
+        let b = catalog.register(&engine, "b", tiny_graph(5)).entry;
+        // Re-register "a": same name, *new epoch* — must not batch with the
+        // old entry's jobs.
+        let a2 = catalog.register(&engine, "a", tiny_graph(0)).entry;
+
+        let mut state = QueueState {
+            // Queue: a2 b a2 a(old-epoch) a2 a2  — first pickup is a2.
+            jobs: VecDeque::from(vec![
+                job_for(&b),
+                job_for(&a2),
+                job_for(&a),
+                job_for(&a2),
+                job_for(&a2),
+            ]),
+            shutdown: false,
+        };
+        let first = job_for(&a2);
+        let batch = drain_compatible(&mut state, first, 3);
+        assert_eq!(batch.len(), 3, "window caps the batch");
+        assert!(batch.iter().all(|j| Arc::ptr_eq(&j.entry, &a2)));
+        // Left behind, order preserved: b, old-epoch a, the surplus a2.
+        assert_eq!(state.jobs.len(), 3);
+        assert!(Arc::ptr_eq(&state.jobs[0].entry, &b));
+        assert!(Arc::ptr_eq(&state.jobs[1].entry, &a));
+        assert!(Arc::ptr_eq(&state.jobs[2].entry, &a2));
+
+        // Window 1 disables batching entirely.
+        let single = drain_compatible(&mut state, job_for(&a2), 1);
+        assert_eq!(single.len(), 1);
+        assert_eq!(state.jobs.len(), 3);
+    }
 
     #[test]
     fn intra_share_divides_budget_over_busy_workers() {

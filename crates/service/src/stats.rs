@@ -37,6 +37,9 @@ pub struct ServiceStats {
     deadline_expired: AtomicU64,
     plan_rejected: AtomicU64,
     worker_panics: AtomicU64,
+    batched_queries: AtomicU64,
+    filter_demands_computed: AtomicU64,
+    filter_demands_reused: AtomicU64,
     /// End-to-end (submit → response) latencies of *served* queries, in
     /// microseconds. Failed queries (deadline expiry, worker panic) are
     /// counted but kept out of the percentile reservoir so p50/p99 reflect
@@ -89,6 +92,9 @@ impl ServiceStats {
             deadline_expired: AtomicU64::new(0),
             plan_rejected: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            filter_demands_computed: AtomicU64::new(0),
+            filter_demands_reused: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
             run_totals: Mutex::new(RunStats::default()),
             per_epoch: Mutex::new(BTreeMap::new()),
@@ -120,6 +126,23 @@ impl ServiceStats {
     /// A query's execution panicked (isolated; the worker survives).
     pub fn record_worker_panic(&self) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` queries executed together in one multi-query batch (shared
+    /// candidate filtering). Singleton runs are not counted.
+    pub fn record_batched(&self, n: u64) {
+        self.batched_queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A *multi-query* batch resolved `computed + reused` filter-demand
+    /// lookups, of which `computed` paid a full filter pass and `reused`
+    /// shared one. Singleton runs are not recorded, so the reuse rate
+    /// reads as what batching bought.
+    pub fn record_filter_demands(&self, computed: u64, reused: u64) {
+        self.filter_demands_computed
+            .fetch_add(computed, Ordering::Relaxed);
+        self.filter_demands_reused
+            .fetch_add(reused, Ordering::Relaxed);
     }
 
     /// A query ran to completion (`stats` is its engine run report).
@@ -180,6 +203,9 @@ impl ServiceStats {
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             plan_rejected: self.plan_rejected.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            filter_demands_computed: self.filter_demands_computed.load(Ordering::Relaxed),
+            filter_demands_reused: self.filter_demands_reused.load(Ordering::Relaxed),
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             run_totals: self.run_totals.lock().clone(),
@@ -214,6 +240,15 @@ pub struct ServiceStatsSnapshot {
     pub plan_rejected: u64,
     /// Query executions that panicked (isolated; the worker survived).
     pub worker_panics: u64,
+    /// Queries that executed as part of a multi-query batch (shared
+    /// candidate filtering); singleton runs are not counted.
+    pub batched_queries: u64,
+    /// Distinct filter demands computed across multi-query batch runs
+    /// (each paid one full filter pass; singleton runs are not counted).
+    pub filter_demands_computed: u64,
+    /// Filter-demand lookups served from a batch's shared cache (each
+    /// skipped a pass; singleton runs are not counted).
+    pub filter_demands_reused: u64,
     /// Plan-cache hits (filled in by the service, which owns the cache).
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
@@ -276,6 +311,18 @@ impl ServiceStatsSnapshot {
         }
     }
 
+    /// Fraction of multi-query-batch filter-demand lookups served from
+    /// the shared cache instead of a fresh filter pass, in `[0, 1]`; 0
+    /// when no multi-query batch ran.
+    pub fn filter_reuse_rate(&self) -> f64 {
+        let total = self.filter_demands_computed + self.filter_demands_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.filter_demands_reused as f64 / total as f64
+        }
+    }
+
     /// Fold another snapshot into this one (fleet-level aggregation):
     /// counters add, latency reservoirs concatenate, elapsed takes the max.
     pub fn merge(&mut self, other: &ServiceStatsSnapshot) {
@@ -287,6 +334,9 @@ impl ServiceStatsSnapshot {
         self.deadline_expired += other.deadline_expired;
         self.plan_rejected += other.plan_rejected;
         self.worker_panics += other.worker_panics;
+        self.batched_queries += other.batched_queries;
+        self.filter_demands_computed += other.filter_demands_computed;
+        self.filter_demands_reused += other.filter_demands_reused;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
         self.run_totals.accumulate(&other.run_totals);
@@ -330,6 +380,14 @@ impl std::fmt::Display for ServiceStatsSnapshot {
             self.plan_cache_hit_rate() * 100.0,
             self.plan_cache_hits,
             self.plan_cache_misses
+        )?;
+        writeln!(
+            f,
+            "batching: {} batched queries; filter reuse {:.0}% ({} shared / {} computed)",
+            self.batched_queries,
+            self.filter_reuse_rate() * 100.0,
+            self.filter_demands_reused,
+            self.filter_demands_computed
         )?;
         if !self.per_epoch.is_empty() {
             let cells: Vec<String> = self

@@ -61,6 +61,7 @@ fn concurrent_matches_equal_serial() {
             let idx = graphs.iter().position(|(n, _)| n == name).unwrap();
             engine
                 .query(&graphs[idx].1, &prepared[idx], q)
+                .expect("plans")
                 .matches
                 .len()
         })
@@ -353,6 +354,92 @@ fn updates_invalidate_old_epoch_plans() {
         .result
         .unwrap();
     assert!(third.plan_cache_hit, "new epoch's plan now cached");
+}
+
+/// Batched execution is invisible in results: queries drained into one
+/// shared-filter batch return matches bit-identical to solo serial runs,
+/// while the stats record the batching and the filter reuse it bought.
+#[test]
+fn batched_execution_is_bit_identical_to_solo_runs() {
+    let graphs = catalog_graphs();
+    let (gname, data) = &graphs[0];
+    // Two recurring patterns, interleaved — the repetition a batch shares.
+    let mut rng = StdRng::seed_from_u64(7);
+    let patterns: Vec<Graph> = (0..2)
+        .map(|_| random_walk_query(data, 4, &mut rng).expect("query"))
+        .collect();
+    let workload: Vec<Graph> = (0..6).map(|i| patterns[i % 2].clone()).collect();
+
+    // Solo ground truth on an identical engine configuration.
+    let engine = GsiEngine::with_gpu(GsiConfig::gsi(), Gpu::new(DeviceConfig::test_device()));
+    let prepared = engine.prepare(data);
+    let solo: Vec<Vec<Vec<u32>>> = workload
+        .iter()
+        .map(|q| {
+            engine
+                .query(data, &prepared, q)
+                .expect("plans")
+                .matches
+                .canonical()
+        })
+        .collect();
+
+    // One worker, parked on a dense blocker: the workload queues up behind
+    // it and the next pickups drain it in batches of `batch_window`.
+    let service = GsiService::new(test_service(1));
+    service.register_graph(gname, data.clone());
+    let mut d = GraphBuilder::new();
+    let vs: Vec<u32> = (0..48).map(|i| d.add_vertex(i % 2)).collect();
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            d.add_edge(vs[i], vs[j], 0);
+        }
+    }
+    service.register_graph("dense", d.build());
+    let mut qb = GraphBuilder::new();
+    let u0 = qb.add_vertex(0);
+    let u1 = qb.add_vertex(1);
+    let u2 = qb.add_vertex(0);
+    let u3 = qb.add_vertex(1);
+    qb.add_edge(u0, u1, 0);
+    qb.add_edge(u1, u2, 0);
+    qb.add_edge(u2, u3, 0);
+    let blocker = service
+        .submit(QueryRequest::new("dense", qb.build()))
+        .expect("blocker admitted");
+
+    let tickets: Vec<_> = workload
+        .iter()
+        .map(|q| {
+            service
+                .submit(QueryRequest::new(*gname, q.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    blocker.wait();
+    let outcomes: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().result.expect("ran"))
+        .collect();
+
+    for (i, (outcome, expect)) in outcomes.iter().zip(&solo).enumerate() {
+        assert_eq!(
+            outcome.output.matches.canonical(),
+            *expect,
+            "query {i}: batched result must equal the solo run"
+        );
+    }
+    assert!(
+        outcomes.iter().any(|o| o.batch_size >= 2),
+        "the parked queue must have produced at least one real batch"
+    );
+    let snap = service.stats();
+    assert!(snap.batched_queries >= 2, "stats count batched queries");
+    assert!(
+        snap.filter_demands_reused > 0,
+        "repeated patterns share filter passes (reuse rate {:.2})",
+        snap.filter_reuse_rate()
+    );
 }
 
 /// The same pattern on two different catalog graphs gets two cache entries

@@ -11,18 +11,25 @@
 //! * [`filter_label_only`] — GunrockSM's pruning: vertex label equality.
 
 use crate::encode::{encode_vertex, SignatureConfig};
+use crate::shared::{FilterCache, FilterDemand};
 use crate::table::SignatureTable;
 use gsi_gpu_sim::{kernel, DeviceVec, Gpu, Schedule, WARP_SIZE};
 use gsi_graph::{Graph, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Candidate data vertices for one query vertex, sorted ascending.
+///
+/// The list is behind an [`Arc`]: the filtering phase is a pure function of
+/// the query vertex's label demand, so batched execution shares one list
+/// across every query vertex (of any query in the batch) with the same
+/// demand instead of recomputing or copying it (see [`crate::shared`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateSet {
     /// The query vertex these candidates belong to.
     pub query_vertex: VertexId,
-    /// Sorted candidate data-vertex ids.
-    pub list: Vec<VertexId>,
+    /// Sorted candidate data-vertex ids (shared across equal demands).
+    pub list: Arc<Vec<VertexId>>,
 }
 
 impl CandidateSet {
@@ -75,6 +82,75 @@ fn charge_survivor_writes(gpu: &Gpu, survivors: &[usize]) {
         .gst_scatter(survivors.iter().map(|&v| v / 32), 4);
 }
 
+/// One signature-filter pass for a single demand: scan the entire table
+/// with warp-parallel early-exit containment checks against `qwords`.
+fn signature_scan(gpu: &Gpu, table: &SignatureTable, qwords: &[u32]) -> Vec<VertexId> {
+    let n = table.n_sigs();
+    let wps = table.words_per_sig();
+    let n_batches = n.div_ceil(WARP_SIZE);
+    let batches: Vec<usize> = (0..n_batches).collect();
+    let bitmap: Vec<AtomicU32> = (0..n.div_ceil(32)).map(|_| AtomicU32::new(0)).collect();
+
+    kernel::launch_blocks(gpu, &batches, 32, Schedule::Dynamic, |_ctx, block| {
+        let mut lanes: Vec<usize> = Vec::with_capacity(WARP_SIZE);
+        for &batch in block {
+            let base = batch * WARP_SIZE;
+            let end = (base + WARP_SIZE).min(n);
+            lanes.clear();
+            lanes.extend(base..end);
+
+            // First iteration: read word 0 (the raw vertex label)
+            // and compare exactly (§VII-B). The batch is contiguous,
+            // so the coalesced-range charge path applies.
+            table.charge_warp_word_read_range(gpu, 0, base, end - base);
+            lanes.retain(|&v| table.word_host(v, 0) == qwords[0]);
+
+            // Remaining words: bitwise containment with early exit.
+            for (w, &qw) in qwords.iter().enumerate().take(wps).skip(1) {
+                if lanes.is_empty() {
+                    break;
+                }
+                table.charge_warp_word_read(gpu, w, &lanes);
+                gpu.stats().add_idle_lanes((WARP_SIZE - lanes.len()) as u64);
+                lanes.retain(|&v| table.word_host(v, w) & qw == qw);
+            }
+
+            charge_survivor_writes(gpu, &lanes);
+            for &v in &lanes {
+                bitmap[v / 32].fetch_or(1 << (v % 32), Ordering::Relaxed);
+            }
+        }
+    });
+
+    bitmap_to_list(&bitmap, n)
+}
+
+fn filter_signature_impl(
+    gpu: &Gpu,
+    table: &SignatureTable,
+    query: &Graph,
+    cfg: &SignatureConfig,
+    cache: Option<&FilterCache>,
+) -> Vec<CandidateSet> {
+    cfg.validate();
+    (0..query.n_vertices() as VertexId)
+        .map(|u| {
+            let qsig = encode_vertex(query, u, cfg);
+            let list = match cache {
+                Some(cache) => cache
+                    .get_or_compute(FilterDemand::Signature(qsig.words().to_vec()), || {
+                        signature_scan(gpu, table, qsig.words())
+                    }),
+                None => Arc::new(signature_scan(gpu, table, qsig.words())),
+            };
+            CandidateSet {
+                query_vertex: u,
+                list,
+            }
+        })
+        .collect()
+}
+
 /// GSI's signature filter (§III-A): for query vertex `u`, scan the entire
 /// signature table with warp-parallel early-exit containment checks.
 ///
@@ -85,55 +161,21 @@ pub fn filter_signature(
     query: &Graph,
     cfg: &SignatureConfig,
 ) -> Vec<CandidateSet> {
-    cfg.validate();
-    let n = table.n_sigs();
-    let wps = table.words_per_sig();
-    let n_batches = n.div_ceil(WARP_SIZE);
-    let batches: Vec<usize> = (0..n_batches).collect();
+    filter_signature_impl(gpu, table, query, cfg, None)
+}
 
-    (0..query.n_vertices() as VertexId)
-        .map(|u| {
-            let qsig = encode_vertex(query, u, cfg);
-            let qwords = qsig.words();
-            let bitmap: Vec<AtomicU32> = (0..n.div_ceil(32)).map(|_| AtomicU32::new(0)).collect();
-
-            kernel::launch_blocks(gpu, &batches, 32, Schedule::Dynamic, |_ctx, block| {
-                let mut lanes: Vec<usize> = Vec::with_capacity(WARP_SIZE);
-                for &batch in block {
-                    let base = batch * WARP_SIZE;
-                    let end = (base + WARP_SIZE).min(n);
-                    lanes.clear();
-                    lanes.extend(base..end);
-
-                    // First iteration: read word 0 (the raw vertex label)
-                    // and compare exactly (§VII-B). The batch is contiguous,
-                    // so the coalesced-range charge path applies.
-                    table.charge_warp_word_read_range(gpu, 0, base, end - base);
-                    lanes.retain(|&v| table.word_host(v, 0) == qwords[0]);
-
-                    // Remaining words: bitwise containment with early exit.
-                    for (w, &qw) in qwords.iter().enumerate().take(wps).skip(1) {
-                        if lanes.is_empty() {
-                            break;
-                        }
-                        table.charge_warp_word_read(gpu, w, &lanes);
-                        gpu.stats().add_idle_lanes((WARP_SIZE - lanes.len()) as u64);
-                        lanes.retain(|&v| table.word_host(v, w) & qw == qw);
-                    }
-
-                    charge_survivor_writes(gpu, &lanes);
-                    for &v in &lanes {
-                        bitmap[v / 32].fetch_or(1 << (v % 32), Ordering::Relaxed);
-                    }
-                }
-            });
-
-            CandidateSet {
-                query_vertex: u,
-                list: bitmap_to_list(&bitmap, n),
-            }
-        })
-        .collect()
+/// [`filter_signature`] with a [`FilterCache`]: each distinct encoded
+/// signature pays exactly one table scan per cache lifetime; repeats —
+/// within this query or across the batch sharing `cache` — reuse the
+/// cached list by `Arc`. Output is bit-identical to the uncached filter.
+pub fn filter_signature_cached(
+    gpu: &Gpu,
+    table: &SignatureTable,
+    query: &Graph,
+    cfg: &SignatureConfig,
+    cache: &FilterCache,
+) -> Vec<CandidateSet> {
+    filter_signature_impl(gpu, table, query, cfg, Some(cache))
 }
 
 /// Device-resident per-vertex label and degree arrays for the baseline
@@ -163,46 +205,70 @@ impl FilterInputs {
     }
 }
 
+/// One predicate-filter pass for a single `(label, min degree)` demand.
+fn predicate_scan(
+    gpu: &Gpu,
+    inputs: &FilterInputs,
+    ql: u32,
+    qd: u32,
+    use_degree: bool,
+) -> Vec<VertexId> {
+    let n = inputs.n();
+    let n_batches = n.div_ceil(WARP_SIZE);
+    let batches: Vec<usize> = (0..n_batches).collect();
+    let bitmap: Vec<AtomicU32> = (0..n.div_ceil(32)).map(|_| AtomicU32::new(0)).collect();
+
+    kernel::launch_blocks(gpu, &batches, 32, Schedule::Dynamic, |_ctx, block| {
+        for &batch in block {
+            let base = batch * WARP_SIZE;
+            let end = (base + WARP_SIZE).min(n);
+            // Coalesced label read for the warp.
+            let labels = inputs.vlabels.warp_read(base, end - base);
+            let mut lanes: Vec<usize> = (base..end).filter(|&v| labels[v - base] == ql).collect();
+            if use_degree && !lanes.is_empty() {
+                // Degree read only for surviving lanes.
+                gpu.stats().gld_gather(lanes.iter().copied(), 4);
+                lanes.retain(|&v| inputs.degrees.as_slice()[v] >= qd);
+            }
+            gpu.stats().add_work((end - base) as u64);
+            charge_survivor_writes(gpu, &lanes);
+            for &v in &lanes {
+                bitmap[v / 32].fetch_or(1 << (v % 32), Ordering::Relaxed);
+            }
+        }
+    });
+
+    bitmap_to_list(&bitmap, n)
+}
+
 fn filter_by_predicate(
     gpu: &Gpu,
     inputs: &FilterInputs,
     query: &Graph,
     use_degree: bool,
+    cache: Option<&FilterCache>,
 ) -> Vec<CandidateSet> {
-    let n = inputs.n();
-    let n_batches = n.div_ceil(WARP_SIZE);
-    let batches: Vec<usize> = (0..n_batches).collect();
-
     (0..query.n_vertices() as VertexId)
         .map(|u| {
             let ql = query.vlabel(u);
             let qd = query.degree(u) as u32;
-            let bitmap: Vec<AtomicU32> = (0..n.div_ceil(32)).map(|_| AtomicU32::new(0)).collect();
-
-            kernel::launch_blocks(gpu, &batches, 32, Schedule::Dynamic, |_ctx, block| {
-                for &batch in block {
-                    let base = batch * WARP_SIZE;
-                    let end = (base + WARP_SIZE).min(n);
-                    // Coalesced label read for the warp.
-                    let labels = inputs.vlabels.warp_read(base, end - base);
-                    let mut lanes: Vec<usize> =
-                        (base..end).filter(|&v| labels[v - base] == ql).collect();
-                    if use_degree && !lanes.is_empty() {
-                        // Degree read only for surviving lanes.
-                        gpu.stats().gld_gather(lanes.iter().copied(), 4);
-                        lanes.retain(|&v| inputs.degrees.as_slice()[v] >= qd);
-                    }
-                    gpu.stats().add_work((end - base) as u64);
-                    charge_survivor_writes(gpu, &lanes);
-                    for &v in &lanes {
-                        bitmap[v / 32].fetch_or(1 << (v % 32), Ordering::Relaxed);
-                    }
+            let list = match cache {
+                Some(cache) => {
+                    let demand = if use_degree {
+                        FilterDemand::LabelDegree {
+                            label: ql,
+                            min_degree: qd,
+                        }
+                    } else {
+                        FilterDemand::Label(ql)
+                    };
+                    cache.get_or_compute(demand, || predicate_scan(gpu, inputs, ql, qd, use_degree))
                 }
-            });
-
+                None => Arc::new(predicate_scan(gpu, inputs, ql, qd, use_degree)),
+            };
             CandidateSet {
                 query_vertex: u,
-                list: bitmap_to_list(&bitmap, n),
+                list,
             }
         })
         .collect()
@@ -210,12 +276,32 @@ fn filter_by_predicate(
 
 /// GpSM's filter: label equality plus a degree lower bound.
 pub fn filter_label_degree(gpu: &Gpu, inputs: &FilterInputs, query: &Graph) -> Vec<CandidateSet> {
-    filter_by_predicate(gpu, inputs, query, true)
+    filter_by_predicate(gpu, inputs, query, true, None)
 }
 
 /// GunrockSM's filter: label equality only.
 pub fn filter_label_only(gpu: &Gpu, inputs: &FilterInputs, query: &Graph) -> Vec<CandidateSet> {
-    filter_by_predicate(gpu, inputs, query, false)
+    filter_by_predicate(gpu, inputs, query, false, None)
+}
+
+/// [`filter_label_degree`] sharing passes through a [`FilterCache`].
+pub fn filter_label_degree_cached(
+    gpu: &Gpu,
+    inputs: &FilterInputs,
+    query: &Graph,
+    cache: &FilterCache,
+) -> Vec<CandidateSet> {
+    filter_by_predicate(gpu, inputs, query, true, Some(cache))
+}
+
+/// [`filter_label_only`] sharing passes through a [`FilterCache`].
+pub fn filter_label_only_cached(
+    gpu: &Gpu,
+    inputs: &FilterInputs,
+    query: &Graph,
+    cache: &FilterCache,
+) -> Vec<CandidateSet> {
+    filter_by_predicate(gpu, inputs, query, false, Some(cache))
 }
 
 #[cfg(test)]
@@ -298,7 +384,7 @@ mod tests {
         for u in 0..q.n_vertices() as usize {
             assert!(sig[u].len() <= ld[u].len(), "u={u}");
             assert!(ld[u].len() <= lo[u].len(), "u={u}");
-            for &v in &sig[u].list {
+            for &v in sig[u].list.iter() {
                 assert!(lo[u].contains(v));
             }
         }
@@ -316,7 +402,7 @@ mod tests {
             let expect: Vec<u32> = (0..g.n_vertices() as u32)
                 .filter(|&v| g.vlabel(v) == q.vlabel(u) && g.degree(v) >= q.degree(u))
                 .collect();
-            assert_eq!(got[u as usize].list, expect);
+            assert_eq!(*got[u as usize].list, expect);
         }
     }
 
@@ -390,6 +476,44 @@ mod tests {
         let cands = filter_signature(&gpu, &table, &q, &cfg);
         assert!(cands[0].is_empty());
         assert_eq!(min_candidate_size(&cands), 0);
+    }
+
+    #[test]
+    fn cached_filter_is_bit_identical_and_charges_each_demand_once() {
+        let g = data_graph(21);
+        let cfg = SignatureConfig::default();
+        let gpu1 = gpu();
+        let table1 = SignatureTable::build(&gpu1, &g, &cfg, Layout::ColumnFirst);
+        let q = random_walk_query(&g, 5, &mut StdRng::seed_from_u64(22)).unwrap();
+
+        // Uncached reference, twice back to back: 2x the device cost.
+        gpu1.reset_stats();
+        let solo = filter_signature(&gpu1, &table1, &q, &cfg);
+        let solo_gld = gpu1.stats().snapshot().gld_transactions;
+        let again = filter_signature(&gpu1, &table1, &q, &cfg);
+        assert_eq!(solo, again);
+
+        // Cached, same two queries through one cache: identical lists, and
+        // the second pass reuses every demand instead of re-scanning.
+        let gpu2 = gpu();
+        let table2 = SignatureTable::build(&gpu2, &g, &cfg, Layout::ColumnFirst);
+        let cache = crate::shared::FilterCache::new();
+        gpu2.reset_stats();
+        let first = filter_signature_cached(&gpu2, &table2, &q, &cfg, &cache);
+        let after_first = gpu2.stats().snapshot().gld_transactions;
+        let second = filter_signature_cached(&gpu2, &table2, &q, &cfg, &cache);
+        let after_second = gpu2.stats().snapshot().gld_transactions;
+
+        for (a, b) in solo.iter().zip(&first) {
+            assert_eq!(a.query_vertex, b.query_vertex);
+            assert_eq!(a.list, b.list, "cached output must be bit-identical");
+        }
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(&a.list, &b.list), "repeat shares the Arc");
+        }
+        assert!(after_first <= solo_gld, "dedup can only reduce device work");
+        assert_eq!(after_second, after_first, "reuse charges nothing");
+        assert_eq!(cache.demands_reused(), q.n_vertices() as u64);
     }
 
     #[test]

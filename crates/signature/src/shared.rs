@@ -1,0 +1,135 @@
+//! Cross-query shared filtering: candidate lists keyed by *label demand*.
+//!
+//! The filtering phase is a pure function of one query vertex's demand on
+//! the data graph — for the signature filter the encoded signature words,
+//! for the baseline filters the vertex label (plus a degree bound). Two
+//! query vertices with the same demand always produce the same candidate
+//! list, whether they belong to one query or to different queries hitting
+//! the same prepared graph. A [`FilterCache`] memoizes that function for
+//! the lifetime of a batch: the first occurrence of a demand pays the full
+//! table scan (and charges the device ledger once), every later occurrence
+//! shares the resulting list by [`Arc`].
+//!
+//! The cache is scoped by construction, not by key: callers create one per
+//! `(graph, epoch)` batch, so entries can never leak across graph states.
+
+use gsi_graph::VertexId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What one query vertex asks of the data graph — the memoization key of
+/// the filtering phase. Variants mirror the three filter strategies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FilterDemand {
+    /// GSI's signature filter: the query vertex's full encoded signature
+    /// (word 0 is the raw label, the rest are 2-bit hash groups).
+    Signature(Vec<u32>),
+    /// GpSM's filter: label equality plus a degree lower bound.
+    LabelDegree {
+        /// Required vertex label.
+        label: u32,
+        /// Minimum degree a candidate must have.
+        min_degree: u32,
+    },
+    /// GunrockSM's filter: label equality only.
+    Label(u32),
+}
+
+/// Memoized candidate lists for one batch of queries against one prepared
+/// graph. Thread-safe; computation runs under the lock so each distinct
+/// demand is computed (and charged to the device ledger) exactly once.
+#[derive(Debug, Default)]
+pub struct FilterCache {
+    entries: Mutex<HashMap<FilterDemand, Arc<Vec<VertexId>>>>,
+    computed: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl FilterCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The candidate list for `demand`: the cached copy when one exists,
+    /// otherwise `compute()`'s result, stored for every later occurrence.
+    pub fn get_or_compute(
+        &self,
+        demand: FilterDemand,
+        compute: impl FnOnce() -> Vec<VertexId>,
+    ) -> Arc<Vec<VertexId>> {
+        let mut entries = self.entries.lock();
+        if let Some(hit) = entries.get(&demand) {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let list = Arc::new(compute());
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        entries.insert(demand, Arc::clone(&list));
+        list
+    }
+
+    /// Distinct demands computed (each paid one full filter pass).
+    pub fn demands_computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Demands served from the cache (each skipped a full filter pass).
+    pub fn demands_reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct demands held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_occurrence_computes_later_ones_share() {
+        let cache = FilterCache::new();
+        let mut calls = 0usize;
+        let a = cache.get_or_compute(FilterDemand::Label(7), || {
+            calls += 1;
+            vec![1, 2, 3]
+        });
+        let b = cache.get_or_compute(FilterDemand::Label(7), || {
+            calls += 1;
+            vec![9, 9, 9]
+        });
+        assert_eq!(calls, 1, "second occurrence must not recompute");
+        assert!(Arc::ptr_eq(&a, &b), "the list is shared, not copied");
+        assert_eq!(*a, vec![1, 2, 3]);
+        assert_eq!(cache.demands_computed(), 1);
+        assert_eq!(cache.demands_reused(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_demands_do_not_collide() {
+        let cache = FilterCache::new();
+        cache.get_or_compute(FilterDemand::Label(1), || vec![1]);
+        cache.get_or_compute(
+            FilterDemand::LabelDegree {
+                label: 1,
+                min_degree: 0,
+            },
+            || vec![2],
+        );
+        cache.get_or_compute(FilterDemand::Signature(vec![1]), || vec![3]);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.demands_computed(), 3);
+        assert_eq!(cache.demands_reused(), 0);
+    }
+}

@@ -101,7 +101,7 @@ fn main() {
     // GSI assumes connected queries; the carboxyl group is connected.
     let engine = GsiEngine::new(GsiConfig::gsi_opt());
     let prepared = engine.prepare(&corpus);
-    let out = engine.query(&corpus, &prepared, &carboxyl);
+    let out = engine.query(&corpus, &prepared, &carboxyl).expect("plans");
     out.matches.verify(&corpus, &carboxyl).expect("valid");
 
     // Group matches by containing molecule.

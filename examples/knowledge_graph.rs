@@ -51,7 +51,7 @@ fn main() {
         let engine = GsiEngine::new(cfg);
         let prepared = engine.prepare(&data);
         let space_mb = prepared.store().space_bytes() as f64 / (1024.0 * 1024.0);
-        let out = engine.query(&data, &prepared, &query);
+        let out = engine.query(&data, &prepared, &query).expect("plans");
         out.matches.verify(&data, &query).expect("valid");
         println!(
             "{:<12} {:>10} {:>12.2?} {:>12} {:>10.2}",

@@ -51,7 +51,7 @@ fn main() {
     // --- run GSI -------------------------------------------------------
     let engine = GsiEngine::new(GsiConfig::gsi_opt());
     let prepared = engine.prepare(&data);
-    let out = engine.query(&data, &prepared, &query);
+    let out = engine.query(&data, &prepared, &query).expect("plans");
 
     println!("\nmatches: {}", out.matches.len());
     for i in 0..out.matches.len() {

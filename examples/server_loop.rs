@@ -75,7 +75,11 @@ fn main() {
         .iter()
         .map(|(name, q)| {
             let i = graphs.iter().position(|(n, _)| n == name).unwrap();
-            engine.query(&graphs[i].1, &prepared[i], q).matches.len()
+            engine
+                .query(&graphs[i].1, &prepared[i], q)
+                .expect("plans")
+                .matches
+                .len()
         })
         .collect();
 

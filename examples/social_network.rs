@@ -25,7 +25,7 @@ fn run_pattern(name: &str, data: &Graph, query: &Graph) {
     for (label, cfg) in [("GSI", GsiConfig::gsi()), ("GSI-opt", GsiConfig::gsi_opt())] {
         let engine = GsiEngine::new(cfg);
         let prepared = engine.prepare(data);
-        let out = engine.query(data, &prepared, query);
+        let out = engine.query(data, &prepared, query).expect("plans");
         out.matches.verify(data, query).expect("valid embeddings");
         println!(
             "  {label:8} matches={:<8} time={:>10.2?} GLD={:<10} GST={:<8} kernels={}",

@@ -19,7 +19,7 @@ fn workload(seed: u64) -> (Graph, Graph) {
 fn run(cfg: GsiConfig, data: &Graph, query: &Graph) -> Vec<Vec<u32>> {
     let engine = GsiEngine::with_gpu(cfg, Gpu::new(DeviceConfig::test_device()));
     let prepared = engine.prepare(data);
-    let out = engine.query(data, &prepared, query);
+    let out = engine.query(data, &prepared, query).expect("plans");
     assert!(!out.stats.timed_out);
     out.matches.verify(data, query).expect("valid embeddings");
     out.matches.canonical()

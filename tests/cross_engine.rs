@@ -62,7 +62,11 @@ fn all_engines_agree() {
             GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
         let prepared = engine.prepare(&data);
         assert_eq!(
-            engine.query(&data, &prepared, &query).matches.canonical(),
+            engine
+                .query(&data, &prepared, &query)
+                .expect("plans")
+                .matches
+                .canonical(),
             oracle,
             "gsi {seed}"
         );
@@ -98,7 +102,11 @@ fn engines_agree_on_star_and_cycle_patterns() {
             GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
         let prepared = engine.prepare(&data);
         assert_eq!(
-            engine.query(&data, &prepared, &query).matches.canonical(),
+            engine
+                .query(&data, &prepared, &query)
+                .expect("plans")
+                .matches
+                .canonical(),
             oracle,
             "{name}: gsi"
         );
@@ -127,7 +135,11 @@ fn single_vertex_queries_agree() {
     let engine = GsiEngine::with_gpu(GsiConfig::gsi(), Gpu::new(DeviceConfig::test_device()));
     let prepared = engine.prepare(&data);
     assert_eq!(
-        engine.query(&data, &prepared, &query).matches.canonical(),
+        engine
+            .query(&data, &prepared, &query)
+            .expect("plans")
+            .matches
+            .canonical(),
         oracle
     );
     let gp = gpsm::engine(Gpu::new(DeviceConfig::test_device()));

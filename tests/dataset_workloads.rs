@@ -33,7 +33,7 @@ fn every_dataset_standin_runs_and_matches_oracle() {
         let engine =
             GsiEngine::with_gpu(GsiConfig::gsi_opt(), Gpu::new(DeviceConfig::test_device()));
         let prepared = engine.prepare(&data);
-        let out = engine.query(&data, &prepared, &query);
+        let out = engine.query(&data, &prepared, &query).expect("plans");
         assert!(!out.stats.timed_out, "{kind:?}");
         out.matches.verify(&data, &query).expect("valid");
         let oracle = vf2::run(&data, &query, Some(Duration::from_secs(30)));
@@ -65,8 +65,9 @@ fn default_query_size_12_on_enron_standin() {
         let Some(query) = random_walk_query(&data, 12, &mut rng) else {
             continue;
         };
-        let out =
-            engine.query_with_timeout(&data, &prepared, &query, Some(Duration::from_secs(10)));
+        let out = engine
+            .query_with_timeout(&data, &prepared, &query, Some(Duration::from_secs(10)))
+            .expect("plans");
         if out.stats.timed_out {
             continue;
         }

@@ -19,7 +19,7 @@ fn test_engine(cfg: GsiConfig) -> GsiEngine {
 fn check_against_oracle(data: &Graph, query: &Graph, cfg: GsiConfig, tag: &str) {
     let engine = test_engine(cfg);
     let prepared = engine.prepare(data);
-    let out = engine.query(data, &prepared, query);
+    let out = engine.query(data, &prepared, query).expect("plans");
     assert!(!out.stats.timed_out, "{tag}: unexpected timeout");
     out.matches
         .verify(data, query)
@@ -166,9 +166,9 @@ fn mutated_graphs_track_vf2_across_backends_and_schemes() {
                 continue;
             };
             let snap0 = engine.gpu().stats().snapshot();
-            let a = engine.query(&updated, &inc, &query);
+            let a = engine.query(&updated, &inc, &query).expect("plans");
             let snap1 = engine.gpu().stats().snapshot();
-            let b = engine.query(&updated, &cold, &query);
+            let b = engine.query(&updated, &cold, &query).expect("plans");
             let snap2 = engine.gpu().stats().snapshot();
             assert_eq!(
                 a.matches.table, b.matches.table,

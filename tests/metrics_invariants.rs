@@ -21,7 +21,7 @@ fn workload(seed: u64, n: usize) -> (Graph, Graph) {
 fn run_stats(cfg: GsiConfig, data: &Graph, query: &Graph) -> RunStats {
     let engine = GsiEngine::with_gpu(cfg, Gpu::new(DeviceConfig::test_device()));
     let prepared = engine.prepare(data);
-    engine.query(data, &prepared, query).stats
+    engine.query(data, &prepared, query).expect("plans").stats
 }
 
 #[test]

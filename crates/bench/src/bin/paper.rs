@@ -15,6 +15,10 @@
 //!                       with shared candidate filtering vs per-query serial
 //!                       runs at 8/16/32 concurrent queries, equivalence-
 //!                       gated; writes BENCH_PR4.json)
+//!   optimize           (repo perf trajectory: cost-based join ordering vs
+//!                       the greedy heuristic on a skewed-label workload,
+//!                       equivalence-gated on deterministic device counters;
+//!                       writes BENCH_PR5.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -29,10 +33,14 @@
 //!   --rounds <n>       mutation rounds (update-churn only, default 8)
 //!   --batch <n>        ops per mutation batch (update-churn only, default 32)
 //!   --pool <n>         recurring-pattern pool size (batch only, default 4)
-//!   --min-speedup <f>  required shared-filter speedup at 16 concurrent
-//!                      queries (batch only, default 1.3)
+//!   --min-speedup <f>  required wall-clock speedup: shared filtering at 16
+//!                      concurrent queries (batch, default 1.3) or costed
+//!                      join orders (optimize, default 1.5); 0 disables
+//!   --min-work-ratio <f> required deterministic join-work ratio, greedy
+//!                      over costed (optimize only, default 1.5)
 //!   --out <path>       report path (backend: BENCH_PR2.json,
-//!                      update-churn: BENCH_PR3.json, batch: BENCH_PR4.json)
+//!                      update-churn: BENCH_PR3.json, batch: BENCH_PR4.json,
+//!                      optimize: BENCH_PR5.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -40,10 +48,11 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
          [--timeout MS] [--cpu-timeout MS] [--threads N] [--latency NS] \
-         [--rounds N] [--batch N] [--pool N] [--min-speedup F] [--out PATH]"
+         [--rounds N] [--batch N] [--pool N] [--min-speedup F] \
+         [--min-work-ratio F] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -60,7 +69,8 @@ fn main() {
     let mut rounds = 8usize;
     let mut batch = 32usize;
     let mut pool = 4usize;
-    let mut min_speedup = 1.3f64;
+    let mut min_speedup: Option<f64> = None;
+    let mut min_work_ratio = 1.5f64;
     let mut out_path: Option<String> = None;
 
     let mut i = 1;
@@ -79,7 +89,8 @@ fn main() {
             "--rounds" => rounds = val.parse().unwrap_or_else(|_| usage()),
             "--batch" => batch = val.parse().unwrap_or_else(|_| usage()),
             "--pool" => pool = val.parse().unwrap_or_else(|_| usage()),
-            "--min-speedup" => min_speedup = val.parse().unwrap_or_else(|_| usage()),
+            "--min-speedup" => min_speedup = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--min-work-ratio" => min_work_ratio = val.parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(val.clone()),
             _ => usage(),
         }
@@ -121,8 +132,14 @@ fn main() {
         "batch" => experiments::batch_queries(
             &opts,
             pool,
-            min_speedup,
+            min_speedup.unwrap_or(1.3),
             out_path.as_deref().unwrap_or("BENCH_PR4.json"),
+        ),
+        "optimize" => experiments::optimize(
+            &opts,
+            min_speedup.unwrap_or(1.5),
+            min_work_ratio,
+            out_path.as_deref().unwrap_or("BENCH_PR5.json"),
         ),
         "all" => experiments::all(&opts),
         _ => usage(),

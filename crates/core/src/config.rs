@@ -1,6 +1,7 @@
 //! Engine configuration: every technique of the paper is a switch here, so
 //! the ablation tables (VI, VII, VIII) are config sweeps.
 
+use crate::cost::PlannerKind;
 use gsi_graph::StorageKind;
 use gsi_signature::{Layout, SignatureConfig};
 
@@ -125,6 +126,12 @@ pub struct GsiConfig {
     /// Abort when the intermediate table exceeds this many rows (guards
     /// against explosive queries the paper's 100 s timeout would kill).
     pub max_intermediate_rows: usize,
+    /// Which planner computes the join order when no cached plan is
+    /// supplied: Algorithm 2's greedy heuristic (the paper's planner, and
+    /// the preset default for fidelity with its evaluation) or the
+    /// statistics-driven cost-based optimizer of [`crate::cost`]. The
+    /// serving layer (`gsi-service`) defaults to the cost-based planner.
+    pub planner: PlannerKind,
     /// Execution backend for the join phase's planned kernels.
     pub backend: BackendKind,
     /// Worker threads of the [`BackendKind::HostParallel`] backend
@@ -152,6 +159,7 @@ impl GsiConfig {
             first_edge_min_freq: true,
             combined_alloc: true,
             max_intermediate_rows: 10_000_000,
+            planner: PlannerKind::Greedy,
             backend: BackendKind::Serial,
             intra_query_threads: 0,
         }
@@ -164,6 +172,11 @@ impl GsiConfig {
             intra_query_threads,
             ..self
         }
+    }
+
+    /// This configuration with another join-order planner.
+    pub fn with_planner(self, planner: PlannerKind) -> Self {
+        Self { planner, ..self }
     }
 
     /// "+DS" of Table VI: GSI- with the PCSR data structure.
@@ -271,6 +284,18 @@ mod tests {
         assert_eq!(cfg.intra_query_threads, 4);
         assert!(cfg.duplicate_removal, "other knobs untouched");
         cfg.validate();
+    }
+
+    #[test]
+    fn presets_default_to_the_paper_planner() {
+        // Paper fidelity: every ablation preset runs Algorithm 2 unless
+        // the planner is explicitly switched.
+        assert_eq!(GsiConfig::gsi_base().planner, PlannerKind::Greedy);
+        assert_eq!(GsiConfig::gsi_opt().planner, PlannerKind::Greedy);
+        let costed = GsiConfig::gsi_opt().with_planner(PlannerKind::CostBased);
+        assert_eq!(costed.planner, PlannerKind::CostBased);
+        assert!(costed.duplicate_removal, "other knobs untouched");
+        costed.validate();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::backend::{make_backend, ExecBackend};
 use crate::config::{BackendKind, FilterStrategy, GsiConfig};
+use crate::cost::{estimate_for_plan, plan_join_costed, ExplainPlan, PlannerKind};
 use crate::join::JoinCtx;
 use crate::matches::Matches;
 use crate::plan::{plan_join, JoinPlan, PlanError};
@@ -14,7 +15,7 @@ use gsi_graph::compressed::CompressedStore;
 use gsi_graph::csr::Csr;
 use gsi_graph::pcsr::{PcsrStore, StoreUpdateReport};
 use gsi_graph::update::{UpdateBatch, UpdateError};
-use gsi_graph::{Graph, LabeledStore, StorageKind};
+use gsi_graph::{Graph, GraphStats, LabeledStore, StorageKind};
 use gsi_signature::filter::FilterInputs;
 use gsi_signature::{
     filter_label_degree, filter_label_degree_cached, filter_label_only, filter_label_only_cached,
@@ -35,6 +36,7 @@ pub struct PreparedData {
     store: Arc<dyn LabeledStore>,
     sig_table: Option<SignatureTable>,
     filter_inputs: FilterInputs,
+    stats: GraphStats,
 }
 
 impl PreparedData {
@@ -52,6 +54,14 @@ impl PreparedData {
     /// The signature table, when the signature filter is configured.
     pub fn signature_table(&self) -> Option<&SignatureTable> {
         self.sig_table.as_ref()
+    }
+
+    /// The statistics catalog of the graph this data was prepared from —
+    /// the cost-based planner's cardinality inputs. Built at prepare time
+    /// and refreshed incrementally by [`PreparedData::apply_updates`]
+    /// (bit-identical to a cold recompute).
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
     }
 
     /// Delta-aware re-prepare: absorb `batch` into the offline structures,
@@ -111,6 +121,9 @@ impl PreparedData {
         });
 
         let filter_inputs = FilterInputs::build(engine.gpu(), &updated);
+        // The statistics catalog absorbs the delta in O(|batch|); the
+        // result is bit-identical to rebuilding from the updated graph.
+        let stats = self.stats.refreshed(&updated, batch);
         let report = UpdateReport {
             store: store_delta,
             signatures_refreshed,
@@ -121,6 +134,7 @@ impl PreparedData {
                 store,
                 sig_table,
                 filter_inputs,
+                stats,
             },
             report,
         ))
@@ -180,6 +194,10 @@ pub struct QueryOptions<'a> {
     /// shared by `Arc` and bit-identical to an uncached run's; only the
     /// device work (and wall time) of the filtering phase changes.
     pub filter_cache: Option<&'a FilterCache>,
+    /// Join-order planner override for this run; `None` uses
+    /// [`GsiConfig::planner`]. Ignored when a valid cached plan is
+    /// supplied through [`QueryOptions::plan`].
+    pub planner: Option<PlannerKind>,
 }
 
 /// Result of one query run.
@@ -195,6 +213,16 @@ pub struct QueryOutput {
     /// Whether `plan` came in through [`QueryOptions::plan`] (false when it
     /// was computed by this run, including the invalid-cached-plan fallback).
     pub plan_reused: bool,
+    /// The planner that produced the executed plan when this run computed
+    /// it fresh (the cost-based planner reports `Greedy` when its
+    /// exact-search cap forced the fallback). For reused plans this is the
+    /// run's *resolved* planner — the provenance of a cached plan lives
+    /// with its cache entry (see `gsi-service`'s plan cache).
+    pub planner: PlannerKind,
+    /// The executed plan's cost report: per-position estimated cardinality
+    /// and cost, with actual cardinalities filled in for every position
+    /// the run executed (aborted runs report a prefix).
+    pub explain: ExplainPlan,
 }
 
 impl QueryOutput {
@@ -272,6 +300,7 @@ impl GsiEngine {
             store,
             sig_table,
             filter_inputs,
+            stats: GraphStats::build(data),
         }
     }
 
@@ -453,10 +482,49 @@ impl GsiEngine {
         // ---- joining phase --------------------------------------------
         let t_join = Instant::now();
         let timeout = opts.timeout;
-        let (plan, plan_reused) = match opts.plan {
-            Some(p) if p.covers(query) => (p.clone(), true),
-            _ => (plan_join(query, data, &cands)?, false),
+        let resolved_planner = opts.planner.unwrap_or(self.cfg.planner);
+        // The cost-based planner returns its ExplainPlan alongside the
+        // plan; the other paths compute one for the executed order so
+        // every run reports estimated-vs-actual cardinalities.
+        let (plan, plan_reused, mut explain) = match opts.plan {
+            Some(p) if p.covers(query) => {
+                let plan = p.clone();
+                let sizes: Vec<f64> = cands.iter().map(|c| c.len() as f64).collect();
+                let explain = estimate_for_plan(
+                    &plan,
+                    query,
+                    prepared.stats(),
+                    &sizes,
+                    &self.cfg,
+                    resolved_planner,
+                );
+                (plan, true, explain)
+            }
+            _ => match resolved_planner {
+                PlannerKind::Greedy => {
+                    let plan = plan_join(query, data, &cands)?;
+                    let sizes: Vec<f64> = cands.iter().map(|c| c.len() as f64).collect();
+                    let explain = estimate_for_plan(
+                        &plan,
+                        query,
+                        prepared.stats(),
+                        &sizes,
+                        &self.cfg,
+                        PlannerKind::Greedy,
+                    );
+                    (plan, false, explain)
+                }
+                PlannerKind::CostBased => {
+                    // The returned explain carries the provenance: Greedy
+                    // when the pattern exceeded the exact-search cap and
+                    // the fallback ran.
+                    let (p, explain) =
+                        plan_join_costed(query, prepared.stats(), &cands, &self.cfg)?;
+                    (p, false, explain)
+                }
+            },
         };
+        let planner = explain.planner;
         let mut matches = Matches::empty(plan.order.clone());
 
         // Strategy (what each iteration computes) and backend (how its
@@ -479,6 +547,7 @@ impl GsiEngine {
             };
             let mut m = MatchTable::from_candidates(&cands[plan.order[0] as usize].list);
             stats.max_intermediate_rows = m.n_rows();
+            stats.step_rows.push(m.n_rows());
 
             for step in &plan.steps {
                 if m.is_empty() {
@@ -503,6 +572,7 @@ impl GsiEngine {
                     }
                 }
                 stats.max_intermediate_rows = stats.max_intermediate_rows.max(m.n_rows());
+                stats.step_rows.push(m.n_rows());
             }
 
             if !stats.timed_out {
@@ -518,12 +588,15 @@ impl GsiEngine {
         stats.device = self.gpu.stats().snapshot() - snap_start;
         stats.n_matches = matches.len();
         (stats.join_work_units, stats.join_span_units) = backend.work_span();
+        explain.fill_actuals(&stats.step_rows);
 
         Ok(QueryOutput {
             matches,
             stats,
             plan,
             plan_reused,
+            planner,
+            explain,
         })
     }
 
@@ -1104,6 +1177,79 @@ mod tests {
         let a = engine.query(&updated, &inc, &query).expect("plans");
         let b = engine.query(&updated, &cold, &query).expect("plans");
         assert_eq!(a.matches.table, b.matches.table);
+    }
+
+    #[test]
+    fn cost_based_planner_matches_greedy_results_exactly() {
+        use crate::cost::PlannerKind;
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi_opt());
+        let prepared = engine.prepare(&data);
+
+        let greedy = engine.query(&data, &prepared, &query).expect("plans");
+        assert_eq!(greedy.planner, PlannerKind::Greedy, "preset default");
+
+        let costed = engine
+            .query_with_options(
+                &data,
+                &prepared,
+                &query,
+                QueryOptions {
+                    planner: Some(PlannerKind::CostBased),
+                    ..QueryOptions::default()
+                },
+            )
+            .expect("plans");
+        assert_eq!(costed.planner, PlannerKind::CostBased);
+        assert!(costed.plan.covers(&query));
+        assert_eq!(
+            costed.matches.canonical(),
+            greedy.matches.canonical(),
+            "planners must agree on the match set"
+        );
+
+        // The config-level switch selects the same planner.
+        let engine2 = test_engine(GsiConfig::gsi_opt().with_planner(PlannerKind::CostBased));
+        let prepared2 = engine2.prepare(&data);
+        let via_cfg = engine2.query(&data, &prepared2, &query).expect("plans");
+        assert_eq!(via_cfg.planner, PlannerKind::CostBased);
+        assert_eq!(via_cfg.plan, costed.plan);
+    }
+
+    #[test]
+    fn explain_reports_estimated_and_actual_cardinalities() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &query).expect("plans");
+        assert_eq!(out.explain.steps.len(), out.plan.order.len());
+        assert_eq!(out.stats.step_rows.len(), out.plan.order.len());
+        for (pos, step) in out.explain.steps.iter().enumerate() {
+            assert_eq!(step.vertex, out.plan.order[pos]);
+            assert_eq!(step.actual_rows, Some(out.stats.step_rows[pos]));
+            assert!(step.estimated_rows >= 0.0);
+        }
+        // The final position's actual rows are the match count.
+        assert_eq!(
+            out.explain.steps.last().unwrap().actual_rows,
+            Some(out.matches.len())
+        );
+        assert!(out.explain.mean_q_error().expect("actuals filled") >= 1.0);
+    }
+
+    #[test]
+    fn explain_actuals_cover_only_the_executed_prefix_on_abort() {
+        let (data, query) = paper_example();
+        let cfg = GsiConfig {
+            max_intermediate_rows: 10,
+            ..GsiConfig::gsi()
+        };
+        let engine = test_engine(cfg);
+        let prepared = engine.prepare(&data);
+        let out = engine.query(&data, &prepared, &query).expect("plans");
+        assert!(out.stats.timed_out);
+        assert!(out.stats.step_rows.len() < out.plan.order.len());
+        assert!(out.explain.steps.last().unwrap().actual_rows.is_none());
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //!   by [`config::FilterStrategy`].
 //! * **Join order** (Algorithm 2): [`plan`] scores query vertices by
 //!   `|C(u)| / deg(u)` and refines scores with edge-label frequencies.
+//!   [`cost`] goes beyond the paper: a statistics-driven cost-based
+//!   optimizer (cardinality model over `gsi_graph::GraphStats`, exact
+//!   subset-DP search over connected orders, [`cost::ExplainPlan`]
+//!   estimated-vs-actual reports), selected per engine or per query via
+//!   [`cost::PlannerKind`] with the greedy planner as pluggable fallback.
 //! * **Joining phase** (Algorithm 3): one warp per intermediate-table row
 //!   joins the row with the next candidate set. Two output schemes are
 //!   implemented: the paper's **Prealloc-Combine** ([`prealloc`], Algorithm
@@ -65,6 +70,7 @@
 pub mod backend;
 pub mod components;
 pub mod config;
+pub mod cost;
 pub mod dedup;
 pub mod engine;
 pub mod join;
@@ -81,10 +87,15 @@ pub mod write_cache;
 
 pub use backend::{ExecBackend, HostParallelBackend, SerialBackend};
 pub use config::{BackendKind, FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpStrategy};
+pub use cost::{
+    estimate_for_plan, plan_join_costed, plan_join_estimated, CostModel, ExplainPlan, ExplainStep,
+    PlannerKind, MAX_EXACT_SEARCH_VERTICES,
+};
 pub use engine::{
     BatchItem, BatchOutput, GsiEngine, PreparedData, QueryOptions, QueryOutput, UpdateReport,
 };
 pub use gsi_graph::update::{GraphOp, UpdateBatch, UpdateError};
+pub use gsi_graph::GraphStats;
 pub use gsi_signature::{FilterCache, FilterDemand};
 pub use matches::Matches;
 pub use plan::{JoinPlan, JoinStep, PlanError};

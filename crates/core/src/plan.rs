@@ -167,8 +167,19 @@ impl JoinPlan {
     /// produces correct joins for `query` — so consumers reusing cached
     /// plans (keyed by a hash of the query shape) can call it to reject
     /// stale or colliding entries instead of panicking mid-join.
+    ///
+    /// Validation is strict about column provenance: `steps[i]` executes
+    /// against the prefix `order[0..=i]`, so every `linking` column must
+    /// satisfy `col <= i` — a plan referencing a *later* column (one its
+    /// step has not materialized yet) is rejected, never executed. An
+    /// empty plan never covers: an empty query is a typed
+    /// [`PlanError::EmptyQuery`] upstream, and accepting the trivial plan
+    /// here would let a cached empty plan bypass that error path.
     pub fn covers(&self, query: &Graph) -> bool {
         let nq = query.n_vertices();
+        if nq == 0 || self.order.is_empty() {
+            return false;
+        }
         if self.order.len() != nq || self.steps.len() != nq.saturating_sub(1) {
             return false;
         }
@@ -335,6 +346,61 @@ mod tests {
                 got: 0
             })
         );
+    }
+
+    #[test]
+    fn covers_rejects_forward_linking_columns() {
+        // Regression: a plan whose linking column references a column the
+        // step has not materialized yet must be rejected — executing it
+        // would index past the intermediate table's width. Start from a
+        // valid plan so every *other* covers() criterion holds.
+        let q = query();
+        let d = data();
+        let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5), cand(3, 5)];
+        let plan = plan_join(&q, &d, &cands).expect("connected");
+        assert!(plan.covers(&q));
+
+        for (i, step) in plan.steps.iter().enumerate() {
+            for slot in 0..step.linking.len() {
+                // Point the column at the step's own (not-yet-joined)
+                // vertex and at every later column: all must be rejected,
+                // even when the named query edge genuinely exists.
+                for forward_col in (i + 1)..plan.order.len() {
+                    let mut bad = plan.clone();
+                    let vertex = bad.steps[i].vertex;
+                    let label = q
+                        .edge_labels_between(vertex, bad.order[forward_col])
+                        .first()
+                        .copied()
+                        .unwrap_or(bad.steps[i].linking[slot].1);
+                    bad.steps[i].linking[slot] = (forward_col, label);
+                    assert!(
+                        !bad.covers(&q),
+                        "step {i} slot {slot} accepted forward column {forward_col}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_rejects_empty_plans_and_empty_queries() {
+        // An empty plan must not cover an empty query: the engine's typed
+        // EmptyQuery error path owns that case, and a cached empty plan
+        // must not silently bypass it.
+        let empty_q = GraphBuilder::new().build();
+        let empty_plan = JoinPlan {
+            order: vec![],
+            steps: vec![],
+        };
+        assert!(!empty_plan.covers(&empty_q));
+        assert!(!empty_plan.covers(&query()));
+
+        let q = query();
+        let d = data();
+        let cands = vec![cand(0, 5), cand(1, 5), cand(2, 5), cand(3, 5)];
+        let plan = plan_join(&q, &d, &cands).expect("connected");
+        assert!(!plan.covers(&empty_q));
     }
 
     #[test]

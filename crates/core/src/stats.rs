@@ -24,6 +24,13 @@ pub struct RunStats {
     pub max_intermediate_rows: usize,
     /// The run aborted (intermediate-table guard or timeout).
     pub timed_out: bool,
+    /// Intermediate-table rows after each join-order position the run
+    /// executed (`step_rows[0]` = seeded candidate rows). A run that
+    /// aborted (timeout/guard) or short-circuited on an empty candidate
+    /// set reports only the executed prefix. Per-run provenance for
+    /// `ExplainPlan::fill_actuals`; **not** folded by
+    /// [`RunStats::accumulate`] (aggregates mix different plans).
+    pub step_rows: Vec<usize>,
     /// Total streamed elements executed by the join backend (parallel
     /// "work" in the work/span sense).
     pub join_work_units: u64,

@@ -22,6 +22,10 @@
 //!   mutations applied to immutable graphs, and the incremental PCSR
 //!   maintenance ([`pcsr::MultiPcsr::apply_updates`]) that absorbs them
 //!   without rebuilding untouched label layers.
+//! * A per-graph statistics catalog ([`stats`]): label histograms,
+//!   per-label degree mass, and edge-label co-occurrence counts for
+//!   cost-based join planning, built in one pass and refreshed
+//!   incrementally from update batches (bit-identical to a cold rebuild).
 //! * A plain-text interchange format ([`io`]).
 //!
 //! [Zeng et al., ICDE 2020]: https://arxiv.org/abs/1906.03420
@@ -38,6 +42,7 @@ pub mod io;
 pub mod partition;
 pub mod pcsr;
 pub mod query_gen;
+pub mod stats;
 pub mod storage;
 pub mod types;
 pub mod update;
@@ -45,6 +50,7 @@ pub mod update;
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use pcsr::{LayerAction, MultiPcsr, StoreUpdateReport};
+pub use stats::GraphStats;
 pub use storage::{LabeledStore, Neighbors, StorageKind};
 pub use types::{EdgeLabel, VertexId, VertexLabel};
 pub use update::{GraphOp, UpdateBatch, UpdateError};

@@ -1,0 +1,371 @@
+//! Per-graph statistics catalog for cost-based join planning.
+//!
+//! Algorithm 2 of the paper orders joins greedily from candidate counts and
+//! raw edge-label frequencies. A cost-based optimizer needs more: how many
+//! vertices carry each label, how label-`l` edges distribute over vertex
+//! labels, and how often a typed edge `(L1) –l– (L2)` occurs at all. This
+//! module computes exactly those counters in one pass over the graph
+//! ([`GraphStats::build`] — prepare-time work, `O(V + E)`), and refreshes
+//! them **incrementally** from an [`UpdateBatch`]
+//! ([`GraphStats::refreshed`] — `O(|batch|)`), with the guarantee that the
+//! refreshed catalog is *bit-identical* to rebuilding from the updated
+//! graph cold (every counter is an exact integer and zeroed keys are
+//! dropped, so the two paths produce equal `BTreeMap`s; the
+//! `stats_refresh` property suite locks this down).
+//!
+//! Everything a consumer derives from the catalog — per-label average
+//! degrees, typed-edge probabilities — is computed on demand from the raw
+//! integer counters, so estimates never drift from the counts they came
+//! from.
+
+use crate::graph::Graph;
+use crate::types::{EdgeLabel, VertexId, VertexLabel};
+use crate::update::{GraphOp, UpdateBatch};
+use std::collections::BTreeMap;
+
+/// A typed undirected edge class: edge label plus the (unordered) vertex
+/// labels of its endpoints, stored with `v1 <= v2`.
+pub type TypedEdge = (EdgeLabel, VertexLabel, VertexLabel);
+
+/// Exact per-graph statistics for selectivity and cardinality estimation.
+///
+/// All counters are plain integers over the *current* graph state; maps
+/// hold only keys with nonzero counts, so two catalogs over equal graphs
+/// compare equal regardless of the update history that produced them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Vertices per vertex label (the label histogram).
+    pub vlabel_counts: BTreeMap<VertexLabel, u64>,
+    /// Undirected edges per edge label.
+    pub elabel_counts: BTreeMap<EdgeLabel, u64>,
+    /// Incident `(vertex, l-labeled edge)` pairs per `(vertex label, edge
+    /// label)` — the per-label degree mass. Divided by the label's vertex
+    /// count this is the average label-`l` degree of an `L`-labeled vertex.
+    pub endpoint_counts: BTreeMap<(VertexLabel, EdgeLabel), u64>,
+    /// Edge-label / vertex-label co-occurrence: undirected edges per
+    /// [`TypedEdge`] class.
+    pub typed_edge_counts: BTreeMap<TypedEdge, u64>,
+    /// Total vertices.
+    pub n_vertices: u64,
+    /// Total undirected edges.
+    pub n_edges: u64,
+}
+
+impl GraphStats {
+    /// Compute the full catalog from `g` in one `O(V + E)` pass.
+    pub fn build(g: &Graph) -> Self {
+        let mut stats = GraphStats {
+            n_vertices: g.n_vertices() as u64,
+            n_edges: g.n_edges() as u64,
+            ..GraphStats::default()
+        };
+        for v in 0..g.n_vertices() as VertexId {
+            *stats.vlabel_counts.entry(g.vlabel(v)).or_insert(0) += 1;
+            for &(_, l) in g.neighbors(v) {
+                *stats.endpoint_counts.entry((g.vlabel(v), l)).or_insert(0) += 1;
+            }
+        }
+        for v in 0..g.n_vertices() as VertexId {
+            for &(w, l) in g.neighbors(v) {
+                if v <= w {
+                    *stats.elabel_counts.entry(l).or_insert(0) += 1;
+                    *stats
+                        .typed_edge_counts
+                        .entry(typed(g.vlabel(v), l, g.vlabel(w)))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// The catalog after absorbing `batch`, in `O(|batch|)` — no pass over
+    /// the graph. `updated` must be the graph *after* the batch was applied
+    /// (endpoint labels of inserted and removed edges are read from it;
+    /// vertex labels are immutable and removals never drop vertices, so the
+    /// updated graph answers for both). The result is bit-identical to
+    /// `GraphStats::build(updated)`.
+    pub fn refreshed(&self, updated: &Graph, batch: &UpdateBatch) -> Self {
+        let mut stats = self.clone();
+        for op in batch.ops() {
+            match *op {
+                GraphOp::AddVertex { label } => {
+                    stats.n_vertices += 1;
+                    *stats.vlabel_counts.entry(label).or_insert(0) += 1;
+                }
+                GraphOp::InsertEdge { u, v, label } => {
+                    stats.n_edges += 1;
+                    let (lu, lv) = (updated.vlabel(u), updated.vlabel(v));
+                    *stats.elabel_counts.entry(label).or_insert(0) += 1;
+                    *stats.endpoint_counts.entry((lu, label)).or_insert(0) += 1;
+                    *stats.endpoint_counts.entry((lv, label)).or_insert(0) += 1;
+                    *stats
+                        .typed_edge_counts
+                        .entry(typed(lu, label, lv))
+                        .or_insert(0) += 1;
+                }
+                GraphOp::RemoveEdge { u, v, label } => {
+                    stats.n_edges -= 1;
+                    let (lu, lv) = (updated.vlabel(u), updated.vlabel(v));
+                    decrement(&mut stats.elabel_counts, label);
+                    decrement(&mut stats.endpoint_counts, (lu, label));
+                    decrement(&mut stats.endpoint_counts, (lv, label));
+                    decrement(&mut stats.typed_edge_counts, typed(lu, label, lv));
+                }
+            }
+        }
+        stats
+    }
+
+    /// Vertices carrying `label` (0 when the label is absent).
+    pub fn vlabel_count(&self, label: VertexLabel) -> u64 {
+        self.vlabel_counts.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Undirected edges carrying `label` (0 when absent).
+    pub fn elabel_count(&self, label: EdgeLabel) -> u64 {
+        self.elabel_counts.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Undirected edges in the typed class `(l, {l1, l2})`.
+    pub fn typed_edge_count(&self, l1: VertexLabel, l: EdgeLabel, l2: VertexLabel) -> u64 {
+        self.typed_edge_counts
+            .get(&typed(l1, l, l2))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Average number of `l`-labeled edges incident to a vertex labeled
+    /// `vl` (0 when no such vertex exists).
+    pub fn avg_label_degree(&self, vl: VertexLabel, l: EdgeLabel) -> f64 {
+        let n = self.vlabel_count(vl);
+        if n == 0 {
+            return 0.0;
+        }
+        self.endpoint_counts.get(&(vl, l)).copied().unwrap_or(0) as f64 / n as f64
+    }
+
+    /// Probability that a *specific* `(L1, L2)`-labeled vertex pair is
+    /// joined by an `l`-labeled edge, under the uniform model: directed
+    /// typed-edge endpoints over the number of ordered label pairs. Clamped
+    /// to `[0, 1]`; 0 when either label class is empty.
+    pub fn typed_edge_probability(&self, l1: VertexLabel, l: EdgeLabel, l2: VertexLabel) -> f64 {
+        let (n1, n2) = (self.vlabel_count(l1), self.vlabel_count(l2));
+        if n1 == 0 || n2 == 0 {
+            return 0.0;
+        }
+        let edges = self.typed_edge_count(l1, l, l2) as f64;
+        // Each undirected edge realizes one unordered endpoint pair; for
+        // same-label classes the pair universe is n*(n-1)/2, across classes
+        // it is n1*n2.
+        let pairs = if l1 == l2 {
+            (n1 as f64) * (n1 as f64 - 1.0) / 2.0
+        } else {
+            n1 as f64 * n2 as f64
+        };
+        if pairs <= 0.0 {
+            return if edges > 0.0 { 1.0 } else { 0.0 };
+        }
+        (edges / pairs).clamp(0.0, 1.0)
+    }
+
+    /// Relative drift between two catalogs over the same label universe:
+    /// the summed absolute counter difference divided by the summed counter
+    /// mass, in `[0, 1]` (0 = identical, 1 = nothing in common). The
+    /// serving layer compares this against its replan threshold when an
+    /// epoch is published: small drift keeps cached join orders valid
+    /// bets, large drift forces re-costing.
+    pub fn drift(&self, other: &GraphStats) -> f64 {
+        let mut diff = 0u64;
+        let mut mass = 0u64;
+        accumulate_drift(
+            &self.vlabel_counts,
+            &other.vlabel_counts,
+            &mut diff,
+            &mut mass,
+        );
+        accumulate_drift(
+            &self.elabel_counts,
+            &other.elabel_counts,
+            &mut diff,
+            &mut mass,
+        );
+        accumulate_drift(
+            &self.endpoint_counts,
+            &other.endpoint_counts,
+            &mut diff,
+            &mut mass,
+        );
+        accumulate_drift(
+            &self.typed_edge_counts,
+            &other.typed_edge_counts,
+            &mut diff,
+            &mut mass,
+        );
+        if mass == 0 {
+            return 0.0;
+        }
+        (diff as f64 / mass as f64).clamp(0.0, 1.0)
+    }
+}
+
+fn typed(l1: VertexLabel, l: EdgeLabel, l2: VertexLabel) -> TypedEdge {
+    (l, l1.min(l2), l1.max(l2))
+}
+
+/// Decrement a counter, dropping the key at zero so incrementally
+/// maintained maps stay bit-identical to cold-built ones.
+fn decrement<K: Ord>(map: &mut BTreeMap<K, u64>, key: K) {
+    if let Some(c) = map.get_mut(&key) {
+        *c -= 1;
+        if *c == 0 {
+            map.remove(&key);
+        }
+    }
+}
+
+/// Fold one counter family into the running drift sums: `diff` gets the
+/// symmetric difference, `mass` the larger of the two counts per key.
+fn accumulate_drift<K: Ord + Copy>(
+    a: &BTreeMap<K, u64>,
+    b: &BTreeMap<K, u64>,
+    diff: &mut u64,
+    mass: &mut u64,
+) {
+    for (k, &ca) in a {
+        let cb = b.get(k).copied().unwrap_or(0);
+        *diff += ca.abs_diff(cb);
+        *mass += ca.max(cb);
+    }
+    for (k, &cb) in b {
+        if !a.contains_key(k) {
+            *diff += cb;
+            *mass += cb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::update::UpdateBatch;
+
+    /// Two A vertices, three B, one C; edges: A-B x3 on label 0,
+    /// B-B on label 1, B-C on label 2.
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex(0);
+        let a1 = b.add_vertex(0);
+        let b0 = b.add_vertex(1);
+        let b1 = b.add_vertex(1);
+        let b2 = b.add_vertex(1);
+        let c0 = b.add_vertex(2);
+        b.add_edge(a0, b0, 0);
+        b.add_edge(a0, b1, 0);
+        b.add_edge(a1, b2, 0);
+        b.add_edge(b0, b1, 1);
+        b.add_edge(b2, c0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn build_counts_everything_exactly() {
+        let s = GraphStats::build(&sample());
+        assert_eq!(s.n_vertices, 6);
+        assert_eq!(s.n_edges, 5);
+        assert_eq!(s.vlabel_count(0), 2);
+        assert_eq!(s.vlabel_count(1), 3);
+        assert_eq!(s.vlabel_count(2), 1);
+        assert_eq!(s.vlabel_count(9), 0);
+        assert_eq!(s.elabel_count(0), 3);
+        assert_eq!(s.elabel_count(1), 1);
+        assert_eq!(s.elabel_count(2), 1);
+        assert_eq!(s.typed_edge_count(0, 0, 1), 3);
+        assert_eq!(s.typed_edge_count(1, 0, 0), 3, "endpoint order irrelevant");
+        assert_eq!(s.typed_edge_count(1, 1, 1), 1);
+        assert_eq!(s.typed_edge_count(1, 2, 2), 1);
+        assert_eq!(s.typed_edge_count(0, 2, 2), 0);
+        // Degree mass: A vertices carry 3 label-0 endpoints, B vertices 3.
+        assert_eq!(s.endpoint_counts[&(0, 0)], 3);
+        assert_eq!(s.endpoint_counts[&(1, 0)], 3);
+        assert_eq!(s.endpoint_counts[&(1, 1)], 2);
+    }
+
+    #[test]
+    fn derived_estimates() {
+        let s = GraphStats::build(&sample());
+        assert!((s.avg_label_degree(0, 0) - 1.5).abs() < 1e-12);
+        assert!((s.avg_label_degree(1, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.avg_label_degree(7, 0), 0.0);
+        // 3 A-B label-0 edges over 2x3 ordered pairs.
+        assert!((s.typed_edge_probability(0, 0, 1) - 0.5).abs() < 1e-12);
+        assert!((s.typed_edge_probability(1, 0, 0) - 0.5).abs() < 1e-12);
+        // B-B label-1: 1 edge over 3 unordered pairs.
+        assert!((s.typed_edge_probability(1, 1, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.typed_edge_probability(5, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn refreshed_matches_cold_rebuild() {
+        let g = sample();
+        let s = GraphStats::build(&g);
+        let mut batch = UpdateBatch::new();
+        batch
+            .add_vertex(2)
+            .insert_edge(5, 6, 2)
+            .remove_edge(0, 2, 0)
+            .insert_edge(0, 5, 3);
+        let updated = g.apply_updates(&batch).expect("valid");
+        let refreshed = s.refreshed(&updated, &batch);
+        assert_eq!(refreshed, GraphStats::build(&updated), "bit-identical");
+    }
+
+    #[test]
+    fn refreshed_drops_zeroed_keys() {
+        let g = sample();
+        let s = GraphStats::build(&g);
+        let mut batch = UpdateBatch::new();
+        batch.remove_edge(2, 3, 1); // the only label-1 edge
+        let updated = g.apply_updates(&batch).expect("valid");
+        let refreshed = s.refreshed(&updated, &batch);
+        assert!(!refreshed.elabel_counts.contains_key(&1));
+        assert!(!refreshed.typed_edge_counts.contains_key(&(1, 1, 1)));
+        assert_eq!(refreshed, GraphStats::build(&updated));
+    }
+
+    #[test]
+    fn drift_is_zero_for_equal_and_grows_with_change() {
+        let g = sample();
+        let s = GraphStats::build(&g);
+        assert_eq!(s.drift(&s), 0.0);
+
+        let mut small = UpdateBatch::new();
+        small.remove_edge(2, 3, 1);
+        let g_small = g.apply_updates(&small).expect("valid");
+        let s_small = GraphStats::build(&g_small);
+
+        let mut big = UpdateBatch::new();
+        big.remove_edge(0, 2, 0)
+            .remove_edge(0, 3, 0)
+            .remove_edge(1, 4, 0)
+            .remove_edge(2, 3, 1);
+        let g_big = g.apply_updates(&big).expect("valid");
+        let s_big = GraphStats::build(&g_big);
+
+        let d_small = s.drift(&s_small);
+        let d_big = s.drift(&s_big);
+        assert!(d_small > 0.0 && d_small < d_big, "{d_small} vs {d_big}");
+        assert!(d_big <= 1.0);
+        // Drift is symmetric.
+        assert!((s.drift(&s_small) - s_small.drift(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::build(&g);
+        assert_eq!(s, GraphStats::default());
+        assert_eq!(s.drift(&s), 0.0);
+    }
+}

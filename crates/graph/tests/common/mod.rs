@@ -1,0 +1,21 @@
+//! Shared helpers for the gsi-graph property suites.
+
+/// Cases per property: 48 locally, raised by CI's update-fuzz job. In CI
+/// the variable must be set explicitly — a job that forgot to pin it would
+/// otherwise gate merges on the tiny local smoke size without anyone
+/// noticing, so failing early with a clear message wins.
+pub fn fuzz_cases() -> u32 {
+    match std::env::var("UPDATE_FUZZ_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("UPDATE_FUZZ_CASES must be an integer, got '{v}'")),
+        Err(_) => {
+            assert!(
+                std::env::var_os("CI").is_none() && std::env::var_os("GITHUB_ACTIONS").is_none(),
+                "UPDATE_FUZZ_CASES is unset in CI: pin the fuzz case count explicitly \
+                 (the local default of 48 is a smoke size, not a merge gate)"
+            );
+            48
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //!
 //! The CI `update-fuzz` job raises the case count through the
 //! `UPDATE_FUZZ_CASES` environment variable (seeds are fixed by the
-//! deterministic proptest runner, so every run explores the same cases).
+//! deterministic proptest runner, so every run explores the same cases);
+//! in CI an *unset* variable is a hard error, never a silent small run.
 
 use gsi_gpu_sim::{DeviceConfig, Gpu};
 use gsi_graph::generate::{erdos_renyi, LabelModel};
@@ -22,13 +23,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Cases per property: 48 locally, raised by CI's update-fuzz job.
-fn fuzz_cases() -> u32 {
-    std::env::var("UPDATE_FUZZ_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(48)
-}
+mod common;
+use common::fuzz_cases;
 
 /// Drive `rounds` random batches through `Graph::apply_updates` +
 /// `MultiPcsr::apply_updates` and return the final graph and store.

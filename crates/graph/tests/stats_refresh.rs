@@ -1,0 +1,92 @@
+//! Property test locking down incremental statistics maintenance: after
+//! any random interleaved sequence of edge insertions/removals and vertex
+//! additions, the incrementally-refreshed [`GraphStats`] catalog must be
+//! **bit-identical** to a cold [`GraphStats::build`] of the final graph —
+//! every counter map equal, zeroed keys dropped, derived estimates
+//! byte-for-byte the same. This is what lets the serving layer trust a
+//! catalog that has lived through thousands of epoch publications as much
+//! as a freshly built one.
+//!
+//! The CI `update-fuzz` job raises the case count through the
+//! `UPDATE_FUZZ_CASES` environment variable (seeds are fixed by the
+//! deterministic proptest runner, so every run explores the same cases);
+//! in CI an *unset* variable is a hard error, never a silent small run.
+
+use gsi_graph::generate::{erdos_renyi, LabelModel};
+use gsi_graph::stats::GraphStats;
+use gsi_graph::update::random_update_batch;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+mod common;
+use common::fuzz_cases;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    #[test]
+    fn incremental_stats_refresh_is_bit_identical_to_cold_rebuild(
+        seed in any::<u64>(),
+        n in 10usize..80,
+        edge_mult in 1usize..4,
+        n_elabels in 1usize..5,
+        rounds in 1usize..6,
+        batch_size in 1usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = LabelModel::uniform(3, n_elabels);
+        let mut g = erdos_renyi(n, n * edge_mult, &labels, &mut rng);
+        let mut stats = GraphStats::build(&g);
+
+        for round in 0..rounds {
+            let batch = random_update_batch(&g, batch_size, n_elabels as u32, &mut rng);
+            let g2 = g.apply_updates(&batch).expect("generated batch is valid");
+            let refreshed = stats.refreshed(&g2, &batch);
+            let cold = GraphStats::build(&g2);
+            // Bit-identical catalogs: every counter map, every total.
+            prop_assert_eq!(
+                &refreshed, &cold,
+                "round {}: incremental catalog diverged from cold rebuild", round
+            );
+            // And therefore every derived estimate.
+            for &(vl, el) in cold.endpoint_counts.keys() {
+                prop_assert_eq!(
+                    refreshed.avg_label_degree(vl, el).to_bits(),
+                    cold.avg_label_degree(vl, el).to_bits()
+                );
+            }
+            for &(el, l1, l2) in cold.typed_edge_counts.keys() {
+                prop_assert_eq!(
+                    refreshed.typed_edge_probability(l1, el, l2).to_bits(),
+                    cold.typed_edge_probability(l1, el, l2).to_bits()
+                );
+            }
+            // Drift against an equal catalog is exactly zero.
+            prop_assert_eq!(refreshed.drift(&cold), 0.0);
+            g = g2;
+            stats = refreshed;
+        }
+    }
+
+    #[test]
+    fn drift_is_bounded_and_symmetric(
+        seed in any::<u64>(),
+        n in 10usize..60,
+        batch_size in 1usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = LabelModel::uniform(3, 3);
+        let g = erdos_renyi(n, n * 2, &labels, &mut rng);
+        let a = GraphStats::build(&g);
+        let batch = random_update_batch(&g, batch_size, 3, &mut rng);
+        let g2 = g.apply_updates(&batch).expect("valid");
+        let b = GraphStats::build(&g2);
+        let d = a.drift(&b);
+        prop_assert!((0.0..=1.0).contains(&d), "drift out of range: {}", d);
+        prop_assert_eq!(d.to_bits(), b.drift(&a).to_bits(), "asymmetric drift");
+        if batch.is_empty() {
+            prop_assert_eq!(d, 0.0);
+        }
+    }
+}

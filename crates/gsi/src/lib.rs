@@ -69,9 +69,10 @@ pub use gsi_signature as signature;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gsi_core::{
-        BackendKind, BatchItem, BatchOutput, FilterCache, FilterStrategy, GraphOp, GsiConfig,
-        GsiEngine, JoinPlan, JoinScheme, LbParams, Matches, PlanError, QueryOptions, QueryOutput,
-        RunStats, SetOpStrategy, UpdateBatch, UpdateError, UpdateReport,
+        BackendKind, BatchItem, BatchOutput, ExplainPlan, FilterCache, FilterStrategy, GraphOp,
+        GraphStats, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams, Matches, PlanError,
+        PlannerKind, QueryOptions, QueryOutput, RunStats, SetOpStrategy, UpdateBatch, UpdateError,
+        UpdateReport,
     };
     pub use gsi_datasets::{DatasetKind, DatasetSpec};
     pub use gsi_gpu_sim::{DeviceConfig, Gpu};

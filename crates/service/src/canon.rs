@@ -272,6 +272,27 @@ pub fn canonicalize(query: &Graph) -> CanonicalQuery {
     CanonicalQuery { key, perm, exact }
 }
 
+/// Rebuild `g` with every vertex id mapped through `perm` (`perm[v]` is the
+/// new id of vertex `v`). Labels and edges are preserved; only the id space
+/// changes. Used to store plan-cache patterns in canonical vertex space so
+/// a cached plan can later be re-costed without the original query in hand.
+pub fn permuted_graph(g: &Graph, perm: &[VertexId]) -> Graph {
+    let n = g.n_vertices();
+    debug_assert_eq!(perm.len(), n);
+    let mut labels = vec![0u32; n];
+    for v in 0..n {
+        labels[perm[v] as usize] = g.vlabel(v as VertexId);
+    }
+    let mut b = gsi_graph::GraphBuilder::new();
+    for &l in &labels {
+        b.add_vertex(l);
+    }
+    for e in g.edges() {
+        b.add_edge(perm[e.u as usize], perm[e.v as usize], e.label);
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +404,21 @@ mod tests {
         let c = canonicalize(&b.build());
         assert!(c.exact);
         assert_eq!(c.perm, vec![0]);
+    }
+
+    #[test]
+    fn permuted_graph_maps_relabelings_onto_one_pattern() {
+        // Mapping each relabeling through its own canonical permutation
+        // must produce literally the same graph.
+        let (g1, g2) = (path(), path_relabeled());
+        let (c1, c2) = (canonicalize(&g1), canonicalize(&g2));
+        let p1 = permuted_graph(&g1, &c1.perm);
+        let p2 = permuted_graph(&g2, &c2.perm);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.n_edges(), g1.n_edges());
+        // Labels ride along with their vertices.
+        for v in 0..g1.n_vertices() as VertexId {
+            assert_eq!(p1.vlabel(c1.perm[v as usize]), g1.vlabel(v));
+        }
     }
 }

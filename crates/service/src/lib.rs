@@ -17,9 +17,12 @@
 //!   through the incremental re-prepare path (untouched PCSR label layers
 //!   are shared between epochs) and atomically publishes the next epoch —
 //!   in-flight queries finish against the epoch they pinned at submit,
-//!   while new queries see the update. Cached state tied to an old epoch is
-//!   never replayed against a new one, and [`ServiceStats`] attributes
-//!   every completion to the epoch it ran against.
+//!   while new queries see the update. Cached plans cross an epoch
+//!   boundary only deliberately: under the statistics-drift threshold
+//!   they migrate, past it each is *re-costed* against the new epoch's
+//!   statistics catalog (see [`GsiService::update_graph`]) — and
+//!   [`ServiceStats`] attributes every completion to the epoch it ran
+//!   against.
 //! * **[`QueryScheduler`]** (`scheduler`) — a bounded submission queue in
 //!   front of a worker-thread pool. The bound *is* the admission control:
 //!   a full queue rejects immediately ([`SubmitError::QueueFull`]) rather
@@ -88,7 +91,7 @@ pub use scheduler::{
 };
 pub use stats::{EpochStats, ServiceStats, ServiceStatsSnapshot};
 
-use gsi_core::{GsiConfig, GsiEngine};
+use gsi_core::{plan_join_estimated, GsiConfig, GsiEngine, JoinPlan, PlannerKind, PreparedData};
 use gsi_gpu_sim::{DeviceConfig, Gpu, StatsSnapshot};
 use gsi_graph::Graph;
 use parking_lot::Mutex;
@@ -119,6 +122,18 @@ pub struct ServiceConfig {
     pub default_deadline: Option<Duration>,
     /// Maximum number of cached plans (LRU beyond it).
     pub plan_cache_capacity: usize,
+    /// Statistics-drift threshold for cached-plan survival across epoch
+    /// publications (`GraphStats::drift`, in `[0, 1]`). When an update's
+    /// drift stays at or below this, the displaced epoch's cached plans
+    /// migrate to the new epoch untouched (the data barely moved, the
+    /// orders remain good bets); past it, each cached plan is **re-costed**
+    /// against the new statistics — re-planned from selectivity estimates,
+    /// kept only if the cheapest order is unchanged — so stale orders
+    /// cannot outlive the data layout that justified them. `0.0` re-costs
+    /// on every update. Only meaningful when the engine planner is
+    /// cost-based; a greedy-planner service drops displaced plans outright
+    /// (the pre-optimizer behavior).
+    pub replan_drift_threshold: f64,
     /// Host-thread budget shared by the intra-query worker pools of
     /// concurrently executing queries (engine backend `HostParallel`;
     /// ignored by `Serial`). Each running query holds a grant of
@@ -134,13 +149,17 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
-            engine: GsiConfig::gsi_opt(),
+            // The serving stack runs the cost-based optimizer by default:
+            // plan quality is the hot path's biggest lever, and the greedy
+            // planner stays available via `GsiConfig::with_planner`.
+            engine: GsiConfig::gsi_opt().with_planner(PlannerKind::CostBased),
             device: DeviceConfig::titan_xp(),
             workers: 0,
             queue_capacity: 256,
             batch_window: 8,
             default_deadline: None,
             plan_cache_capacity: 1024,
+            replan_drift_threshold: 0.25,
             intra_query_parallelism: 0,
         }
     }
@@ -151,13 +170,14 @@ impl ServiceConfig {
     /// single-threaded test device, 2 workers, a short queue.
     pub fn for_tests() -> Self {
         Self {
-            engine: GsiConfig::gsi(),
+            engine: GsiConfig::gsi().with_planner(PlannerKind::CostBased),
             device: DeviceConfig::test_device(),
             workers: 2,
             queue_capacity: 64,
             batch_window: 4,
             plan_cache_capacity: 64,
             default_deadline: None,
+            replan_drift_threshold: 0.25,
             intra_query_parallelism: 0,
         }
     }
@@ -170,6 +190,9 @@ pub(crate) struct ServiceCore {
     pub(crate) plan_cache: PlanCache,
     pub(crate) stats: ServiceStats,
     pub(crate) default_deadline: Option<Duration>,
+    /// Statistics-drift bar for cached-plan survival across epochs (see
+    /// [`ServiceConfig::replan_drift_threshold`]).
+    pub(crate) replan_drift_threshold: f64,
     /// Resolved intra-query thread budget (see
     /// [`ServiceConfig::intra_query_parallelism`]).
     pub(crate) intra_budget: usize,
@@ -210,6 +233,7 @@ impl GsiService {
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             stats: ServiceStats::new(),
             default_deadline: config.default_deadline,
+            replan_drift_threshold: config.replan_drift_threshold,
             intra_budget,
             busy_workers: std::sync::atomic::AtomicUsize::new(0),
             intra_granted: std::sync::atomic::AtomicUsize::new(0),
@@ -255,9 +279,22 @@ impl GsiService {
     ///
     /// Queries in flight keep the old epoch's data pinned and finish
     /// against it; queries submitted after this returns see the new epoch.
-    /// The old epoch's cached plans are dropped (its epoch can never be
-    /// looked up again) and the re-prepare's device work is attributed to
-    /// preparation, like registration's.
+    /// The re-prepare's device work is attributed to preparation, like
+    /// registration's.
+    ///
+    /// **Cached plans survive the publication when the data barely moved.**
+    /// The statistics catalogs of the two epochs are compared
+    /// (`GraphStats::drift`): at or below
+    /// [`ServiceConfig::replan_drift_threshold`], the displaced epoch's
+    /// cached join orders migrate to the new epoch untouched — recurring
+    /// patterns keep hitting the plan cache across a stream of small
+    /// updates. Past the threshold (and with the cost-based planner
+    /// configured), each cached plan is **re-costed**: re-planned from the
+    /// new epoch's statistics and signature-selectivity candidate
+    /// estimates, kept only if the cheapest order is unchanged, dropped
+    /// otherwise so the pattern's next occurrence re-plans against exact
+    /// candidates. A greedy-planner service drops displaced plans outright.
+    /// [`ServiceStats`] counts migrations, re-cost survivals, and drops.
     ///
     /// An **empty** batch is a cheap no-op: the current epoch stays
     /// published, nothing is re-prepared, and the epoch's cached plans and
@@ -277,10 +314,52 @@ impl GsiService {
         }
         let up = result?;
         if up.entry.epoch() != up.displaced.epoch() {
-            self.core.plan_cache.invalidate_scope(up.displaced.epoch());
+            self.carry_plans_across_epochs(&up.displaced, &up.entry);
             self.core.stats.retire_epoch(up.displaced.epoch());
         }
         Ok(up)
+    }
+
+    /// Decide the fate of `displaced`'s cached plans under `current` (see
+    /// [`GsiService::update_graph`]): migrate on small statistics drift,
+    /// re-cost past the threshold, drop wholesale for greedy services.
+    fn carry_plans_across_epochs(&self, displaced: &CatalogEntry, current: &CatalogEntry) {
+        let (old_scope, new_scope) = (displaced.epoch(), current.epoch());
+        if self.core.engine.config().planner != PlannerKind::CostBased {
+            self.core.plan_cache.invalidate_scope(old_scope);
+            return;
+        }
+        let drift = displaced
+            .prepared()
+            .stats()
+            .drift(current.prepared().stats());
+        if drift <= self.core.replan_drift_threshold {
+            let migrated = self.core.plan_cache.rekey_scope(old_scope, new_scope);
+            self.core.stats.record_plans_migrated(migrated as u64);
+            return;
+        }
+        // Drift past the bar: re-cost every cached order against the new
+        // statistics. Candidate sizes come from the selectivity estimator
+        // (no query is in flight, so no exact candidate sets exist).
+        let cfg = self.core.engine.config();
+        let prepared = current.prepared();
+        let density = prepared
+            .signature_table()
+            .map(|table| (table.group_density(), *table.config()));
+        let (kept, dropped) = self.core.plan_cache.recost_scope(
+            old_scope,
+            new_scope,
+            |pattern: &Graph, cached: &JoinPlan| {
+                let sizes = estimated_candidate_sizes(pattern, prepared, &density);
+                match plan_join_estimated(pattern, prepared.stats(), &sizes, cfg) {
+                    Ok((best, _)) => best.order == cached.order,
+                    Err(_) => false,
+                }
+            },
+        );
+        self.core
+            .stats
+            .record_plans_recosted(kept as u64, dropped as u64);
     }
 
     /// Unregister a graph and drop its cached plans.
@@ -344,6 +423,30 @@ impl GsiService {
     pub fn shutdown(mut self) {
         self.scheduler.shutdown();
     }
+}
+
+/// Candidate-size estimates for a pattern against prepared data, without
+/// running any filter: the signature-selectivity estimator when a signature
+/// table exists, the raw label-class sizes otherwise.
+fn estimated_candidate_sizes(
+    pattern: &Graph,
+    prepared: &PreparedData,
+    density: &Option<(gsi_signature::GroupDensity, gsi_signature::SignatureConfig)>,
+) -> Vec<f64> {
+    let stats = prepared.stats();
+    (0..pattern.n_vertices())
+        .map(|u| {
+            let u = u as gsi_graph::VertexId;
+            let class = stats.vlabel_count(pattern.vlabel(u));
+            match density {
+                Some((density, sig_cfg)) => {
+                    let sig = gsi_signature::encode::encode_vertex(pattern, u, sig_cfg);
+                    gsi_signature::estimate_candidates(&sig, class, density)
+                }
+                None => class as f64,
+            }
+        })
+        .collect()
 }
 
 // The whole service is shared across submitting threads.

@@ -12,8 +12,8 @@
 //! fallback permutation mismatch degrades to a cache miss, never to a wrong
 //! plan.
 
-use crate::canon::CanonicalQuery;
-use gsi_core::{JoinPlan, JoinStep, RunStats};
+use crate::canon::{permuted_graph, CanonicalQuery};
+use gsi_core::{JoinPlan, JoinStep, PlannerKind, RunStats};
 use gsi_graph::Graph;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -26,6 +26,12 @@ struct CacheEntry {
     /// Join plan with vertices in canonical ids. Per-pattern, not per-graph:
     /// entries are keyed by (graph epoch, pattern) at the map level.
     plan: JoinPlan,
+    /// The pattern itself in canonical vertex space — what the plan's
+    /// vertex ids refer to. Kept so the service can *re-cost* the plan
+    /// against a new epoch's statistics without any query in flight.
+    pattern: Graph,
+    /// Which planner computed the cached order.
+    planner: PlannerKind,
     /// Exponentially weighted estimate of the smallest candidate-set size
     /// observed for this pattern (the paper's min `|C(u)|`).
     min_candidate_ewma: f64,
@@ -53,6 +59,9 @@ pub struct PlanEstimates {
 pub struct CachedPlan {
     /// The cached join order, mapped into the querying graph's vertex ids.
     pub plan: JoinPlan,
+    /// Which planner computed the cached order (the provenance reported in
+    /// `QueryOutcome::planner_kind` on a hit).
+    pub planner: PlannerKind,
     /// Cross-run size estimates for the pattern.
     pub estimates: PlanEstimates,
 }
@@ -121,6 +130,7 @@ impl PlanCache {
         let hit = self.inner.lock().map.get(&key).map(|e| {
             (
                 e.plan.clone(),
+                e.planner,
                 PlanEstimates {
                     min_candidate: e.min_candidate_ewma,
                     n_matches: e.matches_ewma,
@@ -128,7 +138,7 @@ impl PlanCache {
                 },
             )
         });
-        let Some((canonical_plan, estimates)) = hit else {
+        let Some((canonical_plan, planner, estimates)) = hit else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
@@ -140,7 +150,11 @@ impl PlanCache {
             // it cannot serve.
             self.inner.lock().promote(key);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            Some(CachedPlan { plan, estimates })
+            Some(CachedPlan {
+                plan,
+                planner,
+                estimates,
+            })
         } else {
             // Key collision or non-exact canonical permutation: unusable.
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -149,8 +163,17 @@ impl PlanCache {
     }
 
     /// Record the plan a fresh run computed for `query`, folding the run's
-    /// candidate/match sizes into the pattern's estimates.
-    pub fn record(&self, scope: u64, canon: &CanonicalQuery, plan: &JoinPlan, stats: &RunStats) {
+    /// candidate/match sizes into the pattern's estimates. `planner` is the
+    /// provenance of the executed plan (reported back on later hits).
+    pub fn record(
+        &self,
+        scope: u64,
+        canon: &CanonicalQuery,
+        query: &Graph,
+        plan: &JoinPlan,
+        planner: PlannerKind,
+        stats: &RunStats,
+    ) {
         let key = (scope, canon.key);
         let mut state = self.inner.lock();
         if let Some(e) = state.map.get_mut(&key) {
@@ -166,6 +189,8 @@ impl PlanCache {
                 key,
                 CacheEntry {
                     plan: map_plan(plan, &canon.perm),
+                    pattern: permuted_graph(query, &canon.perm),
+                    planner,
                     min_candidate_ewma: stats.min_candidate as f64,
                     matches_ewma: stats.n_matches as f64,
                     runs: 1,
@@ -181,6 +206,91 @@ impl PlanCache {
             };
             state.map.remove(&victim);
         }
+    }
+
+    /// Move every entry under `from` to `to`, preserving plans, estimates,
+    /// and LRU position. Returns the number of entries migrated.
+    ///
+    /// The serving layer calls this when an epoch publication's statistics
+    /// drift stays under its replan threshold: the patterns did not change
+    /// and the data barely did, so the cached join orders remain good bets
+    /// under the new epoch — dropping them would re-plan every recurring
+    /// pattern for nothing. Lookups still validate every mapped plan with
+    /// `JoinPlan::covers`, so migration can never produce a wrong plan.
+    pub fn rekey_scope(&self, from: u64, to: u64) -> usize {
+        if from == to {
+            return 0;
+        }
+        let mut state = self.inner.lock();
+        let victims: Vec<(u64, u64)> = state
+            .map
+            .keys()
+            .filter(|&&(s, _)| s == from)
+            .copied()
+            .collect();
+        for key in &victims {
+            if let Some(entry) = state.map.remove(key) {
+                // Same tick, new key: LRU position carries over.
+                let new_key = (to, key.1);
+                state.order.insert(entry.last_used, new_key);
+                state.map.insert(new_key, entry);
+            }
+        }
+        victims.len()
+    }
+
+    /// Re-cost every entry under `from` for publication as `to`: `keep`
+    /// receives each entry's canonical pattern and cached canonical-space
+    /// plan and decides whether the order is still the right one under the
+    /// new epoch's statistics. Kept entries migrate (LRU position
+    /// preserved); rejected entries are dropped so the next occurrence of
+    /// the pattern re-plans against fresh statistics. Returns
+    /// `(kept, dropped)`.
+    ///
+    /// The `keep` callback may be expensive (the service runs full plan
+    /// enumeration in it), so it executes with **no cache lock held**:
+    /// the scope's entries are snapshotted, judged outside the lock, and
+    /// the verdicts committed in a second critical section. Lookups and
+    /// records on *other* scopes proceed untouched throughout. The `from`
+    /// scope is a retired epoch — nothing records into it concurrently —
+    /// so the snapshot cannot go stale between the two sections.
+    pub fn recost_scope(
+        &self,
+        from: u64,
+        to: u64,
+        mut keep: impl FnMut(&Graph, &JoinPlan) -> bool,
+    ) -> (usize, usize) {
+        let snapshot: Vec<((u64, u64), Graph, JoinPlan)> = {
+            let state = self.inner.lock();
+            state
+                .map
+                .iter()
+                .filter(|&(&(s, _), _)| s == from)
+                .map(|(k, e)| (*k, e.pattern.clone(), e.plan.clone()))
+                .collect()
+        };
+        let verdicts: Vec<((u64, u64), bool)> = snapshot
+            .into_iter()
+            .map(|(key, pattern, plan)| (key, from != to && keep(&pattern, &plan)))
+            .collect();
+
+        let mut state = self.inner.lock();
+        let (mut kept, mut dropped) = (0usize, 0usize);
+        for (key, survives) in verdicts {
+            if let Some(entry) = state.map.remove(&key) {
+                let tick = entry.last_used;
+                state.order.remove(&tick);
+                if survives {
+                    let new_key = (to, key.1);
+                    state.order.insert(tick, new_key);
+                    state.map.insert(new_key, entry);
+                    kept += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        }
+        (kept, dropped)
     }
 
     /// Drop every entry under `scope` (a graph was unregistered/replaced).
@@ -299,7 +409,14 @@ mod tests {
         let q1 = path([0, 1, 2]);
         let c1 = canonicalize(&q1);
         assert!(cache.lookup(0, &c1, &q1).is_none());
-        cache.record(0, &c1, &plan_for(&q1), &stats(5, 2));
+        cache.record(
+            0,
+            &c1,
+            &q1,
+            &plan_for(&q1),
+            PlannerKind::Greedy,
+            &stats(5, 2),
+        );
 
         let q2 = path([2, 0, 1]);
         let c2 = canonicalize(&q2);
@@ -316,7 +433,7 @@ mod tests {
         let cache = PlanCache::new(8);
         let q = path([0, 1, 2]);
         let c = canonicalize(&q);
-        cache.record(1, &c, &plan_for(&q), &stats(1, 1));
+        cache.record(1, &c, &q, &plan_for(&q), PlannerKind::Greedy, &stats(1, 1));
         assert!(cache.lookup(2, &c, &q).is_none(), "other graph: miss");
         assert!(cache.lookup(1, &c, &q).is_some());
         cache.invalidate_scope(1);
@@ -329,8 +446,8 @@ mod tests {
         let q = path([0, 1, 2]);
         let c = canonicalize(&q);
         let p = plan_for(&q);
-        cache.record(0, &c, &p, &stats(10, 0));
-        cache.record(0, &c, &p, &stats(20, 0));
+        cache.record(0, &c, &q, &p, PlannerKind::CostBased, &stats(10, 0));
+        cache.record(0, &c, &q, &p, PlannerKind::CostBased, &stats(20, 0));
         let hit = cache.lookup(0, &c, &q).expect("hit");
         assert_eq!(hit.estimates.runs, 2);
         assert!((hit.estimates.min_candidate - 13.0).abs() < 1e-9); // 10*0.7 + 20*0.3
@@ -351,7 +468,14 @@ mod tests {
             .collect();
         let cs: Vec<CanonicalQuery> = qs.iter().map(canonicalize).collect();
         for (q, c) in qs.iter().zip(&cs) {
-            cache.record(0, c, &plan_for_edge(q), &stats(1, 1));
+            cache.record(
+                0,
+                c,
+                q,
+                &plan_for_edge(q),
+                PlannerKind::Greedy,
+                &stats(1, 1),
+            );
         }
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup(0, &cs[0], &qs[0]).is_none(), "evicted");
@@ -371,12 +495,33 @@ mod tests {
             })
             .collect();
         let cs: Vec<CanonicalQuery> = qs.iter().map(canonicalize).collect();
-        cache.record(0, &cs[0], &plan_for_edge(&qs[0]), &stats(1, 1));
-        cache.record(0, &cs[1], &plan_for_edge(&qs[1]), &stats(1, 1));
+        cache.record(
+            0,
+            &cs[0],
+            &qs[0],
+            &plan_for_edge(&qs[0]),
+            PlannerKind::Greedy,
+            &stats(1, 1),
+        );
+        cache.record(
+            0,
+            &cs[1],
+            &qs[1],
+            &plan_for_edge(&qs[1]),
+            PlannerKind::Greedy,
+            &stats(1, 1),
+        );
         // Touch entry 0: it becomes most-recently-used, so inserting a
         // third entry must evict entry 1, not entry 0.
         assert!(cache.lookup(0, &cs[0], &qs[0]).is_some());
-        cache.record(0, &cs[2], &plan_for_edge(&qs[2]), &stats(1, 1));
+        cache.record(
+            0,
+            &cs[2],
+            &qs[2],
+            &plan_for_edge(&qs[2]),
+            PlannerKind::Greedy,
+            &stats(1, 1),
+        );
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup(0, &cs[0], &qs[0]).is_some(), "promoted: kept");
         assert!(cache.lookup(0, &cs[1], &qs[1]).is_none(), "LRU: evicted");
@@ -387,8 +532,22 @@ mod tests {
         let cache = PlanCache::new(2);
         let q0 = path([0, 1, 2]);
         let c0 = canonicalize(&q0);
-        cache.record(1, &c0, &plan_for(&q0), &stats(1, 1));
-        cache.record(2, &c0, &plan_for(&q0), &stats(1, 1));
+        cache.record(
+            1,
+            &c0,
+            &q0,
+            &plan_for(&q0),
+            PlannerKind::Greedy,
+            &stats(1, 1),
+        );
+        cache.record(
+            2,
+            &c0,
+            &q0,
+            &plan_for(&q0),
+            PlannerKind::Greedy,
+            &stats(1, 1),
+        );
         cache.invalidate_scope(1);
         assert_eq!(cache.len(), 1);
         // Two fresh inserts after invalidation: eviction must pick the
@@ -403,12 +562,72 @@ mod tests {
             })
             .collect();
         let cs: Vec<CanonicalQuery> = qs.iter().map(canonicalize).collect();
-        cache.record(3, &cs[0], &plan_for_edge(&qs[0]), &stats(1, 1));
-        cache.record(3, &cs[1], &plan_for_edge(&qs[1]), &stats(1, 1));
+        cache.record(
+            3,
+            &cs[0],
+            &qs[0],
+            &plan_for_edge(&qs[0]),
+            PlannerKind::Greedy,
+            &stats(1, 1),
+        );
+        cache.record(
+            3,
+            &cs[1],
+            &qs[1],
+            &plan_for_edge(&qs[1]),
+            PlannerKind::Greedy,
+            &stats(1, 1),
+        );
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup(2, &c0, &q0).is_none(), "oldest evicted");
         assert!(cache.lookup(3, &cs[0], &qs[0]).is_some());
         assert!(cache.lookup(3, &cs[1], &qs[1]).is_some());
+    }
+
+    #[test]
+    fn rekey_scope_migrates_entries_with_lru_position() {
+        let cache = PlanCache::new(8);
+        let q = path([0, 1, 2]);
+        let c = canonicalize(&q);
+        cache.record(
+            1,
+            &c,
+            &q,
+            &plan_for(&q),
+            PlannerKind::CostBased,
+            &stats(5, 2),
+        );
+        assert_eq!(cache.rekey_scope(1, 9), 1);
+        assert!(cache.lookup(1, &c, &q).is_none(), "old scope emptied");
+        let hit = cache.lookup(9, &c, &q).expect("migrated entry hits");
+        assert_eq!(hit.planner, PlannerKind::CostBased);
+        assert_eq!(hit.estimates.min_candidate, 5.0, "estimates ride along");
+        assert_eq!(cache.rekey_scope(3, 4), 0, "empty scope migrates nothing");
+        assert_eq!(cache.rekey_scope(9, 9), 0, "same-scope rekey is a no-op");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn recost_scope_keeps_or_drops_by_callback() {
+        let cache = PlanCache::new(8);
+        let q = path([0, 1, 2]);
+        let c = canonicalize(&q);
+        let p = plan_for(&q);
+        cache.record(1, &c, &q, &p, PlannerKind::CostBased, &stats(1, 1));
+
+        // The callback sees the canonical-space pattern and plan.
+        let (kept, dropped) = cache.recost_scope(1, 2, |pattern, plan| {
+            assert_eq!(pattern.n_vertices(), 3);
+            assert!(plan.covers(pattern), "canonical plan covers its pattern");
+            true
+        });
+        assert_eq!((kept, dropped), (1, 0));
+        assert!(cache.lookup(2, &c, &q).is_some());
+
+        let (kept, dropped) = cache.recost_scope(2, 3, |_, _| false);
+        assert_eq!((kept, dropped), (0, 1));
+        assert!(cache.lookup(3, &c, &q).is_none(), "rejected entry dropped");
+        assert!(cache.is_empty());
     }
 
     fn plan_for_edge(q: &Graph) -> JoinPlan {

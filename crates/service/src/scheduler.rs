@@ -40,7 +40,7 @@ use crate::canon::canonicalize;
 use crate::catalog::CatalogEntry;
 use crate::plan_cache::PlanEstimates;
 use crate::ServiceCore;
-use gsi_core::{BackendKind, FilterCache, PlanError, QueryOptions, QueryOutput};
+use gsi_core::{BackendKind, FilterCache, PlanError, PlannerKind, QueryOptions, QueryOutput};
 use gsi_graph::Graph;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -148,6 +148,13 @@ pub struct QueryOutcome {
     pub epoch: u64,
     /// Whether the join order came from the plan cache.
     pub plan_cache_hit: bool,
+    /// Which planner produced the executed join order: the run's planner
+    /// for fresh plans, the recorded provenance for cache hits.
+    pub planner_kind: PlannerKind,
+    /// Mean q-error of the executed plan's cardinality estimates
+    /// (estimated vs. actual intermediate rows per join position; 1.0 =
+    /// perfect). `None` when the run executed no join position.
+    pub estimation_error: Option<f64>,
     /// Cross-run size estimates for the pattern, when cached.
     pub estimates: Option<PlanEstimates>,
     /// Intra-query worker threads granted to this run by the scheduler's
@@ -606,19 +613,35 @@ fn run_job(
         .get(entry.name())
         .is_some_and(|cur| cur.epoch() == scope);
     if !output.stats.timed_out && scope_current {
-        core.plan_cache
-            .record(scope, &canon, &output.plan, &output.stats);
+        core.plan_cache.record(
+            scope,
+            &canon,
+            &job.query,
+            &output.plan,
+            output.planner,
+            &output.stats,
+        );
     }
 
     let plan_cache_hit = output.plan_reused;
+    // Provenance: a cache hit executed the order its entry recorded; a
+    // fresh run executed whatever the engine's resolved planner produced.
+    let planner_kind = match &cached {
+        Some(c) if plan_cache_hit => c.planner,
+        _ => output.planner,
+    };
+    let estimation_error = output.explain.mean_q_error();
     let latency = job.submitted.elapsed();
     core.stats.record_completed(scope, latency, &output.stats);
+    core.stats.record_planned(planner_kind, estimation_error);
     let _ = job.tx.send(QueryResponse {
         graph,
         result: Ok(QueryOutcome {
             output,
             epoch: scope,
             plan_cache_hit,
+            planner_kind,
+            estimation_error,
             estimates: cached.map(|c| c.estimates),
             intra_threads,
             batch_size,

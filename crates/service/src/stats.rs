@@ -7,7 +7,7 @@
 //! and [`ServiceStatsSnapshot::merge`]-able, so multi-service deployments
 //! can be reported as one fleet.
 
-use gsi_core::RunStats;
+use gsi_core::{PlannerKind, RunStats};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +40,16 @@ pub struct ServiceStats {
     batched_queries: AtomicU64,
     filter_demands_computed: AtomicU64,
     filter_demands_reused: AtomicU64,
+    planned_greedy: AtomicU64,
+    planned_cost_based: AtomicU64,
+    plans_migrated: AtomicU64,
+    plans_recost_kept: AtomicU64,
+    plans_recost_dropped: AtomicU64,
+    /// Summed mean q-errors of served queries' cardinality estimates (the
+    /// divisor is `estimation_samples`); mutex-guarded because f64 has no
+    /// atomic add.
+    estimation_error_sum: Mutex<f64>,
+    estimation_samples: AtomicU64,
     /// End-to-end (submit → response) latencies of *served* queries, in
     /// microseconds. Failed queries (deadline expiry, worker panic) are
     /// counted but kept out of the percentile reservoir so p50/p99 reflect
@@ -95,6 +105,13 @@ impl ServiceStats {
             batched_queries: AtomicU64::new(0),
             filter_demands_computed: AtomicU64::new(0),
             filter_demands_reused: AtomicU64::new(0),
+            planned_greedy: AtomicU64::new(0),
+            planned_cost_based: AtomicU64::new(0),
+            plans_migrated: AtomicU64::new(0),
+            plans_recost_kept: AtomicU64::new(0),
+            plans_recost_dropped: AtomicU64::new(0),
+            estimation_error_sum: Mutex::new(0.0),
+            estimation_samples: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
             run_totals: Mutex::new(RunStats::default()),
             per_epoch: Mutex::new(BTreeMap::new()),
@@ -145,6 +162,34 @@ impl ServiceStats {
             .fetch_add(reused, Ordering::Relaxed);
     }
 
+    /// A served query executed a join order of the given provenance;
+    /// `estimation_error` is its plan's mean q-error when the run executed
+    /// at least one join position.
+    pub fn record_planned(&self, planner: PlannerKind, estimation_error: Option<f64>) {
+        match planner {
+            PlannerKind::Greedy => self.planned_greedy.fetch_add(1, Ordering::Relaxed),
+            PlannerKind::CostBased => self.planned_cost_based.fetch_add(1, Ordering::Relaxed),
+        };
+        if let Some(err) = estimation_error {
+            *self.estimation_error_sum.lock() += err;
+            self.estimation_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// An epoch publication under the drift threshold migrated `n` cached
+    /// plans to the new epoch.
+    pub fn record_plans_migrated(&self, n: u64) {
+        self.plans_migrated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// An epoch publication past the drift threshold re-costed cached
+    /// plans: `kept` survived (cheapest order unchanged), `dropped` did not.
+    pub fn record_plans_recosted(&self, kept: u64, dropped: u64) {
+        self.plans_recost_kept.fetch_add(kept, Ordering::Relaxed);
+        self.plans_recost_dropped
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+
     /// A query ran to completion (`stats` is its engine run report).
     /// `epoch` is the catalog epoch whose data the query pinned.
     pub fn record_completed(&self, epoch: u64, latency: Duration, stats: &RunStats) {
@@ -165,7 +210,7 @@ impl ServiceStats {
 
     /// Mark an epoch retired (displaced by an update or re-registration,
     /// or unregistered): its counters become evictable, and the oldest
-    /// retired epochs beyond [`RETIRED_EPOCH_CAP`] are dropped. Live
+    /// retired epochs beyond the retention cap are dropped. Live
     /// epochs are never evicted, so per-epoch attribution stays exact for
     /// every graph still serving.
     pub fn retire_epoch(&self, epoch: u64) {
@@ -206,6 +251,13 @@ impl ServiceStats {
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
             filter_demands_computed: self.filter_demands_computed.load(Ordering::Relaxed),
             filter_demands_reused: self.filter_demands_reused.load(Ordering::Relaxed),
+            planned_greedy: self.planned_greedy.load(Ordering::Relaxed),
+            planned_cost_based: self.planned_cost_based.load(Ordering::Relaxed),
+            plans_migrated: self.plans_migrated.load(Ordering::Relaxed),
+            plans_recost_kept: self.plans_recost_kept.load(Ordering::Relaxed),
+            plans_recost_dropped: self.plans_recost_dropped.load(Ordering::Relaxed),
+            estimation_error_sum: *self.estimation_error_sum.lock(),
+            estimation_samples: self.estimation_samples.load(Ordering::Relaxed),
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             run_totals: self.run_totals.lock().clone(),
@@ -249,6 +301,26 @@ pub struct ServiceStatsSnapshot {
     /// Filter-demand lookups served from a batch's shared cache (each
     /// skipped a pass; singleton runs are not counted).
     pub filter_demands_reused: u64,
+    /// Served queries whose executed join order came from the greedy
+    /// planner (Algorithm 2) — fresh runs and cache hits alike.
+    pub planned_greedy: u64,
+    /// Served queries whose executed join order came from the cost-based
+    /// optimizer.
+    pub planned_cost_based: u64,
+    /// Cached plans migrated across an epoch publication whose statistics
+    /// drift stayed under the replan threshold.
+    pub plans_migrated: u64,
+    /// Cached plans that survived re-costing at a past-threshold epoch
+    /// publication (cheapest order unchanged under the new statistics).
+    pub plans_recost_kept: u64,
+    /// Cached plans dropped by re-costing (the new statistics prefer a
+    /// different order; the pattern re-plans on next occurrence).
+    pub plans_recost_dropped: u64,
+    /// Summed per-query mean q-errors of cardinality estimates (see
+    /// [`ServiceStatsSnapshot::mean_estimation_error`]).
+    pub estimation_error_sum: f64,
+    /// Queries contributing to `estimation_error_sum`.
+    pub estimation_samples: u64,
     /// Plan-cache hits (filled in by the service, which owns the cache).
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
@@ -311,6 +383,13 @@ impl ServiceStatsSnapshot {
         }
     }
 
+    /// Mean q-error of served queries' per-plan cardinality estimates
+    /// (1.0 = perfect estimation); `None` before any join executed.
+    pub fn mean_estimation_error(&self) -> Option<f64> {
+        (self.estimation_samples > 0)
+            .then(|| self.estimation_error_sum / self.estimation_samples as f64)
+    }
+
     /// Fraction of multi-query-batch filter-demand lookups served from
     /// the shared cache instead of a fresh filter pass, in `[0, 1]`; 0
     /// when no multi-query batch ran.
@@ -337,6 +416,13 @@ impl ServiceStatsSnapshot {
         self.batched_queries += other.batched_queries;
         self.filter_demands_computed += other.filter_demands_computed;
         self.filter_demands_reused += other.filter_demands_reused;
+        self.planned_greedy += other.planned_greedy;
+        self.planned_cost_based += other.planned_cost_based;
+        self.plans_migrated += other.plans_migrated;
+        self.plans_recost_kept += other.plans_recost_kept;
+        self.plans_recost_dropped += other.plans_recost_dropped;
+        self.estimation_error_sum += other.estimation_error_sum;
+        self.estimation_samples += other.estimation_samples;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
         self.run_totals.accumulate(&other.run_totals);
@@ -389,6 +475,22 @@ impl std::fmt::Display for ServiceStatsSnapshot {
             self.filter_demands_reused,
             self.filter_demands_computed
         )?;
+        write!(
+            f,
+            "planner: {} cost-based / {} greedy",
+            self.planned_cost_based, self.planned_greedy
+        )?;
+        match self.mean_estimation_error() {
+            Some(err) => writeln!(f, "; mean q-error {err:.2}")?,
+            None => writeln!(f)?,
+        }
+        if self.plans_migrated + self.plans_recost_kept + self.plans_recost_dropped > 0 {
+            writeln!(
+                f,
+                "epoch plan carry-over: {} migrated, {} re-cost kept, {} re-cost dropped",
+                self.plans_migrated, self.plans_recost_kept, self.plans_recost_dropped
+            )?;
+        }
         if !self.per_epoch.is_empty() {
             let cells: Vec<String> = self
                 .per_epoch

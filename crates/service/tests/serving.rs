@@ -315,10 +315,13 @@ fn edge_query_ab() -> Graph {
     qb.build()
 }
 
-/// After an update, new queries re-plan under the new epoch (the old
-/// epoch's cached plans are invalidated, not replayed).
+/// After a past-threshold update, cached plans are *re-costed* under the
+/// new epoch's statistics: a plan whose cheapest order is unchanged is
+/// carried over (and keeps serving hits), never blindly replayed — the
+/// re-cost decision is observable in the service stats, and results stay
+/// correct against the new data.
 #[test]
-fn updates_invalidate_old_epoch_plans() {
+fn high_drift_updates_recost_old_epoch_plans() {
     let service = GsiService::new(test_service(1));
     let mut b = GraphBuilder::new();
     let v0 = b.add_vertex(0);
@@ -336,24 +339,128 @@ fn updates_invalidate_old_epoch_plans() {
     assert!(!first.plan_cache_hit);
     assert_eq!(service.plan_cache().len(), 1);
 
+    // Removing 1 of 2 edges moves the statistics catalog far past the
+    // 0.25 drift threshold: the blanket migration path must NOT run.
     let mut batch = UpdateBatch::new();
     batch.remove_edge(0, 2, 0);
     service.update_graph("g", &batch).expect("applies");
-    assert_eq!(service.plan_cache().len(), 0, "old epoch's plans dropped");
+    let snap = service.stats();
+    assert_eq!(snap.plans_migrated, 0, "drift too large to migrate blindly");
+    assert_eq!(
+        snap.plans_recost_kept + snap.plans_recost_dropped,
+        1,
+        "the cached plan was re-costed"
+    );
+
+    // Either way the next query answers correctly against the new data; a
+    // re-cost survivor serves it as a hit, a dropped plan re-plans.
+    let second = service
+        .query_blocking(QueryRequest::new("g", edge_query_ab()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert_eq!(second.output.matches.len(), 1, "new epoch's data");
+    assert_eq!(
+        second.plan_cache_hit,
+        snap.plans_recost_kept == 1,
+        "hit iff the re-cost kept the order"
+    );
+    let third = service
+        .query_blocking(QueryRequest::new("g", edge_query_ab()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(
+        third.plan_cache_hit,
+        "the pattern is cached again either way"
+    );
+}
+
+/// A small update (statistics drift under the threshold) migrates cached
+/// plans to the new epoch: recurring patterns keep hitting the plan cache
+/// across a stream of minor mutations instead of re-planning after each.
+#[test]
+fn low_drift_updates_migrate_cached_plans() {
+    let service = GsiService::new(test_service(1));
+    // A larger graph so one extra edge is a tiny relative drift.
+    let mut b = GraphBuilder::new();
+    let v0 = b.add_vertex(0);
+    let bs: Vec<u32> = (0..24).map(|_| b.add_vertex(1)).collect();
+    let cs: Vec<u32> = (0..24).map(|_| b.add_vertex(2)).collect();
+    for (i, &vb) in bs.iter().enumerate() {
+        b.add_edge(v0, vb, 0);
+        b.add_edge(vb, cs[i], 1);
+    }
+    service.register_graph("g", b.build());
+
+    let first = service
+        .query_blocking(QueryRequest::new("g", edge_query_ab()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(!first.plan_cache_hit);
+    assert_eq!(service.plan_cache().len(), 1);
+
+    let mut batch = UpdateBatch::new();
+    batch.insert_edge(bs[0], cs[1], 1);
+    let up = service.update_graph("g", &batch).expect("applies");
+    assert_ne!(up.entry.epoch(), up.displaced.epoch(), "epoch bumped");
+
+    let snap = service.stats();
+    assert_eq!(snap.plans_migrated, 1, "plan carried to the new epoch");
+    assert_eq!(snap.plans_recost_kept + snap.plans_recost_dropped, 0);
+    assert_eq!(service.plan_cache().len(), 1);
 
     let second = service
         .query_blocking(QueryRequest::new("g", edge_query_ab()))
         .unwrap()
         .result
         .unwrap();
-    assert!(!second.plan_cache_hit, "new epoch misses, re-plans");
-    assert_eq!(second.output.matches.len(), 1);
-    let third = service
+    assert!(second.plan_cache_hit, "migrated plan serves the new epoch");
+    assert_eq!(second.epoch, up.entry.epoch());
+    assert_eq!(second.output.matches.len(), 24);
+}
+
+/// Serving outcomes carry planner provenance and estimation quality: the
+/// default service plans cost-based, hits report the cached provenance,
+/// and the stats ledger aggregates both.
+#[test]
+fn outcomes_report_planner_kind_and_estimation_error() {
+    use gsi_core::PlannerKind;
+    let service = GsiService::new(test_service(1));
+    let mut b = GraphBuilder::new();
+    let v0 = b.add_vertex(0);
+    let v1 = b.add_vertex(1);
+    let v2 = b.add_vertex(1);
+    b.add_edge(v0, v1, 0);
+    b.add_edge(v0, v2, 0);
+    service.register_graph("g", b.build());
+
+    let first = service
         .query_blocking(QueryRequest::new("g", edge_query_ab()))
         .unwrap()
         .result
         .unwrap();
-    assert!(third.plan_cache_hit, "new epoch's plan now cached");
+    assert_eq!(first.planner_kind, PlannerKind::CostBased);
+    let err = first.estimation_error.expect("join positions executed");
+    assert!(err >= 1.0, "q-error is at least 1: {err}");
+
+    let second = service
+        .query_blocking(QueryRequest::new("g", edge_query_ab()))
+        .unwrap()
+        .result
+        .unwrap();
+    assert!(second.plan_cache_hit);
+    assert_eq!(
+        second.planner_kind,
+        PlannerKind::CostBased,
+        "hits report the cached plan's provenance"
+    );
+
+    let snap = service.stats();
+    assert_eq!(snap.planned_cost_based, 2);
+    assert_eq!(snap.planned_greedy, 0);
+    assert!(snap.mean_estimation_error().expect("samples") >= 1.0);
 }
 
 /// Batched execution is invisible in results: queries drained into one

@@ -19,6 +19,12 @@
 //!                       the greedy heuristic on a skewed-label workload,
 //!                       equivalence-gated on deterministic device counters;
 //!                       writes BENCH_PR5.json)
+//!   observe            (repo perf trajectory: per-query tracing overhead —
+//!                       baseline vs TraceConfig::Off vs TraceConfig::On on
+//!                       the PR 2 and PR 5 join workloads, equivalence-gated
+//!                       on match tables and device counters, plus a traced
+//!                       service-layer pass over the metrics exporters and
+//!                       flight recorder; writes BENCH_PR6.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -38,9 +44,12 @@
 //!                      join orders (optimize, default 1.5); 0 disables
 //!   --min-work-ratio <f> required deterministic join-work ratio, greedy
 //!                      over costed (optimize only, default 1.5)
+//!   --max-overhead <f> allowed enabled-tracing join-wall overhead as a
+//!                      fraction (observe only, default 0.05); 0 keeps only
+//!                      the deterministic counter-equality gates
 //!   --out <path>       report path (backend: BENCH_PR2.json,
 //!                      update-churn: BENCH_PR3.json, batch: BENCH_PR4.json,
-//!                      optimize: BENCH_PR5.json)
+//!                      optimize: BENCH_PR5.json, observe: BENCH_PR6.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -48,11 +57,11 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|observe|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
          [--timeout MS] [--cpu-timeout MS] [--threads N] [--latency NS] \
          [--rounds N] [--batch N] [--pool N] [--min-speedup F] \
-         [--min-work-ratio F] [--out PATH]"
+         [--min-work-ratio F] [--max-overhead F] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -71,6 +80,7 @@ fn main() {
     let mut pool = 4usize;
     let mut min_speedup: Option<f64> = None;
     let mut min_work_ratio = 1.5f64;
+    let mut max_overhead = 0.05f64;
     let mut out_path: Option<String> = None;
 
     let mut i = 1;
@@ -91,6 +101,7 @@ fn main() {
             "--pool" => pool = val.parse().unwrap_or_else(|_| usage()),
             "--min-speedup" => min_speedup = Some(val.parse().unwrap_or_else(|_| usage())),
             "--min-work-ratio" => min_work_ratio = val.parse().unwrap_or_else(|_| usage()),
+            "--max-overhead" => max_overhead = val.parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(val.clone()),
             _ => usage(),
         }
@@ -140,6 +151,11 @@ fn main() {
             min_speedup.unwrap_or(1.5),
             min_work_ratio,
             out_path.as_deref().unwrap_or("BENCH_PR5.json"),
+        ),
+        "observe" => experiments::observe(
+            &opts,
+            max_overhead,
+            out_path.as_deref().unwrap_or("BENCH_PR6.json"),
         ),
         "all" => experiments::all(&opts),
         _ => usage(),

@@ -116,7 +116,10 @@ impl ExplainPlan {
     /// Mean q-error of the cardinality estimates over positions with
     /// observed actuals: `max(est, act) / min(est, act)` with +1 smoothing
     /// (so empty tables don't divide by zero), averaged. `None` when no
-    /// position has actuals. 1.0 = perfect estimation.
+    /// position has actuals **or contributes a finite ratio** — a
+    /// zero-step plan (single-vertex pattern) or a non-finite estimate
+    /// must not leak NaN/inf into accumulating consumers like
+    /// `ServiceStats`' q-error sum. 1.0 = perfect estimation.
     pub fn mean_q_error(&self) -> Option<f64> {
         let mut total = 0.0f64;
         let mut n = 0usize;
@@ -124,9 +127,16 @@ impl ExplainPlan {
             let Some(actual) = step.actual_rows else {
                 continue;
             };
-            let est = step.estimated_rows + 1.0;
+            if !step.estimated_rows.is_finite() {
+                continue;
+            }
+            let est = step.estimated_rows.max(0.0) + 1.0;
             let act = actual as f64 + 1.0;
-            total += (est.max(act)) / (est.min(act));
+            let ratio = (est.max(act)) / (est.min(act));
+            if !ratio.is_finite() {
+                continue;
+            }
+            total += ratio;
             n += 1;
         }
         (n > 0).then(|| total / n as f64)
@@ -666,6 +676,47 @@ mod tests {
         assert_eq!(explain.steps[2].actual_rows, None, "aborted prefix");
         let q_err = explain.mean_q_error().expect("two samples");
         assert!(q_err >= 1.0);
+    }
+
+    #[test]
+    fn q_error_guards_degenerate_plans() {
+        // Zero steps (nothing planned at all): no samples, no NaN.
+        let empty = ExplainPlan {
+            planner: PlannerKind::Greedy,
+            steps: Vec::new(),
+            estimated_total_cost: 0.0,
+        };
+        assert_eq!(empty.mean_q_error(), None);
+
+        // Non-finite or negative estimates are skipped, not averaged in.
+        let mut weird = ExplainPlan {
+            planner: PlannerKind::CostBased,
+            steps: vec![
+                ExplainStep {
+                    vertex: 0,
+                    estimated_rows: f64::NAN,
+                    estimated_cost: 0.0,
+                    actual_rows: None,
+                },
+                ExplainStep {
+                    vertex: 1,
+                    estimated_rows: f64::INFINITY,
+                    estimated_cost: 0.0,
+                    actual_rows: None,
+                },
+                ExplainStep {
+                    vertex: 2,
+                    estimated_rows: -5.0,
+                    estimated_cost: 0.0,
+                    actual_rows: None,
+                },
+            ],
+            estimated_total_cost: 0.0,
+        };
+        weird.fill_actuals(&[7, 7, 3]);
+        let q = weird.mean_q_error().expect("the clamped -5.0 step counts");
+        assert!(q.is_finite());
+        assert_eq!(q, 4.0, "est clamps to 0 → (3+1)/(0+1)");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use gsi_graph::csr::Csr;
 use gsi_graph::pcsr::{PcsrStore, StoreUpdateReport};
 use gsi_graph::update::{UpdateBatch, UpdateError};
 use gsi_graph::{Graph, GraphStats, LabeledStore, StorageKind};
+use gsi_obs::TraceConfig;
 use gsi_signature::filter::FilterInputs;
 use gsi_signature::{
     filter_label_degree, filter_label_degree_cached, filter_label_only, filter_label_only_cached,
@@ -198,6 +199,12 @@ pub struct QueryOptions<'a> {
     /// [`GsiConfig::planner`]. Ignored when a valid cached plan is
     /// supplied through [`QueryOptions::plan`].
     pub planner: Option<PlannerKind>,
+    /// Per-query tracing. `Off` (the default) is zero-cost: the engine
+    /// skips the per-join-step clock reads and leaves
+    /// [`RunStats::step_times`](crate::RunStats::step_times) empty; the
+    /// coarse phase timers (`filter_time`, `plan_time`, `join_time`) are
+    /// always measured.
+    pub trace: TraceConfig,
 }
 
 /// Result of one query run.
@@ -524,6 +531,7 @@ impl GsiEngine {
                 }
             },
         };
+        stats.plan_time = t_join.elapsed();
         let planner = explain.planner;
         let mut matches = Matches::empty(plan.order.clone());
 
@@ -564,12 +572,18 @@ impl GsiEngine {
                     break;
                 }
                 let cand = &cands[step.vertex as usize];
+                // Per-step wall clocks only under tracing — this pair of
+                // reads per join position is exactly what Off elides.
+                let t_step = opts.trace.is_on().then(Instant::now);
                 match strategy.join_iteration(&ctx, &m, step, cand) {
                     Ok(next) => m = next,
                     Err(_) => {
                         stats.timed_out = true;
                         break;
                     }
+                }
+                if let Some(t) = t_step {
+                    stats.step_times.push(t.elapsed());
                 }
                 stats.max_intermediate_rows = stats.max_intermediate_rows.max(m.n_rows());
                 stats.step_rows.push(m.n_rows());

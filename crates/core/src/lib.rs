@@ -96,6 +96,7 @@ pub use engine::{
 };
 pub use gsi_graph::update::{GraphOp, UpdateBatch, UpdateError};
 pub use gsi_graph::GraphStats;
+pub use gsi_obs::TraceConfig;
 pub use gsi_signature::{FilterCache, FilterDemand};
 pub use matches::Matches;
 pub use plan::{JoinPlan, JoinStep, PlanError};

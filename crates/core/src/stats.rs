@@ -8,7 +8,12 @@ use std::time::Duration;
 pub struct RunStats {
     /// Filtering-phase wall time.
     pub filter_time: Duration,
-    /// Joining-phase wall time.
+    /// Join-order resolution wall time: plan-cache reuse check plus (on a
+    /// miss) greedy or cost-based plan construction. A sub-interval of
+    /// [`join_time`](Self::join_time), which historically starts its clock
+    /// before planning and keeps that meaning.
+    pub plan_time: Duration,
+    /// Joining-phase wall time (includes [`plan_time`](Self::plan_time)).
     pub join_time: Duration,
     /// End-to-end wall time.
     pub total_time: Duration,
@@ -31,6 +36,13 @@ pub struct RunStats {
     /// `ExplainPlan::fill_actuals`; **not** folded by
     /// [`RunStats::accumulate`] (aggregates mix different plans).
     pub step_rows: Vec<usize>,
+    /// Wall time of each executed join-order position, parallel to the
+    /// post-seed entries of [`step_rows`](Self::step_rows). **Only
+    /// populated when the query ran with `TraceConfig::On`** — the
+    /// per-step clock reads are the cost tracing pays for span trees, and
+    /// the `Off` path skips them entirely. Not folded by
+    /// [`RunStats::accumulate`] (same reason as `step_rows`).
+    pub step_times: Vec<Duration>,
     /// Total streamed elements executed by the join backend (parallel
     /// "work" in the work/span sense).
     pub join_work_units: u64,
@@ -80,6 +92,7 @@ impl RunStats {
     /// harness to average over the paper's 100 queries per configuration).
     pub fn accumulate(&mut self, other: &RunStats) {
         self.filter_time += other.filter_time;
+        self.plan_time += other.plan_time;
         self.join_time += other.join_time;
         self.total_time += other.total_time;
         self.device.gld_transactions += other.device.gld_transactions;

@@ -255,6 +255,25 @@ pub struct StatsSnapshot {
     pub idle_lane_work: u64,
 }
 
+impl StatsSnapshot {
+    /// Every counter as a `(metric_suffix, value)` pair, in declaration
+    /// order. The single authority metrics exporters iterate, so a counter
+    /// added to the ledger cannot be silently missing from the exposition
+    /// (the suffix is appended to a `gsi_device_` prefix upstream).
+    pub fn metric_fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("gld_transactions", self.gld_transactions),
+            ("gst_transactions", self.gst_transactions),
+            ("kernel_launches", self.kernel_launches),
+            ("warp_tasks", self.warp_tasks),
+            ("work_units", self.work_units),
+            ("device_allocs", self.device_allocs),
+            ("device_alloc_bytes", self.device_alloc_bytes),
+            ("idle_lane_work", self.idle_lane_work),
+        ]
+    }
+}
+
 impl std::ops::Add for StatsSnapshot {
     type Output = StatsSnapshot;
 
@@ -295,6 +314,30 @@ mod tests {
 
     fn stats() -> GpuStats {
         GpuStats::new(128)
+    }
+
+    #[test]
+    fn metric_fields_cover_every_counter() {
+        let snap = StatsSnapshot {
+            gld_transactions: 1,
+            gst_transactions: 2,
+            kernel_launches: 3,
+            warp_tasks: 4,
+            work_units: 5,
+            device_allocs: 6,
+            device_alloc_bytes: 7,
+            idle_lane_work: 8,
+        };
+        let fields = snap.metric_fields();
+        // All 8 distinct values present exactly once → no field skipped,
+        // none double-mapped.
+        let mut values: Vec<u64> = fields.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, [1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut names: Vec<&str> = fields.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "metric suffixes are unique");
     }
 
     #[test]

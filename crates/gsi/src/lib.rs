@@ -71,14 +71,15 @@ pub mod prelude {
     pub use gsi_core::{
         BackendKind, BatchItem, BatchOutput, ExplainPlan, FilterCache, FilterStrategy, GraphOp,
         GraphStats, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams, Matches, PlanError,
-        PlannerKind, QueryOptions, QueryOutput, RunStats, SetOpStrategy, UpdateBatch, UpdateError,
-        UpdateReport,
+        PlannerKind, QueryOptions, QueryOutput, RunStats, SetOpStrategy, TraceConfig, UpdateBatch,
+        UpdateError, UpdateReport,
     };
     pub use gsi_datasets::{DatasetKind, DatasetSpec};
     pub use gsi_gpu_sim::{DeviceConfig, Gpu};
     pub use gsi_graph::{Graph, GraphBuilder, StorageKind};
     pub use gsi_service::{
-        GsiService, QueryRequest, QueryResponse, ServiceConfig, ServiceStatsSnapshot, SubmitError,
+        GsiService, MetricFormat, QueryRequest, QueryResponse, ServiceConfig, ServiceStatsSnapshot,
+        SubmitError,
     };
     pub use gsi_signature::{Layout, SignatureConfig};
 }

@@ -1,0 +1,204 @@
+//! A minimal JSON writer shared by the exporters and the flight recorder.
+//!
+//! The workspace is hermetic (no serde); `gsi-bench` hand-rolls its report
+//! JSON the same way. This writer tracks nesting and comma placement so
+//! callers just emit keys and values; output is compact (no whitespace)
+//! and deterministic.
+
+/// An append-only JSON buffer with automatic comma handling.
+///
+/// Objects/arrays are opened and closed explicitly; the buffer inserts the
+/// separating commas. Emitting a bare value (no preceding [`JsonBuf::key`])
+/// is valid inside arrays.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// Whether a value was already emitted at the current nesting level
+    /// (drives comma insertion), one entry per open container.
+    had_value: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// Fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert the separating comma if the current container already holds
+    /// a value, and mark that it now does.
+    fn pre_value(&mut self) {
+        if let Some(had) = self.had_value.last_mut() {
+            if *had {
+                self.out.push(',');
+            }
+            *had = true;
+        }
+    }
+
+    /// Open a JSON object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.had_value.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.had_value.pop();
+        self.out.push('}');
+    }
+
+    /// Open a JSON array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.had_value.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.had_value.pop();
+        self.out.push(']');
+    }
+
+    /// Emit `"key":` (inside an object); the next emitted value completes
+    /// the entry without a comma of its own.
+    pub fn key(&mut self, key: &str) {
+        self.pre_value();
+        self.push_escaped(key);
+        self.out.push(':');
+        if let Some(had) = self.had_value.last_mut() {
+            *had = false;
+        }
+    }
+
+    /// Emit a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.pre_value();
+        self.push_escaped(v);
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emit a float value (`null` for non-finite floats — JSON has no
+    /// NaN/inf literals).
+    pub fn value_f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            self.out.push_str(&format_f64(v));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Emit a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emit a `null` value.
+    pub fn value_null(&mut self) {
+        self.pre_value();
+        self.out.push_str("null");
+    }
+
+    /// `"key":"value"` in one call.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.value_str(v);
+    }
+
+    /// `"key":value` for an unsigned integer.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.value_u64(v);
+    }
+
+    /// `"key":value` for a float (`null` when non-finite).
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.key(key);
+        self.value_f64(v);
+    }
+
+    /// `"key":true|false`.
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.key(key);
+        self.value_bool(v);
+    }
+
+    /// `"key":null`.
+    pub fn field_null(&mut self, key: &str) {
+        self.key(key);
+        self.value_null();
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Consume the buffer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Deterministic float formatting: Rust's shortest-roundtrip `{}` output,
+/// which both exporters share so snapshots stay stable.
+pub fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_arrays_and_commas() {
+        let mut b = JsonBuf::new();
+        b.begin_obj();
+        b.field_str("name", "a\"b");
+        b.field_u64("n", 3);
+        b.key("xs");
+        b.begin_arr();
+        b.value_u64(1);
+        b.value_u64(2);
+        b.begin_obj();
+        b.field_bool("ok", true);
+        b.end_obj();
+        b.end_arr();
+        b.field_f64("pi", 1.5);
+        b.field_f64("bad", f64::NAN);
+        b.field_null("gone");
+        b.end_obj();
+        assert_eq!(
+            b.finish(),
+            r#"{"name":"a\"b","n":3,"xs":[1,2,{"ok":true}],"pi":1.5,"bad":null,"gone":null}"#
+        );
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut b = JsonBuf::new();
+        b.value_str("a\nb\u{1}");
+        assert_eq!(b.finish(), "\"a\\nb\\u0001\"");
+    }
+}

@@ -1,0 +1,412 @@
+//! The metrics registry: typed counters, gauges, and log-bucketed
+//! histograms registered by name, with Prometheus-text and JSON exporters.
+//!
+//! The registry is a *render-time* structure: the serving layer builds one
+//! per scrape from its live atomics (stats snapshot, scheduler, plan
+//! cache, device ledger) and serializes it — there is no double-accounting
+//! layer to keep in sync with the sources of truth. [`Histogram`] is the
+//! exception: a live, atomic, log₂-bucketed recorder for values whose
+//! *distribution* matters (latencies, batch fill), snapshotted into the
+//! registry like everything else.
+//!
+//! **Naming scheme.** `gsi_<subsystem>_<quantity>[_<unit>][_total]`,
+//! lower-snake-case, `_total` on monotonic counters, the unit spelled out
+//! (`_us`, `_bytes`) on measured quantities — validated at registration so
+//! an invalid name fails in tests, not in the scrape endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which exporter renders the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricFormat {
+    /// Prometheus text exposition format (version 0.0.4).
+    Prometheus,
+    /// A single JSON object (`{"metrics":[...]}`).
+    Json,
+}
+
+/// A metric's typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// A bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The Prometheus `# TYPE` keyword for this value.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric: name, help text, typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (validated: `[a-z_][a-z0-9_]*`).
+    pub name: String,
+    /// One-line description rendered as `# HELP`.
+    pub help: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// Whether `name` fits the metric-name grammar the exporters rely on.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// An ordered collection of metrics with exporters.
+///
+/// Registration order is preserved in the output (group related metrics by
+/// registering them together); duplicate or invalid names panic — both are
+/// registration-site bugs the snapshot tests catch.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: &str, help: &str, value: MetricValue) {
+        assert!(valid_metric_name(name), "invalid metric name: {name:?}");
+        assert!(
+            !self.metrics.iter().any(|m| m.name == name),
+            "duplicate metric name: {name:?}"
+        );
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            value,
+        });
+    }
+
+    /// Register a monotonic counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.push(name, help, MetricValue::Counter(value));
+    }
+
+    /// Register a point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.push(name, help, MetricValue::Gauge(value));
+    }
+
+    /// Register a histogram snapshot.
+    pub fn histogram(&mut self, name: &str, help: &str, value: HistogramSnapshot) {
+        self.push(name, help, MetricValue::Histogram(value));
+    }
+
+    /// The registered metrics, in registration order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Render the registry in `format`.
+    pub fn render(&self, format: MetricFormat) -> String {
+        match format {
+            MetricFormat::Prometheus => self.to_prometheus_text(),
+            MetricFormat::Json => self.to_json(),
+        }
+    }
+
+    /// Prometheus text exposition: `# HELP` / `# TYPE` / sample lines per
+    /// metric; histograms expand to `_bucket{le="..."}`, `_sum`, `_count`.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            out.push_str(&format!("# TYPE {} {}\n", m.name, m.value.type_name()));
+            match &m.value {
+                MetricValue::Counter(v) => out.push_str(&format!("{} {v}\n", m.name)),
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{} {}\n", m.name, prom_f64(*v)));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (le, count) in h.buckets.iter() {
+                        cumulative += count;
+                        out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cumulative}\n", m.name));
+                    }
+                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", m.name, h.count));
+                    out.push_str(&format!("{}_sum {}\n", m.name, h.sum));
+                    out.push_str(&format!("{}_count {}\n", m.name, h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exporter: `{"metrics":[{name, type, help, value...}, ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut buf = crate::json::JsonBuf::new();
+        buf.begin_obj();
+        buf.key("metrics");
+        buf.begin_arr();
+        for m in &self.metrics {
+            buf.begin_obj();
+            buf.field_str("name", &m.name);
+            buf.field_str("type", m.value.type_name());
+            buf.field_str("help", &m.help);
+            match &m.value {
+                MetricValue::Counter(v) => buf.field_u64("value", *v),
+                MetricValue::Gauge(v) => buf.field_f64("value", *v),
+                MetricValue::Histogram(h) => {
+                    buf.key("buckets");
+                    buf.begin_arr();
+                    for (le, count) in h.buckets.iter() {
+                        buf.begin_obj();
+                        buf.field_u64("le", *le);
+                        buf.field_u64("count", *count);
+                        buf.end_obj();
+                    }
+                    buf.end_arr();
+                    buf.field_u64("sum", h.sum);
+                    buf.field_u64("count", h.count);
+                }
+            }
+            buf.end_obj();
+        }
+        buf.end_arr();
+        buf.end_obj();
+        buf.finish()
+    }
+}
+
+/// Prometheus float formatting (integers render without a fraction, which
+/// the exposition format permits; non-finite values use Prometheus's
+/// `NaN`/`+Inf`/`-Inf` spellings).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        crate::json::format_f64(v)
+    }
+}
+
+/// Number of log₂ buckets a [`Histogram`] keeps: upper bounds `1, 2, 4,
+/// …, 2^62`, plus the implicit `+Inf` bucket — covers nanoseconds through
+/// hours when observing microseconds.
+pub const HISTOGRAM_BUCKETS: usize = 63;
+
+/// A live, lock-free, log₂-bucketed histogram of `u64` observations.
+///
+/// `observe(v)` increments the bucket whose upper bound is the smallest
+/// power of two ≥ `v` (`v = 0` lands in the first bucket). All counters
+/// are relaxed atomics: statistics, not synchronization — exact under
+/// concurrent observers.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        // Bucket index = 1 + log2(next_power_of_two(value)); value 0 gets
+        // its own bucket so exact zeros stay visible.
+        let idx = if value == 0 {
+            0
+        } else {
+            (65 - (value - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy with empty leading/trailing buckets trimmed to
+    /// the last non-empty one (the `+Inf` line still renders).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let last = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        HistogramSnapshot {
+            buckets: counts[..last]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (bucket_bound(i), c))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Upper (inclusive) bound of bucket `idx`: `0, 1, 2, 4, 8, …`.
+fn bucket_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        1u64 << (idx - 1)
+    }
+}
+
+/// Plain-data copy of a [`Histogram`] (or any bucketed distribution).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// `(upper_bound, count_in_bucket)` pairs, ascending, non-cumulative.
+    pub buckets: Vec<(u64, u64)>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Build a snapshot by observing every sample in `samples` (for
+    /// sources that keep raw reservoirs rather than live histograms).
+    pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> Self {
+        let h = Histogram::new();
+        for s in samples {
+            h.observe(s);
+        }
+        h.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_grammar() {
+        assert!(valid_metric_name("gsi_queries_completed_total"));
+        assert!(valid_metric_name("_private"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name("Upper"));
+        assert!(!valid_metric_name(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_panic() {
+        let mut r = MetricsRegistry::new();
+        r.counter("gsi_x_total", "x", 1);
+        r.counter("gsi_x_total", "x again", 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 1015);
+        // 0 → le=0; 1 → le=1; 2 → le=2; 3,4 → le=4; 5 → le=8; 1000 → le=1024.
+        let get = |le: u64| {
+            snap.buckets
+                .iter()
+                .find(|&&(b, _)| b == le)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        };
+        assert_eq!(get(0), 1);
+        assert_eq!(get(1), 1);
+        assert_eq!(get(2), 1);
+        assert_eq!(get(4), 2);
+        assert_eq!(get(8), 1);
+        assert_eq!(get(1024), 1);
+        assert_eq!(snap.buckets.last().unwrap().0, 1024, "trailing trim");
+    }
+
+    #[test]
+    fn prometheus_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.counter("gsi_queries_completed_total", "Queries served.", 42);
+        r.gauge("gsi_queue_depth", "Queries waiting.", 3.0);
+        r.histogram(
+            "gsi_query_latency_us",
+            "End-to-end latency.",
+            HistogramSnapshot::from_samples([1, 2, 3]),
+        );
+        let text = r.to_prometheus_text();
+        let expected = "\
+# HELP gsi_queries_completed_total Queries served.
+# TYPE gsi_queries_completed_total counter
+gsi_queries_completed_total 42
+# HELP gsi_queue_depth Queries waiting.
+# TYPE gsi_queue_depth gauge
+gsi_queue_depth 3
+# HELP gsi_query_latency_us End-to-end latency.
+# TYPE gsi_query_latency_us histogram
+gsi_query_latency_us_bucket{le=\"0\"} 0
+gsi_query_latency_us_bucket{le=\"1\"} 1
+gsi_query_latency_us_bucket{le=\"2\"} 2
+gsi_query_latency_us_bucket{le=\"4\"} 3
+gsi_query_latency_us_bucket{le=\"+Inf\"} 3
+gsi_query_latency_us_sum 6
+gsi_query_latency_us_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.counter("gsi_queries_completed_total", "Queries served.", 42);
+        r.gauge("gsi_hit_rate", "Cache hit rate.", 0.5);
+        r.histogram(
+            "gsi_batch_fill",
+            "Batch sizes.",
+            HistogramSnapshot::from_samples([1, 2]),
+        );
+        let expected = r#"{"metrics":[{"name":"gsi_queries_completed_total","type":"counter","help":"Queries served.","value":42},{"name":"gsi_hit_rate","type":"gauge","help":"Cache hit rate.","value":0.5},{"name":"gsi_batch_fill","type":"histogram","help":"Batch sizes.","buckets":[{"le":0,"count":0},{"le":1,"count":1},{"le":2,"count":1}],"sum":3,"count":2}]}"#;
+        assert_eq!(r.to_json(), expected);
+        assert_eq!(r.render(MetricFormat::Json), expected);
+    }
+
+    #[test]
+    fn gauge_non_finite_renders_prometheus_spellings() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("gsi_a", "a", f64::NAN);
+        r.gauge("gsi_b", "b", f64::INFINITY);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("gsi_a NaN\n"));
+        assert!(text.contains("gsi_b +Inf\n"));
+    }
+}

@@ -39,9 +39,21 @@
 //!   [`gsi_core::JoinPlan::covers`] — a hash collision degrades to a cache
 //!   miss, never a wrong plan.
 //! * **[`ServiceStats`]** (`stats`) — an aggregated ledger: throughput,
-//!   p50/p99 end-to-end latency, plan-cache hit rate, timeout and
+//!   p50/p99/p99.9 end-to-end latency, plan-cache hit rate, timeout and
 //!   rejection counts. Snapshots are plain data and mergeable across
 //!   services.
+//!
+//! On top of the four, the **observability layer** (the `gsi-obs` crate)
+//! threads through every served query: each [`QueryOutcome`] carries a
+//! [`StageBreakdown`] partitioning its latency into queue / plan / filter
+//! / join / respond; [`GsiService::export_metrics`] renders a typed
+//! metrics registry (counters, gauges, log-bucketed histograms populated
+//! from the stats ledger, the scheduler, the plan cache, the update path,
+//! and the device ledger) in Prometheus-text or JSON; and a
+//! [`FlightRecorder`] retains full traces of the slowest and failed
+//! queries ([`GsiService::dump_flight_recorder`]). Per-query span trees
+//! are recorded only under [`TraceConfig::On`]
+//! ([`ServiceConfig::trace`]) — `Off` is the zero-cost default.
 //!
 //! [`GsiService`] wires the four together. A query's life: `submit`
 //! validates the pattern and resolves the catalog entry → the bounded
@@ -91,10 +103,16 @@ pub use scheduler::{
 };
 pub use stats::{EpochStats, ServiceStats, ServiceStatsSnapshot};
 
+pub use gsi_obs::{
+    FlightRecorder, HistogramSnapshot, MetricFormat, MetricsRegistry, QueryTrace, StageBreakdown,
+    TraceConfig, TraceOutcome,
+};
+
 use gsi_core::{plan_join_estimated, GsiConfig, GsiEngine, JoinPlan, PlannerKind, PreparedData};
 use gsi_gpu_sim::{DeviceConfig, Gpu, StatsSnapshot};
 use gsi_graph::Graph;
 use parking_lot::Mutex;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -144,6 +162,15 @@ pub struct ServiceConfig {
     /// floor each running query keeps), never oversubscribing cores
     /// `workers × threads`-fold. `0` = all available host parallelism.
     pub intra_query_parallelism: usize,
+    /// Per-query tracing. `Off` (the default) records no span trees and
+    /// skips every per-join-step clock read — the zero-cost path; every
+    /// served query still gets its coarse [`StageBreakdown`]. `On` builds
+    /// a full span tree per query and hands the slowest/failed ones to
+    /// the flight recorder with spans attached.
+    pub trace: TraceConfig,
+    /// Total traces the flight recorder retains (half for the most recent
+    /// failures, half for the slowest completed queries; minimum 2).
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -161,6 +188,8 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 1024,
             replan_drift_threshold: 0.25,
             intra_query_parallelism: 0,
+            trace: TraceConfig::Off,
+            flight_recorder_capacity: 64,
         }
     }
 }
@@ -179,6 +208,8 @@ impl ServiceConfig {
             default_deadline: None,
             replan_drift_threshold: 0.25,
             intra_query_parallelism: 0,
+            trace: TraceConfig::Off,
+            flight_recorder_capacity: 16,
         }
     }
 }
@@ -206,6 +237,20 @@ pub(crate) struct ServiceCore {
     /// across registrations and subtracted from the serving aggregate in
     /// [`GsiService::stats`].
     pub(crate) prepare_device: Mutex<StatsSnapshot>,
+    /// Per-query tracing mode (see [`ServiceConfig::trace`]).
+    pub(crate) trace: TraceConfig,
+    /// Retained traces of the slowest / failed / panicked queries.
+    pub(crate) flight: FlightRecorder,
+    /// Service-wide query-id sequence (stamped at pickup).
+    pub(crate) query_seq: AtomicU64,
+}
+
+impl ServiceCore {
+    /// Next service-wide query id.
+    pub(crate) fn next_query_id(&self) -> u64 {
+        self.query_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 /// The assembled serving system: catalog + scheduler + plan cache + stats.
@@ -238,6 +283,9 @@ impl GsiService {
             busy_workers: std::sync::atomic::AtomicUsize::new(0),
             intra_granted: std::sync::atomic::AtomicUsize::new(0),
             prepare_device: Mutex::new(StatsSnapshot::default()),
+            trace: config.trace,
+            flight: FlightRecorder::new(config.flight_recorder_capacity),
+            query_seq: AtomicU64::new(0),
         });
         let scheduler = QueryScheduler::new(
             Arc::clone(&core),
@@ -314,6 +362,14 @@ impl GsiService {
         }
         let up = result?;
         if up.entry.epoch() != up.displaced.epoch() {
+            let drift = up
+                .displaced
+                .prepared()
+                .stats()
+                .drift(up.entry.prepared().stats());
+            self.core
+                .stats
+                .record_update(up.report.store_incremental(), Some(drift));
             self.carry_plans_across_epochs(&up.displaced, &up.entry);
             self.core.stats.retire_epoch(up.displaced.epoch());
         }
@@ -417,6 +473,220 @@ impl GsiService {
         snap.run_totals.device =
             self.core.engine.gpu().stats().snapshot() - *self.core.prepare_device.lock();
         snap
+    }
+
+    /// Build the metrics registry from the service's live state.
+    ///
+    /// Rebuilt on every call (a *scrape*, in Prometheus terms) so values
+    /// are always current; registration order is fixed, so rendered
+    /// exports are snapshot-testable. Names follow
+    /// `gsi_<subsystem>_<quantity>[_<unit>][_total]` — `_total` marks
+    /// monotone counters, units are spelled out (`_us`, `_bytes`,
+    /// `_seconds`).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let snap = self.stats();
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "gsi_queries_submitted_total",
+            "Queries accepted into the queue.",
+            snap.submitted,
+        );
+        reg.counter(
+            "gsi_queries_rejected_total",
+            "Queries turned away by admission control.",
+            snap.rejected,
+        );
+        reg.counter(
+            "gsi_queries_completed_total",
+            "Queries that ran to completion (including engine timeouts).",
+            snap.completed,
+        );
+        reg.counter(
+            "gsi_engine_timeouts_total",
+            "Completed runs that aborted on the engine timeout/guard.",
+            snap.engine_timeouts,
+        );
+        reg.counter(
+            "gsi_deadline_expired_total",
+            "Queries whose deadline expired while still queued.",
+            snap.deadline_expired,
+        );
+        reg.counter(
+            "gsi_plan_rejected_total",
+            "Queries rejected at plan time (typed error, no panic).",
+            snap.plan_rejected,
+        );
+        reg.counter(
+            "gsi_worker_panics_total",
+            "Query executions that panicked (isolated; the worker survived).",
+            snap.worker_panics,
+        );
+        reg.counter(
+            "gsi_matches_total",
+            "Matches produced by served queries.",
+            snap.run_totals.n_matches as u64,
+        );
+        reg.counter(
+            "gsi_batched_queries_total",
+            "Queries executed as part of a multi-query batch.",
+            snap.batched_queries,
+        );
+        reg.counter(
+            "gsi_filter_demands_computed_total",
+            "Distinct filter demands paid in full across batch runs.",
+            snap.filter_demands_computed,
+        );
+        reg.counter(
+            "gsi_filter_demands_reused_total",
+            "Filter-demand lookups served from a batch's shared cache.",
+            snap.filter_demands_reused,
+        );
+        reg.counter(
+            "gsi_planned_greedy_total",
+            "Served queries whose join order came from the greedy planner.",
+            snap.planned_greedy,
+        );
+        reg.counter(
+            "gsi_planned_cost_based_total",
+            "Served queries whose join order came from the cost-based optimizer.",
+            snap.planned_cost_based,
+        );
+        reg.counter(
+            "gsi_plans_migrated_total",
+            "Cached plans migrated across low-drift epoch publications.",
+            snap.plans_migrated,
+        );
+        reg.counter(
+            "gsi_plans_recost_kept_total",
+            "Cached plans that survived re-costing after statistics drift.",
+            snap.plans_recost_kept,
+        );
+        reg.counter(
+            "gsi_plans_recost_dropped_total",
+            "Cached plans dropped by re-costing after statistics drift.",
+            snap.plans_recost_dropped,
+        );
+        reg.counter(
+            "gsi_plan_cache_hits_total",
+            "Plan-cache lookup hits.",
+            snap.plan_cache_hits,
+        );
+        reg.counter(
+            "gsi_plan_cache_misses_total",
+            "Plan-cache lookup misses.",
+            snap.plan_cache_misses,
+        );
+        reg.counter(
+            "gsi_plan_cache_evictions_total",
+            "Plans evicted by the cache's LRU capacity bound.",
+            self.core.plan_cache.evictions(),
+        );
+        reg.counter(
+            "gsi_updates_incremental_total",
+            "Graph updates applied by incremental PCSR splice.",
+            snap.updates_incremental,
+        );
+        reg.counter(
+            "gsi_updates_rebuilt_total",
+            "Graph updates applied by wholesale storage rebuild.",
+            snap.updates_rebuilt,
+        );
+        for (i, stage) in ["queue", "plan", "filter", "join", "respond"]
+            .iter()
+            .enumerate()
+        {
+            reg.counter(
+                &format!("gsi_stage_{stage}_us_total"),
+                &format!("Summed {stage}-stage wall time of served queries, microseconds."),
+                snap.stage_us[i],
+            );
+        }
+        for (suffix, value) in snap.run_totals.device.metric_fields() {
+            reg.counter(
+                &format!("gsi_device_{suffix}_total"),
+                &format!("Device-ledger {suffix} attributed to serving (preparation excluded)."),
+                value,
+            );
+        }
+        reg.gauge(
+            "gsi_queue_depth",
+            "Queries currently queued.",
+            self.scheduler.queue_depth() as f64,
+        );
+        reg.gauge(
+            "gsi_queue_depth_highwater",
+            "Deepest the queue has been since the scheduler started.",
+            self.scheduler.queue_depth_highwater() as f64,
+        );
+        reg.gauge(
+            "gsi_workers",
+            "Worker threads serving queries.",
+            self.scheduler.n_workers() as f64,
+        );
+        reg.gauge(
+            "gsi_plan_cache_size",
+            "Plans currently cached.",
+            self.core.plan_cache.len() as f64,
+        );
+        reg.gauge(
+            "gsi_plan_cache_hit_rate",
+            "Plan-cache hit rate over all lookups (0 when none).",
+            snap.plan_cache_hit_rate(),
+        );
+        reg.gauge(
+            "gsi_mean_q_error",
+            "Mean q-error of served queries' cardinality estimates (NaN before any).",
+            snap.mean_estimation_error().unwrap_or(f64::NAN),
+        );
+        reg.gauge(
+            "gsi_last_update_drift",
+            "Statistics drift reported by the most recent epoch publication (NaN before any).",
+            snap.last_update_drift.unwrap_or(f64::NAN),
+        );
+        reg.gauge(
+            "gsi_flight_recorder_len",
+            "Query traces currently retained by the flight recorder.",
+            self.core.flight.len() as f64,
+        );
+        reg.gauge(
+            "gsi_uptime_seconds",
+            "Time the service's statistics ledger has been live.",
+            snap.elapsed.as_secs_f64(),
+        );
+        reg.histogram(
+            "gsi_query_latency_us",
+            "End-to-end latency of served queries, microseconds (reservoir-sampled).",
+            HistogramSnapshot::from_samples(snap.latencies_us.iter().copied()),
+        );
+        // Batch-fill counts are exact small integers, so the histogram
+        // uses one bucket per observed fill instead of log spacing.
+        let fill = HistogramSnapshot {
+            buckets: snap.batch_fill.iter().map(|(&n, &c)| (n, c)).collect(),
+            sum: snap.batch_fill.iter().map(|(&n, &c)| n * c).sum(),
+            count: snap.batch_fill.values().sum(),
+        };
+        reg.histogram(
+            "gsi_batch_fill",
+            "Compatible queries drained per worker pickup.",
+            fill,
+        );
+        reg
+    }
+
+    /// Render the metrics registry in the requested exporter format.
+    pub fn export_metrics(&self, format: MetricFormat) -> String {
+        self.metrics().render(format)
+    }
+
+    /// The flight recorder retaining traces of the slowest, failed, and
+    /// panicked queries.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.core.flight
+    }
+
+    /// JSON dump of every retained flight-recorder trace.
+    pub fn dump_flight_recorder(&self) -> String {
+        self.core.flight.to_json()
     }
 
     /// Stop admissions, drain queued queries, and join the workers.

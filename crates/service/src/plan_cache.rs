@@ -108,6 +108,7 @@ pub struct PlanCache {
     inner: Mutex<LruState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
@@ -118,6 +119,7 @@ impl PlanCache {
             inner: Mutex::new(LruState::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -205,6 +207,7 @@ impl PlanCache {
                 break;
             };
             state.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -326,6 +329,12 @@ impl PlanCache {
     /// Lookups that missed (including rejected mappings).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU capacity bound (not by epoch re-costing
+    /// or scope drops).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// `hits / (hits + misses)`, 0 when empty.
@@ -478,6 +487,7 @@ mod tests {
             );
         }
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1, "one entry fell to the LRU bound");
         assert!(cache.lookup(0, &cs[0], &qs[0]).is_none(), "evicted");
         assert!(cache.lookup(0, &cs[2], &qs[2]).is_some());
     }

@@ -42,9 +42,10 @@ use crate::plan_cache::PlanEstimates;
 use crate::ServiceCore;
 use gsi_core::{BackendKind, FilterCache, PlanError, PlannerKind, QueryOptions, QueryOutput};
 use gsi_graph::Graph;
+use gsi_obs::{QueryTrace, Stage, StageBreakdown, TraceOutcome, TraceSpan};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -169,6 +170,15 @@ pub struct QueryOutcome {
     pub queue_wait: Duration,
     /// End-to-end latency (submit → response ready).
     pub latency: Duration,
+    /// Service-wide submission sequence number — the same id the flight
+    /// recorder's retained traces carry, so an outcome can be correlated
+    /// with its postmortem dump.
+    pub query_id: u64,
+    /// Where `latency` went, stage by stage (queue / plan / filter / join
+    /// / respond). Populated for **every** served query regardless of
+    /// [`gsi_core::TraceConfig`]; the stages sum to `latency` within
+    /// measurement slack (clock-read gaps, channel send).
+    pub stage_breakdown: StageBreakdown,
 }
 
 /// What a [`QueryTicket`] resolves to.
@@ -234,6 +244,10 @@ struct QueueShared {
     batch_window: usize,
     /// Size of the worker pool (batching engages only at full occupancy).
     n_workers: usize,
+    /// Deepest the queue has ever been. `queue_depth` is point-in-time —
+    /// useless for sizing `queue_capacity` after the burst has drained —
+    /// so admission keeps the high-watermark and exports it as a gauge.
+    depth_highwater: AtomicUsize,
 }
 
 /// The worker pool plus its bounded submission queue.
@@ -268,6 +282,7 @@ impl QueryScheduler {
             capacity: queue_capacity.max(1),
             batch_window: batch_window.max(1),
             n_workers: n,
+            depth_highwater: AtomicUsize::new(0),
         });
         let handles = (0..n)
             .map(|i| {
@@ -307,6 +322,12 @@ impl QueryScheduler {
         self.shared.state.lock().jobs.len()
     }
 
+    /// Deepest the queue has ever been since the scheduler started —
+    /// the backlog gauge `queue_depth` can't show once a burst drains.
+    pub fn queue_depth_highwater(&self) -> usize {
+        self.shared.depth_highwater.load(Ordering::Relaxed)
+    }
+
     /// Submit a query; returns a ticket resolving to its response.
     pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, SubmitError> {
         if req.query.n_vertices() == 0 {
@@ -342,6 +363,9 @@ impl QueryScheduler {
                 });
             }
             state.jobs.push_back(job);
+            self.shared
+                .depth_highwater
+                .fetch_max(state.jobs.len(), Ordering::Relaxed);
         }
         self.core.stats.record_submitted();
         self.shared.not_empty.notify_one();
@@ -500,6 +524,10 @@ fn execute_batch(core: &ServiceCore, jobs: Vec<Job>) {
     };
     let intra_threads = grant.as_ref().map_or(1, |g| g.threads);
 
+    // Pickup-size distribution (singletons included): how often batching
+    // found company at all.
+    core.stats.record_batch_pickup(batch_size as u64);
+
     // Shared filtering for the whole batch: each distinct label demand
     // pays one filter pass, repeats share the cached candidate list.
     let cache = FilterCache::new();
@@ -507,8 +535,19 @@ fn execute_batch(core: &ServiceCore, jobs: Vec<Job>) {
     for job in jobs {
         let graph = job.entry.name().to_string();
         let tx = job.tx.clone();
+        let submitted = job.submitted;
+        let query_id = core.next_query_id();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(core, &entry, scope, intra_threads, batch_size, &cache, job)
+            run_job(
+                core,
+                &entry,
+                scope,
+                intra_threads,
+                batch_size,
+                &cache,
+                query_id,
+                job,
+            )
         }));
         match result {
             Ok(executed) => ran += executed as u64,
@@ -521,6 +560,20 @@ fn execute_batch(core: &ServiceCore, jobs: Vec<Job>) {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                core.flight.record_failure(QueryTrace {
+                    query_id,
+                    graph: graph.clone(),
+                    epoch: scope,
+                    planner: String::new(),
+                    plan_cache_hit: false,
+                    outcome: TraceOutcome::Panicked {
+                        message: message.clone(),
+                    },
+                    latency: submitted.elapsed(),
+                    breakdown: StageBreakdown::default(),
+                    spans: Vec::new(),
+                    explain_rows: Vec::new(),
+                });
                 let _ = tx.send(QueryResponse {
                     graph,
                     result: Err(QueryError::Internal { message }),
@@ -543,6 +596,7 @@ fn execute_batch(core: &ServiceCore, jobs: Vec<Job>) {
 
 /// Serve one batch item end to end; returns whether the engine was
 /// actually invoked (deadline-expired items never reach it).
+#[allow(clippy::too_many_arguments)] // internal batch-item plumbing
 fn run_job(
     core: &ServiceCore,
     entry: &Arc<CatalogEntry>,
@@ -550,6 +604,7 @@ fn run_job(
     intra_threads: usize,
     batch_size: usize,
     cache: &FilterCache,
+    query_id: u64,
     job: Job,
 ) -> bool {
     // Deadline budget, measured when this item actually starts: queue
@@ -561,6 +616,21 @@ fn run_job(
             Some(rem) => Some(rem),
             None => {
                 core.stats.record_deadline_expired();
+                core.flight.record_failure(QueryTrace {
+                    query_id,
+                    graph: job.entry.name().to_string(),
+                    epoch: scope,
+                    planner: String::new(),
+                    plan_cache_hit: false,
+                    outcome: TraceOutcome::DeadlineExpired,
+                    latency: waited,
+                    breakdown: StageBreakdown {
+                        queue: waited,
+                        ..StageBreakdown::default()
+                    },
+                    spans: Vec::new(),
+                    explain_rows: Vec::new(),
+                });
                 let _ = job.tx.send(QueryResponse {
                     graph: job.entry.name().to_string(),
                     result: Err(QueryError::DeadlineExpired { waited }),
@@ -571,8 +641,12 @@ fn run_job(
         None => None,
     };
 
+    // Serving-side half of the plan stage: canonicalization plus the
+    // cache lookup (the engine adds its in-run plan construction time).
+    let t_plan = Instant::now();
     let canon = canonicalize(&job.query);
     let cached = core.plan_cache.lookup(scope, &canon, &job.query);
+    let sched_plan = t_plan.elapsed();
     let output = core.engine.query_with_options(
         entry.graph(),
         entry.prepared(),
@@ -582,9 +656,11 @@ fn run_job(
             plan: cached.as_ref().map(|c| &c.plan),
             intra_query_threads: Some(intra_threads),
             filter_cache: Some(cache),
+            trace: core.trace,
             ..QueryOptions::default()
         },
     );
+    let t_respond = Instant::now();
 
     let graph = job.entry.name().to_string();
     let output = match output {
@@ -594,6 +670,22 @@ fn run_job(
             // the worker neither panicked nor ran the join phase, and the
             // rest of the batch is unaffected.
             core.stats.record_plan_rejected();
+            core.flight.record_failure(QueryTrace {
+                query_id,
+                graph: graph.clone(),
+                epoch: scope,
+                planner: String::new(),
+                plan_cache_hit: false,
+                outcome: TraceOutcome::PlanRejected,
+                latency: job.submitted.elapsed(),
+                breakdown: StageBreakdown {
+                    queue: waited,
+                    plan: sched_plan,
+                    ..StageBreakdown::default()
+                },
+                spans: Vec::new(),
+                explain_rows: Vec::new(),
+            });
             let _ = job.tx.send(QueryResponse {
                 graph,
                 result: Err(QueryError::Plan(e)),
@@ -632,8 +724,58 @@ fn run_job(
     };
     let estimation_error = output.explain.mean_q_error();
     let latency = job.submitted.elapsed();
+
+    // Stage accounting for every served query. The engine's `join_time`
+    // historically includes plan resolution; the breakdown separates the
+    // two so the five stages partition the latency:
+    //   queue   — admission → pickup (incl. earlier batch items),
+    //   plan    — serving-side canon+lookup + engine plan construction,
+    //   filter  — candidate-set construction,
+    //   join    — Algorithm 3's iterations (planning excluded),
+    //   respond — post-engine bookkeeping through response hand-off.
+    let breakdown = StageBreakdown {
+        queue: waited,
+        plan: sched_plan + output.stats.plan_time,
+        filter: output.stats.filter_time,
+        join: output
+            .stats
+            .join_time
+            .saturating_sub(output.stats.plan_time),
+        respond: t_respond.elapsed(),
+    };
+    core.stats.record_stage_breakdown(&breakdown);
     core.stats.record_completed(scope, latency, &output.stats);
     core.stats.record_planned(planner_kind, estimation_error);
+
+    // Offer the trace to the flight recorder (a relaxed load for the fast
+    // majority). Span trees exist only under TraceConfig::On; the coarse
+    // trace — breakdown, provenance, explain rows — is always available.
+    let spans = if core.trace.is_on() {
+        build_spans(&breakdown, &output)
+    } else {
+        Vec::new()
+    };
+    core.flight.offer_completed(QueryTrace {
+        query_id,
+        graph: graph.clone(),
+        epoch: scope,
+        planner: planner_name(planner_kind).to_string(),
+        plan_cache_hit,
+        outcome: TraceOutcome::Completed {
+            matches: output.matches.len() as u64,
+            timed_out: output.stats.timed_out,
+        },
+        latency,
+        breakdown,
+        spans,
+        explain_rows: output
+            .explain
+            .steps
+            .iter()
+            .map(|s| (s.estimated_rows, s.actual_rows.map(|r| r as u64)))
+            .collect(),
+    });
+
     let _ = job.tx.send(QueryResponse {
         graph,
         result: Ok(QueryOutcome {
@@ -647,9 +789,67 @@ fn run_job(
             batch_size,
             queue_wait: waited,
             latency,
+            query_id,
+            stage_breakdown: breakdown,
         }),
     });
     true
+}
+
+/// Stable lower-case planner name for trace output.
+fn planner_name(kind: PlannerKind) -> &'static str {
+    match kind {
+        PlannerKind::Greedy => "greedy",
+        PlannerKind::CostBased => "cost-based",
+    }
+}
+
+/// Lay out the span tree of a completed run: the five stage spans at depth
+/// 0 in execution order, one child span per executed join position under
+/// the join stage. Offsets are from the query's submission; the engine's
+/// per-step wall clocks (`RunStats::step_times`, recorded only under
+/// `TraceConfig::On`) place the children.
+fn build_spans(breakdown: &StageBreakdown, output: &QueryOutput) -> Vec<TraceSpan> {
+    let mut spans = Vec::with_capacity(5 + output.stats.step_times.len());
+    let mut offset = Duration::ZERO;
+    for (stage, duration) in breakdown.stages() {
+        spans.push(TraceSpan {
+            stage,
+            depth: 0,
+            detail: String::new(),
+            start: offset,
+            duration,
+        });
+        if stage == Stage::Join {
+            // Children: join step i consumes candidate plan.steps[i] and
+            // leaves step_rows[i + 1] rows (step_rows[0] is the seed).
+            let mut step_start = offset;
+            for (i, &dt) in output.stats.step_times.iter().enumerate() {
+                let vertex = output
+                    .plan
+                    .steps
+                    .get(i)
+                    .map(|s| s.vertex.to_string())
+                    .unwrap_or_default();
+                let rows = output
+                    .stats
+                    .step_rows
+                    .get(i + 1)
+                    .map(|r| r.to_string())
+                    .unwrap_or_default();
+                spans.push(TraceSpan {
+                    stage: Stage::Join,
+                    depth: 1,
+                    detail: format!("step {i} vertex {vertex} rows {rows}"),
+                    start: step_start,
+                    duration: dt,
+                });
+                step_start += dt;
+            }
+        }
+        offset += duration;
+    }
+    spans
 }
 
 #[cfg(test)]

@@ -2,10 +2,12 @@
 //! and timeout rates.
 //!
 //! Counters are lock-free atomics on the submit/complete paths; latency
-//! samples go into a mutex-guarded reservoir (bounded, decimating once
-//! full) that percentile queries sort on demand. Snapshots are plain data
-//! and [`ServiceStatsSnapshot::merge`]-able, so multi-service deployments
-//! can be reported as one fleet.
+//! samples go into a mutex-guarded bounded reservoir with stride-doubling
+//! decimation (every retained sample represents the same number of
+//! observations, so percentiles stay unbiased across the whole stream)
+//! that percentile queries sort on demand. Snapshots are plain data and
+//! [`ServiceStatsSnapshot::merge`]-able, so multi-service deployments can
+//! be reported as one fleet.
 
 use gsi_core::{PlannerKind, RunStats};
 use parking_lot::Mutex;
@@ -13,9 +15,48 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Upper bound on retained latency samples; beyond it every other sample is
-/// dropped (keeps percentiles meaningful without unbounded memory).
+/// Upper bound on retained latency samples (see [`LatencyReservoir`]).
 const RESERVOIR_CAP: usize = 65_536;
+
+/// Bounded latency reservoir with stride-doubling decimation.
+///
+/// Admits every `stride`-th observation; on reaching [`RESERVOIR_CAP`] it
+/// halves the retained samples (keeping every other one) and doubles the
+/// stride. Both halves of that move keep one sample per `stride`
+/// observations, so at all times **every retained sample represents the
+/// same slice of the stream** and percentiles over the reservoir are
+/// unbiased estimates of percentiles over everything observed.
+///
+/// (The previous scheme decimated only the *retained* samples and then
+/// admitted every new observation, so after each decimation older traffic
+/// had half the representation of newer traffic — a recency bias that
+/// dragged long-run percentiles toward whatever the latest load phase
+/// looked like.)
+#[derive(Debug, Default)]
+struct LatencyReservoir {
+    samples: Vec<u64>,
+    /// Admit one observation in `2^stride_log2`.
+    stride_log2: u32,
+    /// Observations skipped since the last admission.
+    skipped: u64,
+}
+
+impl LatencyReservoir {
+    fn push(&mut self, value_us: u64) {
+        let stride = 1u64 << self.stride_log2;
+        if self.skipped + 1 < stride {
+            self.skipped += 1;
+            return;
+        }
+        self.skipped = 0;
+        self.samples.push(value_us);
+        if self.samples.len() >= RESERVOIR_CAP {
+            let kept: Vec<u64> = self.samples.iter().copied().step_by(2).collect();
+            self.samples = kept;
+            self.stride_log2 += 1;
+        }
+    }
+}
 
 /// Most recently *retired* epochs whose per-epoch counters are retained.
 /// Every `update_graph` bumps the epoch, so a long-running serving loop
@@ -50,11 +91,24 @@ pub struct ServiceStats {
     /// atomic add.
     estimation_error_sum: Mutex<f64>,
     estimation_samples: AtomicU64,
+    /// Incremental (PCSR splice) graph updates applied.
+    updates_incremental: AtomicU64,
+    /// Wholesale-rebuild graph updates applied.
+    updates_rebuilt: AtomicU64,
+    /// Statistics drift reported by the most recent epoch publication.
+    last_update_drift: Mutex<Option<f64>>,
+    /// Pickup-size distribution of worker batch drains: `batch_fill[n]` =
+    /// number of pickups that drained `n` compatible queries together.
+    batch_fill: Mutex<BTreeMap<u64, u64>>,
+    /// Summed per-stage wall time of served queries, microseconds, indexed
+    /// queue/plan/filter/join/respond (the order of
+    /// `StageBreakdown::stages`). Lock-free adds on the completion path.
+    stage_us: [AtomicU64; 5],
     /// End-to-end (submit → response) latencies of *served* queries, in
     /// microseconds. Failed queries (deadline expiry, worker panic) are
     /// counted but kept out of the percentile reservoir so p50/p99 reflect
     /// answers actually delivered, not the deadline constant.
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_us: Mutex<LatencyReservoir>,
     /// Engine-run measurements folded together with `RunStats::accumulate`.
     ///
     /// Device counters here are sums of per-query snapshot deltas of one
@@ -112,7 +166,12 @@ impl ServiceStats {
             plans_recost_dropped: AtomicU64::new(0),
             estimation_error_sum: Mutex::new(0.0),
             estimation_samples: AtomicU64::new(0),
-            latencies_us: Mutex::new(Vec::new()),
+            updates_incremental: AtomicU64::new(0),
+            updates_rebuilt: AtomicU64::new(0),
+            last_update_drift: Mutex::new(None),
+            batch_fill: Mutex::new(BTreeMap::new()),
+            stage_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            latencies_us: Mutex::new(LatencyReservoir::default()),
             run_totals: Mutex::new(RunStats::default()),
             per_epoch: Mutex::new(BTreeMap::new()),
             retired_epochs: Mutex::new(std::collections::VecDeque::new()),
@@ -170,9 +229,40 @@ impl ServiceStats {
             PlannerKind::Greedy => self.planned_greedy.fetch_add(1, Ordering::Relaxed),
             PlannerKind::CostBased => self.planned_cost_based.fetch_add(1, Ordering::Relaxed),
         };
-        if let Some(err) = estimation_error {
+        // Belt-and-braces: `ExplainPlan::mean_q_error` guards its inputs,
+        // but a non-finite sample would poison the accumulated sum for the
+        // rest of the service's life, so the sink checks too.
+        if let Some(err) = estimation_error.filter(|e| e.is_finite()) {
             *self.estimation_error_sum.lock() += err;
             self.estimation_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A graph update was applied: `incremental` is whether storage took
+    /// the PCSR splice path (vs a wholesale rebuild), `drift` the
+    /// statistics drift the epoch publication reported.
+    pub fn record_update(&self, incremental: bool, drift: Option<f64>) {
+        if incremental {
+            self.updates_incremental.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.updates_rebuilt.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(d) = drift.filter(|d| d.is_finite()) {
+            *self.last_update_drift.lock() = Some(d);
+        }
+    }
+
+    /// A worker drained `n` compatible queries in one pickup (`n = 1` for
+    /// singleton pickups — recorded here, unlike `record_batched`, so the
+    /// fill distribution shows how often batching found company).
+    pub fn record_batch_pickup(&self, n: u64) {
+        *self.batch_fill.lock().entry(n).or_default() += 1;
+    }
+
+    /// A served query's stage breakdown (summed into per-stage totals).
+    pub fn record_stage_breakdown(&self, breakdown: &gsi_obs::StageBreakdown) {
+        for (i, (_, d)) in breakdown.stages().iter().enumerate() {
+            self.stage_us[i].fetch_add(d.as_micros() as u64, Ordering::Relaxed);
         }
     }
 
@@ -227,18 +317,12 @@ impl ServiceStats {
     }
 
     fn push_latency(&self, latency: Duration) {
-        let mut l = self.latencies_us.lock();
-        if l.len() >= RESERVOIR_CAP {
-            // Decimate: keep every other sample, then continue appending.
-            let kept: Vec<u64> = l.iter().copied().step_by(2).collect();
-            *l = kept;
-        }
-        l.push(latency.as_micros() as u64);
+        self.latencies_us.lock().push(latency.as_micros() as u64);
     }
 
     /// Point-in-time copy of everything, with percentiles computed.
     pub fn snapshot(&self) -> ServiceStatsSnapshot {
-        let latencies = self.latencies_us.lock().clone();
+        let latencies = self.latencies_us.lock().samples.clone();
         ServiceStatsSnapshot {
             elapsed: self.started.elapsed(),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -258,6 +342,11 @@ impl ServiceStats {
             plans_recost_dropped: self.plans_recost_dropped.load(Ordering::Relaxed),
             estimation_error_sum: *self.estimation_error_sum.lock(),
             estimation_samples: self.estimation_samples.load(Ordering::Relaxed),
+            updates_incremental: self.updates_incremental.load(Ordering::Relaxed),
+            updates_rebuilt: self.updates_rebuilt.load(Ordering::Relaxed),
+            last_update_drift: *self.last_update_drift.lock(),
+            batch_fill: self.batch_fill.lock().clone(),
+            stage_us: std::array::from_fn(|i| self.stage_us[i].load(Ordering::Relaxed)),
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             run_totals: self.run_totals.lock().clone(),
@@ -321,6 +410,18 @@ pub struct ServiceStatsSnapshot {
     pub estimation_error_sum: f64,
     /// Queries contributing to `estimation_error_sum`.
     pub estimation_samples: u64,
+    /// Graph updates whose storage took the incremental PCSR splice path.
+    pub updates_incremental: u64,
+    /// Graph updates that rebuilt storage wholesale.
+    pub updates_rebuilt: u64,
+    /// Statistics drift of the most recent epoch publication (merge keeps
+    /// the larger, i.e. the fleet's worst recent drift).
+    pub last_update_drift: Option<f64>,
+    /// Batch-pickup fill distribution: size → number of pickups.
+    pub batch_fill: BTreeMap<u64, u64>,
+    /// Summed per-stage wall time of served queries, microseconds, in
+    /// queue/plan/filter/join/respond order.
+    pub stage_us: [u64; 5],
     /// Plan-cache hits (filled in by the service, which owns the cache).
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
@@ -373,6 +474,12 @@ impl ServiceStatsSnapshot {
         self.latency_percentile(0.99)
     }
 
+    /// 99.9th-percentile end-to-end latency — the tail the flight recorder
+    /// retains traces for.
+    pub fn p999(&self) -> Option<Duration> {
+        self.latency_percentile(0.999)
+    }
+
     /// Plan-cache hit rate over all lookups, 0 when none.
     pub fn plan_cache_hit_rate(&self) -> f64 {
         let total = self.plan_cache_hits + self.plan_cache_misses;
@@ -423,6 +530,18 @@ impl ServiceStatsSnapshot {
         self.plans_recost_dropped += other.plans_recost_dropped;
         self.estimation_error_sum += other.estimation_error_sum;
         self.estimation_samples += other.estimation_samples;
+        self.updates_incremental += other.updates_incremental;
+        self.updates_rebuilt += other.updates_rebuilt;
+        self.last_update_drift = match (self.last_update_drift, other.last_update_drift) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        for (&size, &count) in &other.batch_fill {
+            *self.batch_fill.entry(size).or_default() += count;
+        }
+        for (mine, theirs) in self.stage_us.iter_mut().zip(other.stage_us) {
+            *mine += theirs;
+        }
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
         self.run_totals.accumulate(&other.run_totals);
@@ -623,6 +742,146 @@ mod tests {
         let snap = s.snapshot();
         assert!(snap.latencies_us.len() <= RESERVOIR_CAP / 2 + 10);
         assert!(snap.p99().is_some());
+    }
+
+    #[test]
+    fn reservoir_decimation_is_unbiased_across_the_stream() {
+        // 4×CAP observations: 0..4CAP in order. The old every-other-drop
+        // scheme under-represented early traffic ~8:1 by the end; the
+        // stride-doubling reservoir must keep both halves of the stream
+        // equally represented.
+        let s = ServiceStats::new();
+        let total = 4 * RESERVOIR_CAP as u64;
+        for i in 0..total {
+            s.push_latency(Duration::from_micros(i));
+        }
+        let snap = s.snapshot();
+        let mid = total / 2;
+        let early = snap.latencies_us.iter().filter(|&&v| v < mid).count();
+        let late = snap.latencies_us.len() - early;
+        let ratio = early as f64 / late.max(1) as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "early:late = {early}:{late} (ratio {ratio:.2}) — decimation bias"
+        );
+        // And the median therefore sits near the stream's true median.
+        let p50 = snap.p50().unwrap().as_micros() as u64;
+        assert!(
+            p50.abs_diff(mid) < total / 20,
+            "p50 {p50} vs true median {mid}"
+        );
+    }
+
+    #[test]
+    fn p999_tracks_the_tail() {
+        let s = ServiceStats::new();
+        // 998 fast queries and two 1-second outliers: the top 0.2% of the
+        // distribution is slow, so nearest-rank p999 must surface it while
+        // p50/p99 stay fast.
+        for _ in 0..998 {
+            s.push_latency(Duration::from_micros(100));
+        }
+        s.push_latency(Duration::from_secs(1));
+        s.push_latency(Duration::from_secs(1));
+        let snap = s.snapshot();
+        assert_eq!(snap.p50().unwrap(), Duration::from_micros(100));
+        assert_eq!(snap.p99().unwrap(), Duration::from_micros(100));
+        assert_eq!(snap.p999().unwrap(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn non_finite_q_error_samples_are_dropped() {
+        let s = ServiceStats::new();
+        s.record_planned(PlannerKind::CostBased, Some(2.0));
+        s.record_planned(PlannerKind::CostBased, Some(f64::NAN));
+        s.record_planned(PlannerKind::CostBased, Some(f64::INFINITY));
+        let snap = s.snapshot();
+        assert_eq!(snap.estimation_samples, 1);
+        assert_eq!(snap.mean_estimation_error(), Some(2.0));
+        assert_eq!(snap.planned_cost_based, 3, "planner counts still tick");
+    }
+
+    #[test]
+    fn merge_is_a_fleet_operation() {
+        // Three services with overlapping epochs, q-error samples, and
+        // latency reservoirs.
+        let mk = |epochs: &[u64], q_err: f64, latencies: &[u64]| {
+            let s = ServiceStats::new();
+            for &e in epochs {
+                s.record_completed(
+                    e,
+                    Duration::from_micros(1),
+                    &RunStats {
+                        n_matches: 2,
+                        ..RunStats::default()
+                    },
+                );
+            }
+            s.record_planned(PlannerKind::Greedy, Some(q_err));
+            for &l in latencies {
+                s.push_latency(Duration::from_micros(l));
+            }
+            s.record_update(true, Some(q_err / 10.0));
+            s.record_batch_pickup(2);
+            s.snapshot()
+        };
+        let a = mk(&[1, 1, 2], 1.5, &[10, 20]);
+        let b = mk(&[2, 3], 3.5, &[30]);
+        let c = mk(&[3], 2.0, &[40, 50, 60]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        for merged in [&ab_c, &a_bc] {
+            // Counts add exactly.
+            assert_eq!(merged.completed, 6);
+            // Overlapping per-epoch keys fold, disjoint ones union.
+            assert_eq!(merged.per_epoch[&1].completed, 2);
+            assert_eq!(merged.per_epoch[&2].completed, 2);
+            assert_eq!(merged.per_epoch[&3].completed, 2);
+            assert_eq!(merged.per_epoch[&1].matches, 4);
+            // Q-error sums add; the fleet mean is the sample-weighted mean.
+            assert_eq!(merged.estimation_samples, 3);
+            assert!((merged.estimation_error_sum - 7.0).abs() < 1e-12);
+            // Reservoirs concatenate without loss below the cap: the
+            // merged reservoir holds every sample exactly once. (Each
+            // record_completed also sampled its 1µs latency.)
+            assert_eq!(merged.latencies_us.len(), 6 + 6);
+            let sum: u64 = merged.latencies_us.iter().sum();
+            assert_eq!(sum, 6 + 10 + 20 + 30 + 40 + 50 + 60);
+            // Update/batch-fill sources fold too.
+            assert_eq!(merged.updates_incremental, 3);
+            assert_eq!(merged.last_update_drift, Some(0.35), "max drift wins");
+            assert_eq!(merged.batch_fill[&2], 3);
+        }
+        // Associativity: both association orders agree field-for-field.
+        assert_eq!(ab_c.per_epoch, a_bc.per_epoch);
+        assert_eq!(ab_c.latencies_us.len(), a_bc.latencies_us.len());
+        assert_eq!(ab_c.estimation_samples, a_bc.estimation_samples);
+        assert_eq!(ab_c.batch_fill, a_bc.batch_fill);
+        assert_eq!(ab_c.stage_us, a_bc.stage_us);
+    }
+
+    #[test]
+    fn stage_breakdown_sums_accumulate() {
+        let s = ServiceStats::new();
+        s.record_stage_breakdown(&gsi_obs::StageBreakdown {
+            queue: Duration::from_micros(5),
+            plan: Duration::from_micros(1),
+            filter: Duration::from_micros(2),
+            join: Duration::from_micros(10),
+            respond: Duration::from_micros(3),
+        });
+        s.record_stage_breakdown(&gsi_obs::StageBreakdown {
+            join: Duration::from_micros(7),
+            ..Default::default()
+        });
+        assert_eq!(s.snapshot().stage_us, [5, 1, 2, 17, 3]);
     }
 
     #[test]

@@ -319,7 +319,7 @@ impl EdgeJoinEngine {
             let row = m.row(r);
             for &v in exts {
                 gpu.stats().gst_range(data.len(), n_cols, 4);
-                data.extend_from_slice(row);
+                data.extend_from_slice(&row);
                 data.push(v);
             }
         }
@@ -356,7 +356,7 @@ impl EdgeJoinEngine {
         for (r, &k) in keep2.iter().enumerate() {
             if k {
                 gpu.stats().gst_range(data.len(), m.n_cols(), 4);
-                data.extend_from_slice(m.row(r));
+                data.extend_from_slice(&m.row(r));
             }
         }
         MatchTable::from_raw(m.n_cols(), data)

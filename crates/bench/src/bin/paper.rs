@@ -25,6 +25,13 @@
 //!                       on match tables and device counters, plus a traced
 //!                       service-layer pass over the metrics exporters and
 //!                       flight recorder; writes BENCH_PR6.json)
+//!   setops             (repo perf trajectory: vectorized set-op kernels vs
+//!                       the scalar reference — bit-identical outputs and
+//!                       device counters, Melem/s throughput, wall speedup
+//!                       gated — plus the radix-hash join strategy vs
+//!                       Prealloc-Combine / two-step on a high-multiplicity
+//!                       workload, equivalence-gated with a deterministic
+//!                       GLD-cut bar; writes BENCH_PR7.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -40,8 +47,9 @@
 //!   --batch <n>        ops per mutation batch (update-churn only, default 32)
 //!   --pool <n>         recurring-pattern pool size (batch only, default 4)
 //!   --min-speedup <f>  required wall-clock speedup: shared filtering at 16
-//!                      concurrent queries (batch, default 1.3) or costed
-//!                      join orders (optimize, default 1.5); 0 disables
+//!                      concurrent queries (batch, default 1.3), costed
+//!                      join orders (optimize, default 1.5), or vectorized
+//!                      set-op kernels (setops, default 1.5); 0 disables
 //!   --min-work-ratio <f> required deterministic join-work ratio, greedy
 //!                      over costed (optimize only, default 1.5)
 //!   --max-overhead <f> allowed enabled-tracing join-wall overhead as a
@@ -49,7 +57,8 @@
 //!                      the deterministic counter-equality gates
 //!   --out <path>       report path (backend: BENCH_PR2.json,
 //!                      update-churn: BENCH_PR3.json, batch: BENCH_PR4.json,
-//!                      optimize: BENCH_PR5.json, observe: BENCH_PR6.json)
+//!                      optimize: BENCH_PR5.json, observe: BENCH_PR6.json,
+//!                      setops: BENCH_PR7.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -57,7 +66,7 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|observe|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|observe|setops|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
          [--timeout MS] [--cpu-timeout MS] [--threads N] [--latency NS] \
          [--rounds N] [--batch N] [--pool N] [--min-speedup F] \
@@ -156,6 +165,11 @@ fn main() {
             &opts,
             max_overhead,
             out_path.as_deref().unwrap_or("BENCH_PR6.json"),
+        ),
+        "setops" => experiments::setops(
+            &opts,
+            min_speedup.unwrap_or(1.5),
+            out_path.as_deref().unwrap_or("BENCH_PR7.json"),
         ),
         "all" => experiments::all(&opts),
         _ => usage(),

@@ -1685,6 +1685,514 @@ pub fn observe(opts: &HarnessOpts, max_overhead: f64, out_path: &str) {
     println!("wrote {out_path}");
 }
 
+/// High-multiplicity synthetic: a handful of label-0 anchors each fanning
+/// out to many label-1 vertices (every B touches exactly two distinct
+/// anchors), plus a sparse label-1 ring among the Bs. Join steps that link
+/// back to the anchor column see the same `v'` repeated across hundreds of
+/// rows — the radix-hash strategy's target shape.
+fn multiplicity_graph(scale: f64, seed: u64) -> Graph {
+    use gsi::graph::GraphBuilder;
+    let n_a = 6usize;
+    let n_b = ((1600.0 * scale) as usize).max(240);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00AD_17E5);
+    let mut b = GraphBuilder::new();
+    let a: Vec<u32> = (0..n_a).map(|_| b.add_vertex(0)).collect();
+    let bs: Vec<u32> = (0..n_b).map(|_| b.add_vertex(1)).collect();
+    for &vb in &bs {
+        let first = rng.random_range(0..n_a);
+        let second = (first + 1 + rng.random_range(0..(n_a - 1))) % n_a;
+        b.add_edge(a[first], vb, 0);
+        b.add_edge(a[second], vb, 0);
+    }
+    for i in 0..n_b {
+        b.add_edge(bs[i], bs[(i + 1) % n_b], 1);
+        b.add_edge(bs[i], bs[(i + 7) % n_b], 1);
+    }
+    b.build()
+}
+
+/// The recurring patterns of the multiplicity workload: a fork (two Bs off
+/// one anchor — the second extension re-streams the anchor's full fan-out
+/// per row) and a wedge (closing a triangle through the anchor — a
+/// two-linking-edge step whose second edge repeats the anchor per row).
+fn multiplicity_patterns() -> Vec<(&'static str, Graph)> {
+    use gsi::graph::GraphBuilder;
+    let mut qb = GraphBuilder::new();
+    let u0 = qb.add_vertex(0);
+    let u1 = qb.add_vertex(1);
+    let u2 = qb.add_vertex(1);
+    qb.add_edge(u0, u1, 0);
+    qb.add_edge(u0, u2, 0);
+    let fork = qb.build();
+
+    let mut qb = GraphBuilder::new();
+    let u0 = qb.add_vertex(0);
+    let u1 = qb.add_vertex(1);
+    let u2 = qb.add_vertex(1);
+    qb.add_edge(u0, u1, 0);
+    qb.add_edge(u1, u2, 1);
+    qb.add_edge(u0, u2, 0);
+    let wedge = qb.build();
+
+    vec![("fork", fork), ("wedge", wedge)]
+}
+
+/// PR 7 perf trajectory — columnar execution: the vectorized set-operation
+/// kernels against the scalar reference, and the radix-hash join strategy
+/// against Prealloc-Combine / two-step on a high-multiplicity workload.
+///
+/// Three parts, every wall time guarded by a deterministic gate first:
+///
+/// 1. **Kernel microbenchmark** — a fixed stream of first-edge/intersect
+///    operations over synthetic sorted lists (dense-merge, skewed-gallop,
+///    and sparse profiles) runs under the scalar and vectorized kernel
+///    arms on identical zero-latency devices. Outputs must be
+///    bit-identical and the two devices' final counters **exactly equal**
+///    (the vectorized kernels are a host-execution optimization only —
+///    the modeled device cost is contractually unchanged); then the
+///    vectorized arm's min-of-reps wall must clear `min_speedup`.
+///    Throughput is reported as Melem/s = streamed work units / join
+///    wall seconds / 1e6.
+/// 2. **Join strategies** — the fork/wedge patterns on the multiplicity
+///    graph under Prealloc-Combine, two-step, radix-hash, and
+///    Prealloc-Combine with cost-model promotion (`radix_join_threshold`):
+///    canonical tables bit-identical across all four, counters
+///    deterministic per cell, and the radix cells must *cut GLD
+///    transactions* vs Prealloc-Combine (the promotion cell proves the
+///    threshold actually fired).
+/// 3. **Engine-level kernel equivalence** — the same workload under
+///    scalar vs vectorized kernels on both backends: all four cells must
+///    charge exactly equal device counters and produce bit-identical
+///    tables.
+///
+/// Writes BENCH_PR7.json.
+pub fn setops(opts: &HarnessOpts, min_speedup: f64, out_path: &str) {
+    use crate::report::JsonObj;
+    use gsi::engine::set_ops::{CandidateProbe, SetOpExec};
+    use gsi::graph::storage::Neighbors;
+    use gsi::signature::CandidateSet;
+    use std::borrow::Cow;
+    use std::hint::black_box;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    section("Columnar set-op kernels — scalar vs vectorized, plus radix-hash joins");
+
+    // ---- Part 1: kernel microbenchmark --------------------------------
+    let universe: u32 = 1 << 16;
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5E70_0555);
+    let n_ops = ((240.0 * opts.scale) as usize).max(48);
+    let reps = 5usize;
+    struct Op {
+        nbrs: Vec<u32>,
+        buf: Vec<u32>,
+        cand: Vec<u32>,
+        row: Vec<u32>,
+    }
+    let mut make_sorted = |len: usize, span: u32| -> Vec<u32> {
+        let base = rng.random_range(0..universe - span);
+        let mut v: Vec<u32> = (0..len).map(|_| base + rng.random_range(0..span)).collect();
+        v.sort_unstable();
+        v
+    };
+    let ops: Vec<Op> = (0..n_ops)
+        .map(|i| {
+            // Three density profiles: dense merge, skewed (gallop side),
+            // sparse wide-span.
+            let (nl, bl, span) = match i % 3 {
+                0 => (4096usize, 3000usize, 6000u32),
+                1 => (8192, 96, 48000),
+                _ => (2048, 2048, 60000),
+            };
+            let mut cand = make_sorted(nl / 2, span);
+            cand.dedup();
+            Op {
+                nbrs: make_sorted(nl, span),
+                buf: make_sorted(bl, span),
+                cand,
+                row: vec![3, 11, 27],
+            }
+        })
+        .collect();
+
+    // One arm: fresh zero-latency device (both arms charge identical
+    // transactions, so any modeled stall would cancel; the wall clock
+    // isolates host kernel execution). Probe builds and the output-
+    // collecting verification pass stay outside the timed region.
+    let run_arm = |kernels: SetOpKernels| {
+        let gpu = Gpu::new(DeviceConfig {
+            worker_threads: 1,
+            stream_latency_ns: 0,
+            ..DeviceConfig::titan_xp()
+        });
+        let probes: Vec<(CandidateProbe, CandidateProbe)> = ops
+            .iter()
+            .map(|op| {
+                let cs = CandidateSet {
+                    query_vertex: 0,
+                    list: Arc::new(op.cand.clone()),
+                };
+                (
+                    CandidateProbe::build(&gpu, SetOpStrategy::GpuFriendly, universe as usize, &cs),
+                    CandidateProbe::build(&gpu, SetOpStrategy::Naive, universe as usize, &cs),
+                )
+            })
+            .collect();
+        // One sub-sweep per set-op strategy: the naive strategy's probes
+        // are per-element binary searches and per-batch row rereads in
+        // *both* kernel arms by contract, so it is timed (and reported)
+        // separately from the GPU-friendly strategy the paper's design —
+        // and the speedup gate — targets.
+        let one_sweep = |strategy: SetOpStrategy, collect: bool| -> Vec<Vec<u32>> {
+            let exec = SetOpExec {
+                strategy,
+                write_cache: true,
+                kernels,
+            };
+            let mut outs = Vec::new();
+            for (op, (pg, pn)) in ops.iter().zip(&probes) {
+                let nbrs = Neighbors {
+                    list: Cow::Borrowed(op.nbrs.as_slice()),
+                    in_global: true,
+                    ci_offset: 13,
+                };
+                let probe = match strategy {
+                    SetOpStrategy::GpuFriendly => pg,
+                    SetOpStrategy::Naive => pn,
+                };
+                let fe = exec.first_edge(
+                    &gpu,
+                    &nbrs,
+                    &op.row,
+                    probe,
+                    Some((5, op.row.len())),
+                    Some(64),
+                    true,
+                    None,
+                );
+                let ix = exec.intersect(&gpu, &op.buf, Some(32), &nbrs, Some(64), true, None);
+                if collect {
+                    outs.push(fe);
+                    outs.push(ix);
+                } else {
+                    black_box((fe, ix));
+                }
+            }
+            outs
+        };
+        let mut outputs = Vec::new();
+        let mut walls = Vec::new();
+        let mut elems = Vec::new();
+        for strategy in [SetOpStrategy::GpuFriendly, SetOpStrategy::Naive] {
+            outputs.extend(one_sweep(strategy, true)); // warm-up + equivalence
+            let work0 = gpu.stats().snapshot().work_units;
+            let mut best = Duration::MAX;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                one_sweep(strategy, false);
+                best = best.min(t0.elapsed());
+            }
+            walls.push(best);
+            elems.push((gpu.stats().snapshot().work_units - work0) / reps as u64);
+        }
+        (outputs, walls, elems, gpu.stats().snapshot())
+    };
+
+    let (s_out, s_walls, s_elems, s_snap) = run_arm(SetOpKernels::Scalar);
+    let (v_out, v_walls, v_elems, v_snap) = run_arm(SetOpKernels::Vectorized);
+    assert_eq!(
+        s_out, v_out,
+        "kernel arms must produce bit-identical outputs"
+    );
+    assert_eq!(
+        s_snap, v_snap,
+        "kernel arms must charge exactly equal device counters"
+    );
+    assert_eq!(s_elems, v_elems, "identical charges imply identical work");
+    let melem = |elems: u64, wall: Duration| elems as f64 / wall.as_secs_f64().max(1e-12) / 1e6;
+    // Index 0 = GPU-friendly strategy (the gated arm), 1 = naive ablation.
+    let kernel_speedup = s_walls[0].as_secs_f64() / v_walls[0].as_secs_f64().max(1e-12);
+    let naive_speedup = s_walls[1].as_secs_f64() / v_walls[1].as_secs_f64().max(1e-12);
+    let mut t = Table::new(vec![
+        "strategy / kernel arm",
+        "wall/sweep",
+        "Melem/s",
+        "spd",
+    ]);
+    for (si, sname) in ["gpu-friendly", "naive"].iter().enumerate() {
+        t.row(vec![
+            format!("{sname} / scalar"),
+            ms(s_walls[si]),
+            format!("{:.1}", melem(s_elems[si], s_walls[si])),
+            "1.0x".into(),
+        ]);
+        t.row(vec![
+            format!("{sname} / vectorized"),
+            ms(v_walls[si]),
+            format!("{:.1}", melem(v_elems[si], v_walls[si])),
+            format!(
+                "{:.2}x",
+                s_walls[si].as_secs_f64() / v_walls[si].as_secs_f64().max(1e-12)
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "microbench: {n_ops} ops x 2 primitives/strategy, {} elements/sweep \
+         (gpu-friendly), counters bit-identical; naive ablation {naive_speedup:.2}x",
+        human(s_elems[0])
+    );
+    // The wall bar is a measurement, noisy on shared CI runners; pass
+    // `--min-speedup 0` to keep only the deterministic gates.
+    assert!(
+        kernel_speedup >= min_speedup,
+        "vectorized kernels must win >= {min_speedup}x wall (got {kernel_speedup:.2}x)"
+    );
+
+    // ---- Part 2: join strategies on the multiplicity workload ---------
+    let data = multiplicity_graph(opts.scale, opts.seed);
+    println!(
+        "\ndataset: high-multiplicity synthetic, {}",
+        statistics(&data)
+    );
+    let patterns = multiplicity_patterns();
+    let cells: Vec<(&str, JoinScheme, Option<f64>)> = vec![
+        ("prealloc", JoinScheme::PreallocCombine, None),
+        ("two-step", JoinScheme::TwoStep, None),
+        ("radix-hash", JoinScheme::RadixHash, None),
+        ("prealloc+radix", JoinScheme::PreallocCombine, Some(8.0)),
+    ];
+
+    let mut t = Table::new(vec![
+        "strategy",
+        "matches",
+        "join work",
+        "GLD",
+        "join wall",
+        "Melem/s",
+    ]);
+    let mut strategy_objs: Vec<(String, JsonObj)> = Vec::new();
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    let mut gld_by_cell: Vec<(String, u64)> = Vec::new();
+    for (name, scheme, threshold) in &cells {
+        let engine = GsiEngine::with_gpu(
+            GsiConfig {
+                join_scheme: *scheme,
+                radix_join_threshold: *threshold,
+                ..GsiConfig::gsi_opt()
+            }
+            .with_planner(PlannerKind::CostBased),
+            Gpu::new(DeviceConfig {
+                worker_threads: 1,
+                stream_latency_ns: 100,
+                ..DeviceConfig::titan_xp()
+            }),
+        );
+        let prepared = engine.prepare(&data);
+        let mut wall = Duration::ZERO;
+        let mut work = 0u64;
+        let mut gld = 0u64;
+        let mut matches_total = 0u64;
+        let mut canon_all: Vec<Vec<u32>> = Vec::new();
+        for (pname, q) in &patterns {
+            // Two reps: determinism gate on table and counters, keep the
+            // warmed second rep's wall.
+            let mut kept: Option<(Vec<Vec<u32>>, gsi::sim::StatsSnapshot)> = None;
+            for rep in 0..2 {
+                let snap0 = engine.gpu().stats().snapshot();
+                let out = engine
+                    .query(&data, &prepared, q)
+                    .expect("multiplicity patterns are connected");
+                let delta = engine.gpu().stats().snapshot() - snap0;
+                assert!(!out.stats.timed_out, "{name}/{pname}: must complete");
+                match &kept {
+                    None => kept = Some((out.matches.canonical(), delta)),
+                    Some((table, dev)) => {
+                        assert_eq!(
+                            table,
+                            &out.matches.canonical(),
+                            "{name}/{pname} rep {rep}: non-deterministic table"
+                        );
+                        assert_eq!(
+                            dev, &delta,
+                            "{name}/{pname} rep {rep}: non-deterministic counters"
+                        );
+                        wall += out.stats.join_time;
+                        work += out.stats.join_work_units;
+                        gld += delta.gld_transactions;
+                        matches_total += out.matches.len() as u64;
+                    }
+                }
+            }
+            canon_all.extend(kept.expect("ran").0);
+        }
+        // Equivalence gate: every cell reproduces the same match set.
+        match &reference {
+            None => reference = Some(canon_all),
+            Some(expect) => assert_eq!(
+                &canon_all, expect,
+                "{name}: strategies disagree on the match set"
+            ),
+        }
+        let melem_s = work as f64 / wall.as_secs_f64().max(1e-12) / 1e6;
+        t.row(vec![
+            name.to_string(),
+            matches_total.to_string(),
+            human(work),
+            human(gld),
+            ms(wall),
+            format!("{melem_s:.1}"),
+        ]);
+        gld_by_cell.push((name.to_string(), gld));
+        strategy_objs.push((
+            name.to_string(),
+            JsonObj::new()
+                .f64("join_wall_ms", wall.as_secs_f64() * 1e3)
+                .u64("join_work_units", work)
+                .u64("gld", gld)
+                .u64("matches", matches_total)
+                .f64("melem_per_s", melem_s)
+                .bool("equivalent", true),
+        ));
+    }
+    t.print();
+    let gld_of = |n: &str| {
+        gld_by_cell
+            .iter()
+            .find(|(c, _)| c == n)
+            .map(|&(_, g)| g)
+            .expect("cell ran")
+    };
+    // Deterministic radix gates: the restructured step must cut GLD
+    // transactions, and the promotion cell proves the threshold fired.
+    assert!(
+        gld_of("radix-hash") < gld_of("prealloc"),
+        "radix-hash must cut GLD on the high-multiplicity workload \
+         (radix {} vs prealloc {})",
+        gld_of("radix-hash"),
+        gld_of("prealloc")
+    );
+    assert!(
+        gld_of("prealloc+radix") < gld_of("prealloc"),
+        "cost-model promotion must fire and cut GLD (promoted {} vs base {})",
+        gld_of("prealloc+radix"),
+        gld_of("prealloc")
+    );
+    println!(
+        "radix GLD cut: {:.2}x vs prealloc ({} -> {}); promoted cell {:.2}x",
+        gld_of("prealloc") as f64 / gld_of("radix-hash").max(1) as f64,
+        human(gld_of("prealloc")),
+        human(gld_of("radix-hash")),
+        gld_of("prealloc") as f64 / gld_of("prealloc+radix").max(1) as f64,
+    );
+
+    // ---- Part 3: engine-level kernel equivalence ----------------------
+    let mut cell_snaps: Vec<(String, gsi::sim::StatsSnapshot, Duration)> = Vec::new();
+    let mut cell_tables: Vec<Vec<Vec<u32>>> = Vec::new();
+    for (kname, kernels) in [
+        ("scalar", SetOpKernels::Scalar),
+        ("vectorized", SetOpKernels::Vectorized),
+    ] {
+        for (bname, backend, threads) in [
+            ("serial", BackendKind::Serial, 0usize),
+            ("host-parallel", BackendKind::HostParallel, 3),
+        ] {
+            let engine = GsiEngine::with_gpu(
+                GsiConfig {
+                    set_op_kernels: kernels,
+                    ..GsiConfig::gsi_opt()
+                }
+                .with_backend(backend, threads),
+                Gpu::new(DeviceConfig {
+                    worker_threads: 1,
+                    stream_latency_ns: 0,
+                    ..DeviceConfig::titan_xp()
+                }),
+            );
+            let prepared = engine.prepare(&data);
+            let mut wall = Duration::ZERO;
+            let mut canon_all: Vec<Vec<u32>> = Vec::new();
+            let snap0 = engine.gpu().stats().snapshot();
+            for (_, q) in &patterns {
+                let out = engine
+                    .query(&data, &prepared, q)
+                    .expect("multiplicity patterns are connected");
+                wall += out.stats.join_time;
+                canon_all.extend(out.matches.canonical());
+            }
+            let delta = engine.gpu().stats().snapshot() - snap0;
+            cell_snaps.push((format!("{kname}/{bname}"), delta, wall));
+            cell_tables.push(canon_all);
+        }
+    }
+    for ((name, snap, _), table) in cell_snaps.iter().zip(&cell_tables).skip(1) {
+        assert_eq!(
+            snap, &cell_snaps[0].1,
+            "{name}: engine-level counters diverge from scalar/serial"
+        );
+        assert_eq!(
+            table, &cell_tables[0],
+            "{name}: engine-level tables diverge from scalar/serial"
+        );
+    }
+    println!(
+        "engine-level: 4 (kernel x backend) cells bit-identical; \
+         scalar/serial join wall {} vs vectorized/serial {}",
+        ms(cell_snaps[0].2),
+        ms(cell_snaps[2].2)
+    );
+
+    // ---- report -------------------------------------------------------
+    let mut report = JsonObj::new()
+        .u64("pr", 7)
+        .str("experiment", "setops")
+        .str(
+            "description",
+            "columnar execution: vectorized set-op kernels vs the scalar \
+             reference (bit-identical outputs and device counters, wall \
+             speedup gated), and the radix-hash join strategy vs \
+             Prealloc-Combine / two-step on a high-multiplicity workload \
+             (canonical tables bit-identical, radix cells gated on a \
+             deterministic GLD cut)",
+        )
+        .f64("scale", opts.scale)
+        .u64("seed", opts.seed)
+        .f64("min_speedup", min_speedup)
+        .obj(
+            "microbench",
+            JsonObj::new()
+                .u64("ops", n_ops as u64)
+                .u64("elements_per_sweep", s_elems[0])
+                .f64("scalar_wall_ms", s_walls[0].as_secs_f64() * 1e3)
+                .f64("vectorized_wall_ms", v_walls[0].as_secs_f64() * 1e3)
+                .f64("scalar_melem_per_s", melem(s_elems[0], s_walls[0]))
+                .f64("vectorized_melem_per_s", melem(v_elems[0], v_walls[0]))
+                .f64("speedup_wall", kernel_speedup)
+                .f64("naive_ablation_speedup_wall", naive_speedup)
+                .bool("counters_bit_identical", true),
+        )
+        .obj(
+            "engine_kernel_equivalence",
+            JsonObj::new()
+                .u64("cells", cell_snaps.len() as u64)
+                .bool("counters_bit_identical", true)
+                .bool("tables_bit_identical", true)
+                .f64(
+                    "scalar_serial_join_wall_ms",
+                    cell_snaps[0].2.as_secs_f64() * 1e3,
+                )
+                .f64(
+                    "vectorized_serial_join_wall_ms",
+                    cell_snaps[2].2.as_secs_f64() * 1e3,
+                ),
+        );
+    for (name, obj) in strategy_objs {
+        report = report.obj(&name, obj);
+    }
+    report.write(out_path).expect("write bench report");
+    println!("wrote {out_path}");
+}
+
 /// Run every experiment in paper order.
 pub fn all(opts: &HarnessOpts) {
     table2(opts);

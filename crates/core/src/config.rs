@@ -15,6 +15,29 @@ pub enum JoinScheme {
     /// GpSM/GunrockSM's two-step output scheme: run the join to count, do a
     /// prefix sum, then run the *same join again* to write — doubling work.
     TwoStep,
+    /// Radix-partitioned hash join for high-multiplicity steps: partition the
+    /// intermediate table's link column by radix, fetch each distinct link
+    /// vertex's neighbor list once per partition, and probe column-at-a-time.
+    /// Shares the prealloc output scheme's allocation accounting.
+    RadixHash,
+}
+
+/// Which implementation of the set-operation primitives runs on the host.
+///
+/// Both charge **bit-identical** device-ledger transactions — the simulated
+/// kernels are the same; this knob only selects how the host computes their
+/// results (element-at-a-time reference vs chunked branch-light kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetOpKernels {
+    /// The scalar reference: branchy element-at-a-time loops. Kept for
+    /// differential testing against the vectorized kernels.
+    Scalar,
+    /// Chunked, branch-light kernels: block-wise two-pointer merge for
+    /// comparable cardinalities, galloping intersection for skewed ones,
+    /// sorted-probe row filtering — selected by a cardinality-ratio
+    /// heuristic.
+    #[default]
+    Vectorized,
 }
 
 /// Which execution backend drives the join phase's planned kernels (see
@@ -105,6 +128,9 @@ pub struct GsiConfig {
     pub join_scheme: JoinScheme,
     /// Set-operation strategy.
     pub set_ops: SetOpStrategy,
+    /// Host kernel implementation for the set-op primitives (identical
+    /// device accounting; see [`SetOpKernels`]).
+    pub set_op_kernels: SetOpKernels,
     /// 128-byte per-warp write cache for join outputs (§V).
     pub write_cache: bool,
     /// 4-layer load balance; `None` uses the flat one-warp-per-row schedule.
@@ -132,6 +158,12 @@ pub struct GsiConfig {
     /// statistics-driven cost-based optimizer of [`crate::cost`]. The
     /// serving layer (`gsi-service`) defaults to the cost-based planner.
     pub planner: PlannerKind,
+    /// When `Some(t)`, the engine switches an individual join step to the
+    /// [`JoinScheme::RadixHash`] strategy whenever the cost model's
+    /// estimated step multiplicity (estimated output rows / input rows)
+    /// reaches `t`. Requires a cost-based plan (the estimates come from its
+    /// [`crate::cost::ExplainPlan`]); `None` (all presets) never switches.
+    pub radix_join_threshold: Option<f64>,
     /// Execution backend for the join phase's planned kernels.
     pub backend: BackendKind,
     /// Worker threads of the [`BackendKind::HostParallel`] backend
@@ -150,6 +182,7 @@ impl GsiConfig {
             storage_gpn: gsi_graph::pcsr::DEFAULT_GPN,
             join_scheme: JoinScheme::TwoStep,
             set_ops: SetOpStrategy::Naive,
+            set_op_kernels: SetOpKernels::Vectorized,
             write_cache: false,
             load_balance: None,
             duplicate_removal: false,
@@ -160,8 +193,26 @@ impl GsiConfig {
             combined_alloc: true,
             max_intermediate_rows: 10_000_000,
             planner: PlannerKind::Greedy,
+            radix_join_threshold: None,
             backend: BackendKind::Serial,
             intra_query_threads: 0,
+        }
+    }
+
+    /// This configuration with another join output scheme.
+    pub fn with_join_scheme(self, join_scheme: JoinScheme) -> Self {
+        Self {
+            join_scheme,
+            ..self
+        }
+    }
+
+    /// This configuration with the scalar-reference set-op kernels (the
+    /// differential-testing arm).
+    pub fn with_set_op_kernels(self, set_op_kernels: SetOpKernels) -> Self {
+        Self {
+            set_op_kernels,
+            ..self
         }
     }
 
@@ -296,6 +347,26 @@ mod tests {
         assert_eq!(costed.planner, PlannerKind::CostBased);
         assert!(costed.duplicate_removal, "other knobs untouched");
         costed.validate();
+    }
+
+    #[test]
+    fn kernel_and_radix_knobs_default_conservatively() {
+        // Vectorized kernels are the default everywhere (charges are
+        // identical by contract); radix auto-selection is opt-in.
+        for cfg in [
+            GsiConfig::gsi_base(),
+            GsiConfig::gsi(),
+            GsiConfig::gsi_opt(),
+        ] {
+            assert_eq!(cfg.set_op_kernels, SetOpKernels::Vectorized);
+            assert_eq!(cfg.radix_join_threshold, None);
+        }
+        let scalar = GsiConfig::gsi_opt().with_set_op_kernels(SetOpKernels::Scalar);
+        assert_eq!(scalar.set_op_kernels, SetOpKernels::Scalar);
+        assert!(scalar.duplicate_removal, "other knobs untouched");
+        let radix = GsiConfig::gsi_opt().with_join_scheme(JoinScheme::RadixHash);
+        assert_eq!(radix.join_scheme, JoinScheme::RadixHash);
+        radix.validate();
     }
 
     #[test]

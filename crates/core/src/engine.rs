@@ -1,7 +1,7 @@
 //! The end-to-end GSI engine: prepare (offline) + query (online).
 
 use crate::backend::{make_backend, ExecBackend};
-use crate::config::{BackendKind, FilterStrategy, GsiConfig};
+use crate::config::{BackendKind, FilterStrategy, GsiConfig, JoinScheme};
 use crate::cost::{estimate_for_plan, plan_join_costed, ExplainPlan, PlannerKind};
 use crate::join::JoinCtx;
 use crate::matches::Matches;
@@ -199,6 +199,11 @@ pub struct QueryOptions<'a> {
     /// [`GsiConfig::planner`]. Ignored when a valid cached plan is
     /// supplied through [`QueryOptions::plan`].
     pub planner: Option<PlannerKind>,
+    /// Join output-scheme override for this run; `None` uses
+    /// [`GsiConfig::join_scheme`]. Steps the cost model flags as
+    /// high-multiplicity (see [`GsiConfig::radix_join_threshold`]) may
+    /// still be promoted to the radix-hash strategy.
+    pub join_scheme: Option<JoinScheme>,
     /// Per-query tracing. `Off` (the default) is zero-cost: the engine
     /// skips the per-join-step clock reads and leaves
     /// [`RunStats::step_times`](crate::RunStats::step_times) empty; the
@@ -537,8 +542,31 @@ impl GsiEngine {
 
         // Strategy (what each iteration computes) and backend (how its
         // planned kernels execute) are resolved per run; the backend is
-        // per-query state, carrying the run's work/span ledger.
-        let strategy = strategy_for(self.cfg.join_scheme);
+        // per-query state, carrying the run's work/span ledger. With
+        // `radix_join_threshold` set, individual steps whose estimated
+        // fan-out (next-step rows over current rows, from the explain's
+        // cardinality model) crosses the threshold are promoted to the
+        // radix-hash strategy — high-multiplicity steps amortize the
+        // partition/build passes, low-multiplicity ones keep the
+        // configured scheme.
+        let resolved_scheme = opts.join_scheme.unwrap_or(self.cfg.join_scheme);
+        let strategy = strategy_for(resolved_scheme);
+        let radix_steps: Vec<bool> = match self.cfg.radix_join_threshold {
+            Some(t) if resolved_scheme != JoinScheme::RadixHash => (0..plan.steps.len())
+                .map(|k| {
+                    // explain.steps[0] is the seed column; step k extends
+                    // steps[k] rows into steps[k + 1] rows.
+                    match (explain.steps.get(k), explain.steps.get(k + 1)) {
+                        (Some(cur), Some(next)) => {
+                            let mult = next.estimated_rows / cur.estimated_rows.max(1.0);
+                            mult.is_finite() && mult >= t
+                        }
+                        _ => false,
+                    }
+                })
+                .collect(),
+            _ => vec![false; plan.steps.len()],
+        };
         let backend: Box<dyn ExecBackend> = make_backend(
             opts.backend.unwrap_or(self.cfg.backend),
             opts.intra_query_threads
@@ -557,7 +585,7 @@ impl GsiEngine {
             stats.max_intermediate_rows = m.n_rows();
             stats.step_rows.push(m.n_rows());
 
-            for step in &plan.steps {
+            for (k, step) in plan.steps.iter().enumerate() {
                 if m.is_empty() {
                     break;
                 }
@@ -575,7 +603,12 @@ impl GsiEngine {
                 // Per-step wall clocks only under tracing — this pair of
                 // reads per join position is exactly what Off elides.
                 let t_step = opts.trace.is_on().then(Instant::now);
-                match strategy.join_iteration(&ctx, &m, step, cand) {
+                let step_strategy = if radix_steps[k] {
+                    strategy_for(JoinScheme::RadixHash)
+                } else {
+                    strategy
+                };
+                match step_strategy.join_iteration(&ctx, &m, step, cand) {
                     Ok(next) => m = next,
                     Err(_) => {
                         stats.timed_out = true;

@@ -9,7 +9,7 @@ use crate::config::{GsiConfig, SetOpStrategy};
 use crate::dedup::block_input_owners;
 use crate::load_balance::{plan_kernels, ChunkTask};
 use crate::set_ops::{CandidateProbe, SetOpExec};
-use crate::table::{segments_into_row_buffers, stitch_segments, MatchTable, Segment, TableShard};
+use crate::table::{segments_into_row_buffers, stitch_columns, MatchTable, Segment, TableShard};
 use gsi_gpu_sim::scan::exclusive_prefix_sum;
 use gsi_gpu_sim::{kernel, Gpu};
 use gsi_graph::storage::Neighbors;
@@ -40,6 +40,7 @@ impl JoinCtx<'_> {
         SetOpExec {
             strategy: self.cfg.set_ops,
             write_cache: self.cfg.write_cache,
+            kernels: self.cfg.set_op_kernels,
         }
     }
 
@@ -126,12 +127,14 @@ fn run_block(
     shard: &mut TableShard,
 ) {
     // Duplicate removal (Algorithm 5): whole-row tasks sharing the same
-    // joined vertex share one input-buffer read within the block.
-    let vs: Vec<VertexId> = block.iter().map(|t| m.row(t.row)[col]).collect();
+    // joined vertex share one input-buffer read within the block. The link
+    // column is one contiguous columnar slice.
+    let link_col = m.column(col);
+    let vs: Vec<VertexId> = block.iter().map(|t| link_col[t.row]).collect();
     let owners = block_input_owners(ctx.cfg.duplicate_removal, block, loads, &vs);
 
+    let mut row_scratch: Vec<VertexId> = Vec::with_capacity(m.n_cols());
     for (i, task) in block.iter().enumerate() {
-        let row_slice = m.row(task.row);
         let v_prime = vs[i];
         // A warp that shares another warp's input buffer neither re-locates
         // nor re-streams the neighbor list (only whole tasks share).
@@ -149,6 +152,7 @@ fn run_block(
                 // The warp reads its whole row into shared memory for the
                 // subtraction (Algorithm 3: "assume that v' matches u'").
                 m.charge_row_read(ctx.gpu, task.row);
+                m.row_into(task.row, &mut row_scratch);
                 let nbrs: Neighbors<'_> = if owner {
                     ctx.store.neighbors_with_label(ctx.gpu, v_prime, label)
                 } else {
@@ -161,7 +165,7 @@ fn run_block(
                 exec.first_edge(
                     ctx.gpu,
                     &nbrs,
-                    row_slice,
+                    &row_scratch,
                     cand,
                     naive_reread,
                     out_base,
@@ -218,7 +222,7 @@ pub fn count_pass(ctx: &JoinCtx<'_>, m: &MatchTable, col: usize, label: EdgeLabe
     let rows: Vec<usize> = (0..m.n_rows()).collect();
     kernel::launch_warp_tasks(ctx.gpu, &rows, |_wid, &row| {
         m.charge_cell_read(ctx.gpu, row, col);
-        let v = m.row(row)[col];
+        let v = m.cell(row, col);
         let c = ctx.store.neighbor_count(ctx.gpu, v, label);
         counts[row].store(c, Ordering::Relaxed);
     });
@@ -243,17 +247,19 @@ pub fn link_pass(
     let loads: Vec<usize> = bufs.iter().map(|b| b.len()).collect();
     let plans = plan_kernels(&loads, ctx.cfg.load_balance.as_ref(), ctx.warps_per_block());
 
-    // Each task owns a disjoint region of M'; workers emit the regions as
-    // keyed segments in their private shards, stitched once at the end.
+    // Each task owns a disjoint row-range of M'; workers emit column-major
+    // mini-tables (`key_a` = first output row, `key_b` = row count) in their
+    // private shards, stitched straight into per-column buffers at the end.
     let mut segments: Vec<Segment> = Vec::new();
     for plan in &plans {
         let shards = ctx
             .backend
             .run_kernel(ctx.gpu, plan, &|_bctx, block, shard| {
+                let mut row = Vec::with_capacity(m.n_cols());
                 for task in block {
                     // Read m_i into shared memory (line 18).
                     m.charge_row_read(ctx.gpu, task.row);
-                    let row = m.row(task.row);
+                    m.row_into(task.row, &mut row);
                     if let Some(bases) = buf_bases {
                         ctx.gpu.stats().gld_range(
                             bases[task.row] + task.range.start,
@@ -261,19 +267,22 @@ pub fn link_pass(
                             4,
                         );
                     }
-                    let mut local = Vec::with_capacity(task.range.len() * n_cols);
-                    for (k, &z) in bufs[task.row][task.range.clone()].iter().enumerate() {
-                        let out_row = out_offsets[task.row] as usize + task.range.start + k;
-                        MatchTable::charge_write_at(ctx.gpu, n_cols, out_row);
-                        ctx.gpu.stats().add_work(n_cols as u64);
-                        local.extend_from_slice(row);
-                        local.push(z);
+                    let take = task.range.len();
+                    let out_start = out_offsets[task.row] as usize + task.range.start;
+                    // Bulk charge: the device writes each extended row as its
+                    // own row-major span (summed per row — identical to one
+                    // `charge_write_at` + `add_work` per output row).
+                    let txns = MatchTable::row_write_transactions(ctx.gpu, n_cols, out_start, take);
+                    ctx.gpu.stats().add_gst(txns);
+                    ctx.gpu.stats().add_work((take * n_cols) as u64);
+                    // Column-major emission: each inherited column is a
+                    // fixed-width splat, the new column a contiguous copy.
+                    let mut local = Vec::with_capacity(take * n_cols);
+                    for &rv in &row {
+                        local.extend(std::iter::repeat_n(rv, take));
                     }
-                    shard.push(
-                        (out_offsets[task.row] as usize + task.range.start) * n_cols,
-                        0,
-                        local,
-                    );
+                    local.extend_from_slice(&bufs[task.row][task.range.clone()]);
+                    shard.push(out_start, take, local);
                 }
             });
         assert_eq!(
@@ -284,8 +293,8 @@ pub fn link_pass(
         segments.extend(shards.into_segments());
     }
 
-    // `stitch_segments` additionally asserts the segments tile M' exactly.
-    MatchTable::from_raw(n_cols, stitch_segments(segments, total_rows * n_cols))
+    // `stitch_columns` additionally asserts the segments tile M' exactly.
+    stitch_columns(segments, n_cols, total_rows)
 }
 
 /// The shared tail of one join iteration, for both output schemes: prefix-sum

@@ -78,6 +78,7 @@ pub mod load_balance;
 pub mod matches;
 pub mod plan;
 pub mod prealloc;
+pub mod radix;
 pub mod set_ops;
 pub mod stats;
 pub mod strategy;
@@ -86,7 +87,9 @@ pub mod two_step;
 pub mod write_cache;
 
 pub use backend::{ExecBackend, HostParallelBackend, SerialBackend};
-pub use config::{BackendKind, FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpStrategy};
+pub use config::{
+    BackendKind, FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpKernels, SetOpStrategy,
+};
 pub use cost::{
     estimate_for_plan, plan_join_costed, plan_join_estimated, CostModel, ExplainPlan, ExplainStep,
     PlannerKind, MAX_EXACT_SEARCH_VERTICES,

@@ -13,6 +13,7 @@ use crate::config::JoinScheme;
 use crate::join::{order_linking_edges, JoinCtx, JoinOverflow};
 use crate::plan::JoinStep;
 use crate::prealloc::PreallocCombine;
+use crate::radix::RadixHashJoin;
 use crate::set_ops::CandidateProbe;
 use crate::table::MatchTable;
 use crate::two_step::TwoStep;
@@ -62,12 +63,14 @@ impl IterationSetup {
 
 static PREALLOC_COMBINE: PreallocCombine = PreallocCombine;
 static TWO_STEP: TwoStep = TwoStep;
+static RADIX_HASH: RadixHashJoin = RadixHashJoin;
 
 /// The strategy singleton implementing a configured [`JoinScheme`].
 pub fn strategy_for(scheme: JoinScheme) -> &'static dyn JoinStrategy {
     match scheme {
         JoinScheme::PreallocCombine => &PREALLOC_COMBINE,
         JoinScheme::TwoStep => &TWO_STEP,
+        JoinScheme::RadixHash => &RADIX_HASH,
     }
 }
 
@@ -77,7 +80,11 @@ mod tests {
 
     #[test]
     fn strategies_round_trip_their_scheme() {
-        for scheme in [JoinScheme::PreallocCombine, JoinScheme::TwoStep] {
+        for scheme in [
+            JoinScheme::PreallocCombine,
+            JoinScheme::TwoStep,
+            JoinScheme::RadixHash,
+        ] {
             assert_eq!(strategy_for(scheme).scheme(), scheme);
         }
         assert_eq!(
@@ -85,5 +92,6 @@ mod tests {
             "prealloc-combine"
         );
         assert_eq!(strategy_for(JoinScheme::TwoStep).name(), "two-step");
+        assert_eq!(strategy_for(JoinScheme::RadixHash).name(), "radix-hash");
     }
 }

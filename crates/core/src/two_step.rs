@@ -49,7 +49,7 @@ impl JoinStrategy for TwoStep {
             // the previous buffer lengths.
             let loads: Vec<usize> = if ei == 0 {
                 (0..m.n_rows())
-                    .map(|r| ctx.data.degree_with_label(m.row(r)[col], label))
+                    .map(|r| ctx.data.degree_with_label(m.cell(r, col), label))
                     .collect()
             } else {
                 bufs.iter().map(|b| b.len()).collect()

@@ -59,6 +59,32 @@ impl<'a> WriteCache<'a> {
         }
     }
 
+    /// Record `n` valid output elements at once — the vectorized kernels'
+    /// bulk channel. Flush points depend only on the cumulative element
+    /// count and the base offset, so this charges *exactly* the
+    /// transactions `n` individual [`WriteCache::push`] calls would.
+    pub fn push_many(&mut self, n: usize) {
+        let Some(base) = self.out_base else {
+            self.written += n; // count-only
+            return;
+        };
+        if self.enabled {
+            let mut remaining = n;
+            while remaining > 0 {
+                let take = (CACHE_ELEMS - self.pending).min(remaining);
+                self.pending += take;
+                remaining -= take;
+                if self.pending == CACHE_ELEMS {
+                    self.flush(base);
+                }
+            }
+        } else {
+            // n scattered single-word stores: one transaction each.
+            self.gpu.stats().add_gst(n as u64);
+            self.written += n;
+        }
+    }
+
     fn flush(&mut self, base: usize) {
         self.gpu
             .stats()
@@ -131,6 +157,39 @@ mod tests {
         }
         assert_eq!(wc.finish(), 32);
         assert_eq!(g.stats().snapshot().gst_transactions, 2);
+    }
+
+    #[test]
+    fn push_many_charges_exactly_like_repeated_push() {
+        for enabled in [true, false] {
+            for base in [Some(0), Some(16), None] {
+                let g1 = gpu();
+                let mut a = WriteCache::new(&g1, enabled, base);
+                for _ in 0..7 {
+                    a.push();
+                }
+                a.push_many(53);
+                a.push_many(0);
+                for _ in 0..11 {
+                    a.push();
+                }
+                let na = a.finish();
+
+                let g2 = gpu();
+                let mut b = WriteCache::new(&g2, enabled, base);
+                for _ in 0..71 {
+                    b.push();
+                }
+                let nb = b.finish();
+
+                assert_eq!(na, nb);
+                assert_eq!(
+                    g1.stats().snapshot(),
+                    g2.stats().snapshot(),
+                    "enabled={enabled} base={base:?}"
+                );
+            }
+        }
     }
 
     #[test]

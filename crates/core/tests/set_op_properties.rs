@@ -2,7 +2,7 @@
 //! reference set algebra for arbitrary sorted inputs, chunked execution
 //! composes to whole-list execution, and accounting invariants hold.
 
-use gsi_core::config::SetOpStrategy;
+use gsi_core::config::{SetOpKernels, SetOpStrategy};
 use gsi_core::set_ops::{CandidateProbe, SetOpExec};
 use gsi_gpu_sim::{DeviceConfig, Gpu};
 use gsi_graph::storage::Neighbors;
@@ -38,6 +38,7 @@ proptest! {
         row in proptest::collection::vec(0u32..500, 0..12),
         cand in proptest::collection::btree_set(0u32..500, 0..150),
         strategy in prop_oneof![Just(SetOpStrategy::GpuFriendly), Just(SetOpStrategy::Naive)],
+        kernels in prop_oneof![Just(SetOpKernels::Scalar), Just(SetOpKernels::Vectorized)],
         cache in any::<bool>(),
         in_global in any::<bool>(),
         offset in 0usize..64,
@@ -49,7 +50,7 @@ proptest! {
             query_vertex: 0,
             list: std::sync::Arc::new(cand_list),
         });
-        let exec = SetOpExec { strategy, write_cache: cache };
+        let exec = SetOpExec { strategy, write_cache: cache, kernels };
         let n = nbrs(n_list.clone(), in_global, offset);
         let got = exec.first_edge(&g, &n, &row, &probe, None, Some(offset), true, None);
         let expect: Vec<u32> = n_list
@@ -65,11 +66,12 @@ proptest! {
         a in proptest::collection::vec(0u32..400, 0..150),
         b in proptest::collection::vec(0u32..400, 0..150),
         in_global in any::<bool>(),
+        kernels in prop_oneof![Just(SetOpKernels::Scalar), Just(SetOpKernels::Vectorized)],
     ) {
         let g = gpu();
         let a = sorted_unique(a);
         let b = sorted_unique(b);
-        let exec = SetOpExec { strategy: SetOpStrategy::GpuFriendly, write_cache: true };
+        let exec = SetOpExec { strategy: SetOpStrategy::GpuFriendly, write_cache: true, kernels };
         let n = nbrs(b.clone(), in_global, 0);
         let got = exec.intersect(&g, &a, None, &n, None, true, None);
         let bs: BTreeSet<u32> = b.into_iter().collect();
@@ -89,7 +91,11 @@ proptest! {
             query_vertex: 0,
             list: std::sync::Arc::new(cand),
         });
-        let exec = SetOpExec { strategy: SetOpStrategy::GpuFriendly, write_cache: true };
+        let exec = SetOpExec {
+            strategy: SetOpStrategy::GpuFriendly,
+            write_cache: true,
+            kernels: SetOpKernels::Vectorized,
+        };
         let n = nbrs(n_list.clone(), true, 5);
         let whole = exec.first_edge(&g, &n, &[3, 9], &probe, None, None, true, None);
         let mut pieces = Vec::new();
@@ -137,7 +143,11 @@ proptest! {
             query_vertex: 0,
             list: std::sync::Arc::new((0..300).collect()),
         });
-        let exec = SetOpExec { strategy: SetOpStrategy::GpuFriendly, write_cache: true };
+        let exec = SetOpExec {
+            strategy: SetOpStrategy::GpuFriendly,
+            write_cache: true,
+            kernels: SetOpKernels::Vectorized,
+        };
         g.reset_stats();
         let n = nbrs(n_list, false, 0);
         exec.first_edge(&g, &n, &[], &probe, None, None, true, None);

@@ -11,10 +11,31 @@ use crate::device::Gpu;
 use crate::stats::GpuStats;
 use std::sync::Arc;
 
+/// Where a [`DeviceVec`]'s contents live on the host side.
+///
+/// `Shared` models a device buffer whose host image is an `Arc`'d list some
+/// other subsystem already owns (e.g. a filter cache's candidate list): the
+/// *device* still pays one allocation of the full size, but the host never
+/// copies the vector. Mutation promotes to an owned copy on demand.
+#[derive(Debug, Clone)]
+enum Backing<T> {
+    Owned(Vec<T>),
+    Shared(Arc<Vec<T>>),
+}
+
+impl<T> Backing<T> {
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Backing::Owned(v) => v,
+            Backing::Shared(a) => a,
+        }
+    }
+}
+
 /// A global-memory buffer of `T` with warp-access accounting.
 #[derive(Debug, Clone)]
 pub struct DeviceVec<T> {
-    data: Vec<T>,
+    data: Backing<T>,
     stats: Arc<GpuStats>,
 }
 
@@ -24,7 +45,21 @@ impl<T: Copy> DeviceVec<T> {
         let stats = gpu.stats();
         stats.record_alloc((data.len() * std::mem::size_of::<T>()) as u64);
         Self {
-            data,
+            data: Backing::Owned(data),
+            stats: Arc::clone(stats_arc(gpu)),
+        }
+    }
+
+    /// Allocate from a shared host vector *without copying it*: the device
+    /// ledger records exactly the allocation [`DeviceVec::from_vec`] would
+    /// (the device-side copy is real either way), but the host image is the
+    /// `Arc` itself — repeated builds over one cached candidate list stop
+    /// cloning it.
+    pub fn from_shared(gpu: &Gpu, data: Arc<Vec<T>>) -> Self {
+        let stats = gpu.stats();
+        stats.record_alloc((data.len() * std::mem::size_of::<T>()) as u64);
+        Self {
+            data: Backing::Shared(data),
             stats: Arc::clone(stats_arc(gpu)),
         }
     }
@@ -39,27 +74,43 @@ impl<T: Copy> DeviceVec<T> {
 
     /// Element count.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.as_slice().len()
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.as_slice().is_empty()
     }
 
     /// Host view of the contents (no transactions charged).
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable host view (no transactions charged).
-    pub fn as_mut_slice(&mut self) -> &mut [T] {
-        &mut self.data
+    /// Mutable host view (no transactions charged). A shared backing is
+    /// promoted to an owned copy first (copy-on-write).
+    pub fn as_mut_slice(&mut self) -> &mut [T]
+    where
+        T: Clone,
+    {
+        if let Backing::Shared(a) = &self.data {
+            self.data = Backing::Owned(a.as_ref().clone());
+        }
+        match &mut self.data {
+            Backing::Owned(v) => v,
+            Backing::Shared(_) => unreachable!("promoted above"),
+        }
     }
 
-    /// Consume into the backing vector.
-    pub fn into_vec(self) -> Vec<T> {
-        self.data
+    /// Consume into the backing vector (a still-shared backing is cloned).
+    pub fn into_vec(self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        match self.data {
+            Backing::Owned(v) => v,
+            Backing::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| a.as_ref().clone()),
+        }
     }
 
     fn elem_bytes() -> usize {
@@ -70,14 +121,14 @@ impl<T: Copy> DeviceVec<T> {
     /// Charges one GLD transaction per 128-byte segment spanned.
     pub fn warp_read(&self, start: usize, len: usize) -> &[T] {
         self.stats.gld_range(start, len, Self::elem_bytes());
-        &self.data[start..start + len]
+        &self.data.as_slice()[start..start + len]
     }
 
     /// Warp-coalesced write of `src` at `start`. Charges GST transactions
     /// for the spanned segments.
     pub fn warp_write(&mut self, start: usize, src: &[T]) {
         self.stats.gst_range(start, src.len(), Self::elem_bytes());
-        self.data[start..start + src.len()].copy_from_slice(src);
+        self.as_mut_slice()[start..start + src.len()].copy_from_slice(src);
     }
 
     /// Warp gather of scattered elements; charges one GLD transaction per
@@ -86,19 +137,20 @@ impl<T: Copy> DeviceVec<T> {
         debug_assert!(indices.len() <= crate::warp::WARP_SIZE);
         self.stats
             .gld_gather(indices.iter().copied(), Self::elem_bytes());
-        indices.iter().map(|&i| self.data[i]).collect()
+        let xs = self.data.as_slice();
+        indices.iter().map(|&i| xs[i]).collect()
     }
 
     /// Single-lane read (one transaction — the degenerate gather).
     pub fn warp_read_one(&self, index: usize) -> T {
         self.stats.gld_gather([index], Self::elem_bytes());
-        self.data[index]
+        self.data.as_slice()[index]
     }
 
     /// Single-lane write (one transaction).
     pub fn warp_write_one(&mut self, index: usize, value: T) {
         self.stats.gst_scatter([index], Self::elem_bytes());
-        self.data[index] = value;
+        self.as_mut_slice()[index] = value;
     }
 }
 
@@ -168,6 +220,35 @@ mod tests {
         let snap = g.stats().snapshot();
         assert_eq!(snap.gst_transactions, 1);
         assert_eq!(snap.gld_transactions, 1);
+    }
+
+    #[test]
+    fn from_shared_charges_like_from_vec_without_copying() {
+        let list = Arc::new((0..1000u32).collect::<Vec<_>>());
+        let g1 = gpu();
+        let shared = DeviceVec::from_shared(&g1, Arc::clone(&list));
+        let g2 = gpu();
+        let owned = DeviceVec::from_vec(&g2, list.as_ref().clone());
+        assert_eq!(g1.stats().snapshot(), g2.stats().snapshot());
+        // The shared backing is the same host allocation, not a copy.
+        assert_eq!(shared.as_slice().as_ptr(), list.as_ptr());
+        assert_eq!(shared.as_slice(), owned.as_slice());
+        // Reads charge identically through either backing.
+        g1.reset_stats();
+        g2.reset_stats();
+        assert_eq!(shared.warp_read_one(77), owned.warp_read_one(77));
+        assert_eq!(g1.stats().snapshot(), g2.stats().snapshot());
+    }
+
+    #[test]
+    fn shared_backing_promotes_on_mutation() {
+        let list = Arc::new(vec![1u32, 2, 3]);
+        let g = gpu();
+        let mut v = DeviceVec::from_shared(&g, Arc::clone(&list));
+        v.as_mut_slice()[0] = 9;
+        assert_eq!(v.as_slice(), &[9, 2, 3]);
+        assert_eq!(list.as_ref(), &vec![1, 2, 3], "original untouched");
+        assert_eq!(v.into_vec(), vec![9, 2, 3]);
     }
 
     #[test]

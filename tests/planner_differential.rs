@@ -1,8 +1,10 @@
 //! Differential gate for the cost-based join-order optimizer: for every
 //! fuzzed query, the optimized plan's match table must be **bit-identical**
 //! (in canonical, query-vertex-indexed form — the join orders differ by
-//! design) to the greedy plan's, across **both execution backends and both
-//! join schemes**, with exactly reproducible device counters per
+//! design) to the greedy plan's, across **both execution backends and all
+//! three join schemes** (plus a mixed cell where the cost model promotes
+//! high-multiplicity steps to radix-hash), with exactly reproducible
+//! device counters per
 //! `(planner, backend, scheme)` cell. A cheaper plan that changed even one
 //! row would be a correctness bug, not an optimization.
 //!
@@ -77,13 +79,19 @@ fn costed_plans_match_greedy_plans_across_backends_and_schemes() {
         .into_iter()
         .flat_map(|(bname, backend)| {
             [
-                ("prealloc", JoinScheme::PreallocCombine),
-                ("two-step", JoinScheme::TwoStep),
+                ("prealloc", JoinScheme::PreallocCombine, None),
+                ("two-step", JoinScheme::TwoStep, None),
+                ("radix-hash", JoinScheme::RadixHash, None),
+                // Prealloc base scheme with cost-model promotion: any step
+                // whose estimated fan-out crosses 1.0 runs radix-hash, so
+                // fuzzed queries exercise mixed-strategy plans too.
+                ("prealloc+radix", JoinScheme::PreallocCombine, Some(1.0)),
             ]
             .into_iter()
-            .map(move |(sname, scheme)| {
+            .map(move |(sname, scheme, radix_at)| {
                 let cfg = GsiConfig {
                     join_scheme: scheme,
+                    radix_join_threshold: radix_at,
                     ..GsiConfig::gsi_opt()
                 }
                 .with_backend(backend, if backend == BackendKind::Serial { 0 } else { 3 });

@@ -32,6 +32,11 @@
 //!                       Prealloc-Combine / two-step on a high-multiplicity
 //!                       workload, equivalence-gated with a deterministic
 //!                       GLD-cut bar; writes BENCH_PR7.json)
+//!   adapt              (repo perf trajectory: adaptive mid-query re-planning
+//!                       vs replayed stale cost-based plans on a
+//!                       correlated-label workload under concept drift,
+//!                       equivalence-gated on canonical match tables and
+//!                       deterministic device counters; writes BENCH_PR8.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -48,17 +53,19 @@
 //!   --pool <n>         recurring-pattern pool size (batch only, default 4)
 //!   --min-speedup <f>  required wall-clock speedup: shared filtering at 16
 //!                      concurrent queries (batch, default 1.3), costed
-//!                      join orders (optimize, default 1.5), or vectorized
-//!                      set-op kernels (setops, default 1.5); 0 disables
-//!   --min-work-ratio <f> required deterministic join-work ratio, greedy
-//!                      over costed (optimize only, default 1.5)
+//!                      join orders (optimize, default 1.5), vectorized
+//!                      set-op kernels (setops, default 1.5), or adaptive
+//!                      re-planning (adapt, default 1.3); 0 disables
+//!   --min-work-ratio <f> required deterministic join-work ratio: greedy
+//!                      over costed (optimize, default 1.5) or stale-static
+//!                      over adaptive (adapt)
 //!   --max-overhead <f> allowed enabled-tracing join-wall overhead as a
 //!                      fraction (observe only, default 0.05); 0 keeps only
 //!                      the deterministic counter-equality gates
 //!   --out <path>       report path (backend: BENCH_PR2.json,
 //!                      update-churn: BENCH_PR3.json, batch: BENCH_PR4.json,
 //!                      optimize: BENCH_PR5.json, observe: BENCH_PR6.json,
-//!                      setops: BENCH_PR7.json)
+//!                      setops: BENCH_PR7.json, adapt: BENCH_PR8.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -66,7 +73,7 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|observe|setops|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|observe|setops|adapt|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
          [--timeout MS] [--cpu-timeout MS] [--threads N] [--latency NS] \
          [--rounds N] [--batch N] [--pool N] [--min-speedup F] \
@@ -170,6 +177,12 @@ fn main() {
             &opts,
             min_speedup.unwrap_or(1.5),
             out_path.as_deref().unwrap_or("BENCH_PR7.json"),
+        ),
+        "adapt" => experiments::adapt(
+            &opts,
+            min_speedup.unwrap_or(1.3),
+            min_work_ratio,
+            out_path.as_deref().unwrap_or("BENCH_PR8.json"),
         ),
         "all" => experiments::all(&opts),
         _ => usage(),

@@ -164,6 +164,16 @@ pub struct GsiConfig {
     /// reaches `t`. Requires a cost-based plan (the estimates come from its
     /// [`crate::cost::ExplainPlan`]); `None` (all presets) never switches.
     pub radix_join_threshold: Option<f64>,
+    /// When `Some(t)`, adaptive execution is enabled: after each join step
+    /// the engine compares the actual intermediate cardinality against the
+    /// [`crate::cost::ExplainPlan`] estimate for the *next* position, and
+    /// when the (smoothed) misestimate ratio `max(est, act) / min(est, act)`
+    /// reaches `t`, the subset-DP re-plans the remaining pattern vertices
+    /// seeded with the true intermediate row count and splices the new
+    /// suffix into the running join. Re-planning never changes the match
+    /// set — only the order work is paid in. `None` (all presets) keeps the
+    /// plan static for the whole query.
+    pub replan_qerror_threshold: Option<f64>,
     /// Execution backend for the join phase's planned kernels.
     pub backend: BackendKind,
     /// Worker threads of the [`BackendKind::HostParallel`] backend
@@ -194,6 +204,7 @@ impl GsiConfig {
             max_intermediate_rows: 10_000_000,
             planner: PlannerKind::Greedy,
             radix_join_threshold: None,
+            replan_qerror_threshold: None,
             backend: BackendKind::Serial,
             intra_query_threads: 0,
         }
@@ -228,6 +239,15 @@ impl GsiConfig {
     /// This configuration with another join-order planner.
     pub fn with_planner(self, planner: PlannerKind) -> Self {
         Self { planner, ..self }
+    }
+
+    /// This configuration with an adaptive re-planning threshold (`None`
+    /// disables mid-query re-planning).
+    pub fn with_replan_qerror_threshold(self, replan_qerror_threshold: Option<f64>) -> Self {
+        Self {
+            replan_qerror_threshold,
+            ..self
+        }
     }
 
     /// "+DS" of Table VI: GSI- with the PCSR data structure.
@@ -360,7 +380,11 @@ mod tests {
         ] {
             assert_eq!(cfg.set_op_kernels, SetOpKernels::Vectorized);
             assert_eq!(cfg.radix_join_threshold, None);
+            assert_eq!(cfg.replan_qerror_threshold, None);
         }
+        let adaptive = GsiConfig::gsi_opt().with_replan_qerror_threshold(Some(4.0));
+        assert_eq!(adaptive.replan_qerror_threshold, Some(4.0));
+        assert!(adaptive.duplicate_removal, "other knobs untouched");
         let scalar = GsiConfig::gsi_opt().with_set_op_kernels(SetOpKernels::Scalar);
         assert_eq!(scalar.set_op_kernels, SetOpKernels::Scalar);
         assert!(scalar.duplicate_removal, "other knobs untouched");

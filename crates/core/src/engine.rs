@@ -2,7 +2,9 @@
 
 use crate::backend::{make_backend, ExecBackend};
 use crate::config::{BackendKind, FilterStrategy, GsiConfig, JoinScheme};
-use crate::cost::{estimate_for_plan, plan_join_costed, ExplainPlan, PlannerKind};
+use crate::cost::{
+    estimate_for_plan, plan_join_costed, replan_suffix, splice_replanned, ExplainPlan, PlannerKind,
+};
 use crate::join::JoinCtx;
 use crate::matches::Matches;
 use crate::plan::{plan_join, JoinPlan, PlanError};
@@ -210,6 +212,21 @@ pub struct QueryOptions<'a> {
     /// coarse phase timers (`filter_time`, `plan_time`, `join_time`) are
     /// always measured.
     pub trace: TraceConfig,
+    /// Adaptive re-planning threshold override for this run; `None` uses
+    /// [`GsiConfig::replan_qerror_threshold`]. When the resolved threshold
+    /// is set, the engine compares each step's actual output cardinality
+    /// against the estimate and, past the threshold, re-plans the
+    /// remaining join order seeded with the true intermediate row count
+    /// (see [`crate::cost::replan_suffix`]). Match results are unaffected
+    /// by construction; `RunStats::replans` counts the splices.
+    pub replan_qerror_threshold: Option<f64>,
+    /// Test-only fault injection for the adaptive differential gate: when
+    /// set, every adaptive re-plan splices its suffix with each linking
+    /// column shifted down by one — the off-by-one a splice implementation
+    /// could plausibly have. The gate must catch the corruption (wrong
+    /// matches or a non-covering plan); production code never sets this.
+    #[doc(hidden)]
+    pub adaptive_splice_skew: bool,
 }
 
 /// Result of one query run.
@@ -233,8 +250,17 @@ pub struct QueryOutput {
     pub planner: PlannerKind,
     /// The executed plan's cost report: per-position estimated cardinality
     /// and cost, with actual cardinalities filled in for every position
-    /// the run executed (aborted runs report a prefix).
+    /// the run executed (aborted runs report a prefix). After an adaptive
+    /// re-plan, suffix estimates are the re-seeded ones (anchored at the
+    /// observed cardinality that triggered the splice), so this explain's
+    /// q-error is the *post-replan* figure.
     pub explain: ExplainPlan,
+    /// The static plan's mean q-error at the moment the first adaptive
+    /// re-plan fired (estimates vs actuals over the executed prefix) —
+    /// the *pre-replan* figure, for comparison with
+    /// [`ExplainPlan::mean_q_error`] on [`QueryOutput::explain`]. `None`
+    /// when the run never re-planned.
+    pub pre_replan_q_error: Option<f64>,
 }
 
 impl QueryOutput {
@@ -498,7 +524,7 @@ impl GsiEngine {
         // The cost-based planner returns its ExplainPlan alongside the
         // plan; the other paths compute one for the executed order so
         // every run reports estimated-vs-actual cardinalities.
-        let (plan, plan_reused, mut explain) = match opts.plan {
+        let (mut plan, plan_reused, mut explain) = match opts.plan {
             Some(p) if p.covers(query) => {
                 let plan = p.clone();
                 let sizes: Vec<f64> = cands.iter().map(|c| c.len() as f64).collect();
@@ -551,27 +577,41 @@ impl GsiEngine {
         // configured scheme.
         let resolved_scheme = opts.join_scheme.unwrap_or(self.cfg.join_scheme);
         let strategy = strategy_for(resolved_scheme);
-        let radix_steps: Vec<bool> = match self.cfg.radix_join_threshold {
-            Some(t) if resolved_scheme != JoinScheme::RadixHash => (0..plan.steps.len())
-                .map(|k| {
-                    // explain.steps[0] is the seed column; step k extends
-                    // steps[k] rows into steps[k + 1] rows.
-                    match (explain.steps.get(k), explain.steps.get(k + 1)) {
-                        (Some(cur), Some(next)) => {
-                            let mult = next.estimated_rows / cur.estimated_rows.max(1.0);
-                            mult.is_finite() && mult >= t
+        let radix_flags = |explain: &ExplainPlan, n_steps: usize| -> Vec<bool> {
+            match self.cfg.radix_join_threshold {
+                Some(t) if resolved_scheme != JoinScheme::RadixHash => (0..n_steps)
+                    .map(|k| {
+                        // explain.steps[0] is the seed column; step k extends
+                        // steps[k] rows into steps[k + 1] rows.
+                        match (explain.steps.get(k), explain.steps.get(k + 1)) {
+                            (Some(cur), Some(next)) => {
+                                let mult = next.estimated_rows / cur.estimated_rows.max(1.0);
+                                mult.is_finite() && mult >= t
+                            }
+                            _ => false,
                         }
-                        _ => false,
-                    }
-                })
-                .collect(),
-            _ => vec![false; plan.steps.len()],
+                    })
+                    .collect(),
+                _ => vec![false; n_steps],
+            }
         };
+        let mut radix_steps: Vec<bool> = radix_flags(&explain, plan.steps.len());
         let backend: Box<dyn ExecBackend> = make_backend(
             opts.backend.unwrap_or(self.cfg.backend),
             opts.intra_query_threads
                 .unwrap_or(self.cfg.intra_query_threads),
         );
+
+        // Adaptive execution: with a finite threshold resolved, each step's
+        // actual output cardinality is checked against the estimate and a
+        // bad-enough miss re-plans the remaining order (see the loop body).
+        let replan_threshold = opts
+            .replan_qerror_threshold
+            .or(self.cfg.replan_qerror_threshold)
+            .filter(|t| t.is_finite());
+        let adaptive_sizes: Option<Vec<f64>> =
+            replan_threshold.map(|_| cands.iter().map(|c| c.len() as f64).collect());
+        let mut pre_replan_q_error: Option<f64> = None;
 
         if min_candidate > 0 {
             let ctx = JoinCtx {
@@ -585,7 +625,8 @@ impl GsiEngine {
             stats.max_intermediate_rows = m.n_rows();
             stats.step_rows.push(m.n_rows());
 
-            for (k, step) in plan.steps.iter().enumerate() {
+            let mut k = 0usize;
+            while k < plan.steps.len() {
                 if m.is_empty() {
                     break;
                 }
@@ -599,27 +640,98 @@ impl GsiEngine {
                     stats.timed_out = true;
                     break;
                 }
-                let cand = &cands[step.vertex as usize];
-                // Per-step wall clocks only under tracing — this pair of
-                // reads per join position is exactly what Off elides.
-                let t_step = opts.trace.is_on().then(Instant::now);
-                let step_strategy = if radix_steps[k] {
-                    strategy_for(JoinScheme::RadixHash)
-                } else {
-                    strategy
-                };
-                match step_strategy.join_iteration(&ctx, &m, step, cand) {
-                    Ok(next) => m = next,
-                    Err(_) => {
-                        stats.timed_out = true;
-                        break;
+                {
+                    let step = &plan.steps[k];
+                    let cand = &cands[step.vertex as usize];
+                    // Per-step wall clocks only under tracing — this pair of
+                    // reads per join position is exactly what Off elides.
+                    let t_step = opts.trace.is_on().then(Instant::now);
+                    let step_strategy = if radix_steps[k] {
+                        strategy_for(JoinScheme::RadixHash)
+                    } else {
+                        strategy
+                    };
+                    match step_strategy.join_iteration(&ctx, &m, step, cand) {
+                        Ok(next) => m = next,
+                        Err(_) => {
+                            stats.timed_out = true;
+                            break;
+                        }
                     }
-                }
-                if let Some(t) = t_step {
-                    stats.step_times.push(t.elapsed());
+                    if let Some(t) = t_step {
+                        stats.step_times.push(t.elapsed());
+                    }
                 }
                 stats.max_intermediate_rows = stats.max_intermediate_rows.max(m.n_rows());
                 stats.step_rows.push(m.n_rows());
+
+                // ---- adaptive mid-query re-planning -------------------
+                // Guards, in order: threshold resolved; the table is
+                // non-empty (a zero-row table ends the join next
+                // iteration — re-planning it would be pure waste); at
+                // least two positions remain (a one-position suffix has
+                // exactly one order); the estimate is finite (a poisoned
+                // estimate must not drive — or crash — the trigger).
+                if let (Some(t), Some(sizes)) = (replan_threshold, adaptive_sizes.as_deref()) {
+                    let executed = k + 2; // seed + steps 0..=k materialized
+                    let remaining = plan.order.len() - executed;
+                    let actual = m.n_rows();
+                    let est = explain.steps[k + 1].estimated_rows;
+                    if actual > 0 && remaining >= 2 && est.is_finite() {
+                        // The trigger ratio matches `mean_q_error`'s +1
+                        // smoothing, so thresholds read in its units.
+                        let e = est.max(0.0) + 1.0;
+                        let a = actual as f64 + 1.0;
+                        let ratio = e.max(a) / e.min(a);
+                        if ratio.is_finite() && ratio >= t {
+                            let new_order = replan_suffix(
+                                query,
+                                prepared.stats(),
+                                sizes,
+                                &self.cfg,
+                                &plan.order[..executed],
+                                actual,
+                            );
+                            if let Some(new_order) = new_order {
+                                let changed = new_order[executed..] != plan.order[executed..];
+                                if changed || opts.adaptive_splice_skew {
+                                    if pre_replan_q_error.is_none() {
+                                        let mut pre = explain.clone();
+                                        pre.fill_actuals(&stats.step_rows);
+                                        pre_replan_q_error = pre.mean_q_error();
+                                    }
+                                    let (new_plan, new_explain) = splice_replanned(
+                                        query,
+                                        prepared.stats(),
+                                        sizes,
+                                        &self.cfg,
+                                        &explain,
+                                        &new_order,
+                                        executed,
+                                        actual,
+                                    );
+                                    plan = new_plan;
+                                    explain = new_explain;
+                                    if opts.adaptive_splice_skew {
+                                        // Fault injection (differential-gate
+                                        // mutation check): shift every spliced
+                                        // linking column down by one.
+                                        for s in plan.steps[executed - 1..].iter_mut() {
+                                            for link in s.linking.iter_mut() {
+                                                link.0 = link.0.saturating_sub(1);
+                                            }
+                                        }
+                                    }
+                                    radix_steps = radix_flags(&explain, plan.steps.len());
+                                    if changed {
+                                        stats.replans += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                k += 1;
             }
 
             if !stats.timed_out {
@@ -644,6 +756,7 @@ impl GsiEngine {
             plan_reused,
             planner,
             explain,
+            pre_replan_q_error,
         })
     }
 
@@ -1308,5 +1421,175 @@ mod tests {
             .query_with_timeout(&data, &prepared, &query, Some(Duration::from_nanos(0)))
             .expect("plans");
         assert!(out.stats.timed_out);
+    }
+
+    /// A correlated-label graph where Algorithm 2's suffix order is
+    /// genuinely wrong: two branches off `b` share edge label 1 — so the
+    /// greedy score (candidate count × label frequency) cannot tell them
+    /// apart and picks the smaller candidate class `x` first — but the
+    /// *typed* densities are opposite: B–X is complete (every b reaches
+    /// every x, fanning the table out 3×) while B–Y is sparse. The DP,
+    /// seeded with the true intermediate cardinality, joins `y` first.
+    fn skewed_fork() -> (Graph, Graph) {
+        let mut b = GraphBuilder::new();
+        let a: Vec<u32> = (0..2).map(|_| b.add_vertex(0)).collect();
+        let bs: Vec<u32> = (0..60).map(|_| b.add_vertex(1)).collect();
+        let xs: Vec<u32> = (0..3).map(|_| b.add_vertex(2)).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.add_vertex(3)).collect();
+        for (i, &vb) in bs.iter().enumerate() {
+            b.add_edge(a[i % 2], vb, 0);
+        }
+        for &vb in &bs {
+            for &vx in &xs {
+                b.add_edge(vb, vx, 1); // dense: every b × every x
+            }
+        }
+        for (i, &vy) in ys.iter().enumerate() {
+            b.add_edge(bs[i * 7], vy, 1); // sparse, same label
+        }
+        let data = b.build();
+
+        // Query: a(0) –0– b(1) with both branches b –1– x(2), b –1– y(3).
+        let mut qb = GraphBuilder::new();
+        let qa = qb.add_vertex(0);
+        let qbv = qb.add_vertex(1);
+        let qx = qb.add_vertex(2);
+        let qy = qb.add_vertex(3);
+        qb.add_edge(qa, qbv, 0);
+        qb.add_edge(qbv, qx, 1);
+        qb.add_edge(qbv, qy, 1);
+        (data, qb.build())
+    }
+
+    #[test]
+    fn adaptive_execution_is_bit_identical_to_static() {
+        let (data, query) = skewed_fork();
+        for backend in [BackendKind::Serial, BackendKind::HostParallel] {
+            let engine = test_engine(
+                GsiConfig::gsi_opt()
+                    .with_backend(backend, if backend == BackendKind::Serial { 0 } else { 3 }),
+            );
+            let prepared = engine.prepare(&data);
+            let static_out = engine.query(&data, &prepared, &query).expect("plans");
+            assert_eq!(static_out.stats.replans, 0, "no threshold, no re-plans");
+            assert_eq!(static_out.pre_replan_q_error, None);
+            let adaptive_out = engine
+                .query_with_options(
+                    &data,
+                    &prepared,
+                    &query,
+                    QueryOptions {
+                        replan_qerror_threshold: Some(1.0),
+                        ..QueryOptions::default()
+                    },
+                )
+                .expect("plans");
+            assert_eq!(
+                static_out.matches.canonical(),
+                adaptive_out.matches.canonical(),
+                "re-planning must never change the match set"
+            );
+            assert!(adaptive_out.plan.covers(&query), "spliced plan covers");
+            assert_eq!(
+                adaptive_out.explain.steps.len(),
+                adaptive_out.plan.order.len()
+            );
+            if adaptive_out.stats.replans > 0 {
+                assert!(
+                    adaptive_out.pre_replan_q_error.is_some(),
+                    "a re-planning run reports the static plan's q-error"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_threshold_actually_replans_on_misestimates() {
+        let (data, query) = skewed_fork();
+        // Config-level knob (the builder), greedy planner: the seed's
+        // misestimates are large, threshold 1.0 fires at the first
+        // eligible step, and the suffix DP has alternatives to pick from.
+        let engine = test_engine(
+            GsiConfig::gsi_opt()
+                .with_planner(PlannerKind::Greedy)
+                .with_replan_qerror_threshold(Some(1.0)),
+        );
+        let prepared = engine.prepare(&data);
+        let adaptive_out = engine.query(&data, &prepared, &query).expect("plans");
+        assert!(
+            adaptive_out.stats.replans > 0,
+            "greedy misestimates at threshold 1.0 must trigger a re-plan"
+        );
+        assert!(adaptive_out.pre_replan_q_error.is_some());
+        let static_engine = test_engine(GsiConfig::gsi_opt().with_planner(PlannerKind::Greedy));
+        let static_prepared = static_engine.prepare(&data);
+        let static_out = static_engine
+            .query(&data, &static_prepared, &query)
+            .expect("plans");
+        assert_eq!(
+            static_out.matches.canonical(),
+            adaptive_out.matches.canonical()
+        );
+        assert_ne!(
+            static_out.plan.order, adaptive_out.plan.order,
+            "the splice changed the executed order"
+        );
+    }
+
+    #[test]
+    fn adaptive_trigger_edge_cases_never_replan_or_panic() {
+        let (data, query) = paper_example();
+        let engine = test_engine(GsiConfig::gsi());
+        let prepared = engine.prepare(&data);
+        let adaptive = |q: &Graph, t: f64| {
+            engine
+                .query_with_options(
+                    &data,
+                    &prepared,
+                    q,
+                    QueryOptions {
+                        replan_qerror_threshold: Some(t),
+                        ..QueryOptions::default()
+                    },
+                )
+                .expect("plans")
+        };
+
+        // Zero-row intermediates: two joined A-vertices are unmatchable;
+        // the empty table ends the join, never re-plans it.
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(0);
+        qb.add_edge(u0, u1, 0);
+        let impossible = qb.build();
+        let out = adaptive(&impossible, 1.0);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.stats.replans, 0, "empty tables never re-plan");
+
+        // Single-vertex pattern: no join steps at all.
+        let mut qb = GraphBuilder::new();
+        qb.add_vertex(2);
+        let single = qb.build();
+        let out = adaptive(&single, 1.0);
+        assert_eq!(out.matches.len(), 101);
+        assert_eq!(out.stats.replans, 0);
+
+        // A plan shorter than two steps (one edge): no suffix to re-order.
+        let mut qb = GraphBuilder::new();
+        let u0 = qb.add_vertex(0);
+        let u1 = qb.add_vertex(1);
+        qb.add_edge(u0, u1, 0);
+        let edge = qb.build();
+        let out = adaptive(&edge, 1.0);
+        assert_eq!(out.matches.len(), 100);
+        assert_eq!(out.stats.replans, 0);
+
+        // Non-finite thresholds disable the trigger instead of poisoning
+        // the ratio comparison (the PR 6 q-error guards, extended).
+        for t in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let out = adaptive(&query, t);
+            assert_eq!(out.matches.len(), 100);
+            assert_eq!(out.stats.replans, 0, "threshold {t} must not fire");
+        }
     }
 }

@@ -91,8 +91,8 @@ pub use config::{
     BackendKind, FilterStrategy, GsiConfig, JoinScheme, LbParams, SetOpKernels, SetOpStrategy,
 };
 pub use cost::{
-    estimate_for_plan, plan_join_costed, plan_join_estimated, CostModel, ExplainPlan, ExplainStep,
-    PlannerKind, MAX_EXACT_SEARCH_VERTICES,
+    estimate_for_plan, plan_from_order, plan_join_costed, plan_join_estimated, replan_suffix,
+    splice_replanned, CostModel, ExplainPlan, ExplainStep, PlannerKind, MAX_EXACT_SEARCH_VERTICES,
 };
 pub use engine::{
     BatchItem, BatchOutput, GsiEngine, PreparedData, QueryOptions, QueryOutput, UpdateReport,

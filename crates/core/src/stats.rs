@@ -43,6 +43,12 @@ pub struct RunStats {
     /// the `Off` path skips them entirely. Not folded by
     /// [`RunStats::accumulate`] (same reason as `step_rows`).
     pub step_times: Vec<Duration>,
+    /// Mid-query re-plans this run performed: each counts one suffix
+    /// subset-DP run triggered by the adaptive misestimate threshold
+    /// (`GsiConfig::replan_qerror_threshold`) whose spliced order actually
+    /// replaced the remaining plan. `0` whenever the threshold is unset or
+    /// the estimates stayed within it.
+    pub replans: u32,
     /// Total streamed elements executed by the join backend (parallel
     /// "work" in the work/span sense).
     pub join_work_units: u64,
@@ -108,6 +114,7 @@ impl RunStats {
         self.filter_device.kernel_launches += other.filter_device.kernel_launches;
         self.join_work_units += other.join_work_units;
         self.join_span_units += other.join_span_units;
+        self.replans += other.replans;
         self.min_candidate += other.min_candidate;
         self.n_matches += other.n_matches;
         self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);

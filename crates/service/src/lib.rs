@@ -582,6 +582,16 @@ impl GsiService {
             self.core.plan_cache.evictions(),
         );
         reg.counter(
+            "gsi_replans_total",
+            "Mid-query re-plans performed by adaptive execution.",
+            snap.run_totals.replans as u64,
+        );
+        reg.counter(
+            "gsi_plan_feedback_hits_total",
+            "Served queries that executed a feedback-refined cached plan.",
+            snap.plan_feedback_hits,
+        );
+        reg.counter(
             "gsi_updates_incremental_total",
             "Graph updates applied by incremental PCSR splice.",
             snap.updates_incremental,
@@ -637,6 +647,11 @@ impl GsiService {
             "gsi_mean_q_error",
             "Mean q-error of served queries' cardinality estimates (NaN before any).",
             snap.mean_estimation_error().unwrap_or(f64::NAN),
+        );
+        reg.gauge(
+            "gsi_mean_pre_replan_q_error",
+            "Mean q-error of the static plans adaptive runs abandoned (NaN before any).",
+            snap.mean_pre_replan_error().unwrap_or(f64::NAN),
         );
         reg.gauge(
             "gsi_last_update_drift",

@@ -154,8 +154,15 @@ pub struct QueryOutcome {
     pub planner_kind: PlannerKind,
     /// Mean q-error of the executed plan's cardinality estimates
     /// (estimated vs. actual intermediate rows per join position; 1.0 =
-    /// perfect). `None` when the run executed no join position.
+    /// perfect). `None` when the run executed no join position. For a run
+    /// that re-planned mid-query this measures the *final* spliced plan;
+    /// the abandoned static plan's q-error is
+    /// `output.pre_replan_q_error`.
     pub estimation_error: Option<f64>,
+    /// Whether the executed join order came from a plan-cache entry that
+    /// cardinality feedback had refined — i.e. an earlier adaptive run's
+    /// measured-better order, not the first-written static plan.
+    pub plan_feedback: bool,
     /// Cross-run size estimates for the pattern, when cached.
     pub estimates: Option<PlanEstimates>,
     /// Intra-query worker threads granted to this run by the scheduler's
@@ -695,11 +702,13 @@ fn run_job(
     };
 
     // Record the executed plan and fold this run's sizes into the
-    // pattern's estimates (first writer keeps the stable join order).
-    // Skipped for aborted runs — a timed-out run's zero match count would
-    // poison the estimates — and for scopes no longer current in the
-    // catalog, so a concurrent unregister/re-register doesn't resurrect
-    // dead entries.
+    // pattern's estimates (the first writer keeps the order until an
+    // adaptive run's measured q-error beats the recorded best — then the
+    // entry adopts the measured plan; see `PlanCache::record`). Skipped
+    // for aborted runs — a timed-out run's zero match count would poison
+    // the estimates — and for scopes no longer current in the catalog, so
+    // a concurrent unregister/re-register doesn't resurrect dead entries.
+    let estimation_error = output.explain.mean_q_error();
     let scope_current = core
         .catalog
         .get(entry.name())
@@ -712,6 +721,7 @@ fn run_job(
             &output.plan,
             output.planner,
             &output.stats,
+            estimation_error,
         );
     }
 
@@ -722,7 +732,7 @@ fn run_job(
         Some(c) if plan_cache_hit => c.planner,
         _ => output.planner,
     };
-    let estimation_error = output.explain.mean_q_error();
+    let plan_feedback = plan_cache_hit && cached.as_ref().is_some_and(|c| c.estimates.refined);
     let latency = job.submitted.elapsed();
 
     // Stage accounting for every served query. The engine's `join_time`
@@ -746,6 +756,8 @@ fn run_job(
     core.stats.record_stage_breakdown(&breakdown);
     core.stats.record_completed(scope, latency, &output.stats);
     core.stats.record_planned(planner_kind, estimation_error);
+    core.stats
+        .record_adaptive(plan_feedback, output.pre_replan_q_error);
 
     // Offer the trace to the flight recorder (a relaxed load for the fast
     // majority). Span trees exist only under TraceConfig::On; the coarse
@@ -784,6 +796,7 @@ fn run_job(
             plan_cache_hit,
             planner_kind,
             estimation_error,
+            plan_feedback,
             estimates: cached.map(|c| c.estimates),
             intra_threads,
             batch_size,

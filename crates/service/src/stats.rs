@@ -91,6 +91,11 @@ pub struct ServiceStats {
     /// atomic add.
     estimation_error_sum: Mutex<f64>,
     estimation_samples: AtomicU64,
+    plan_feedback_hits: AtomicU64,
+    /// Summed q-errors of the static plans adaptive runs abandoned at
+    /// their first mid-query re-plan (divisor: `pre_replan_samples`).
+    pre_replan_error_sum: Mutex<f64>,
+    pre_replan_samples: AtomicU64,
     /// Incremental (PCSR splice) graph updates applied.
     updates_incremental: AtomicU64,
     /// Wholesale-rebuild graph updates applied.
@@ -166,6 +171,9 @@ impl ServiceStats {
             plans_recost_dropped: AtomicU64::new(0),
             estimation_error_sum: Mutex::new(0.0),
             estimation_samples: AtomicU64::new(0),
+            plan_feedback_hits: AtomicU64::new(0),
+            pre_replan_error_sum: Mutex::new(0.0),
+            pre_replan_samples: AtomicU64::new(0),
             updates_incremental: AtomicU64::new(0),
             updates_rebuilt: AtomicU64::new(0),
             last_update_drift: Mutex::new(None),
@@ -235,6 +243,23 @@ impl ServiceStats {
         if let Some(err) = estimation_error.filter(|e| e.is_finite()) {
             *self.estimation_error_sum.lock() += err;
             self.estimation_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A served query's adaptive-execution record: `feedback_hit` is
+    /// whether its executed order came from a feedback-refined cache
+    /// entry, `pre_replan_q_error` the static plan's measured q-error at
+    /// the run's first mid-query re-plan (`None` when it never re-planned;
+    /// non-finite samples are dropped, like `record_planned`'s). The
+    /// re-plan *count* rides in `RunStats::replans` via
+    /// [`ServiceStats::record_completed`].
+    pub fn record_adaptive(&self, feedback_hit: bool, pre_replan_q_error: Option<f64>) {
+        if feedback_hit {
+            self.plan_feedback_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(q) = pre_replan_q_error.filter(|q| q.is_finite()) {
+            *self.pre_replan_error_sum.lock() += q;
+            self.pre_replan_samples.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -342,6 +367,9 @@ impl ServiceStats {
             plans_recost_dropped: self.plans_recost_dropped.load(Ordering::Relaxed),
             estimation_error_sum: *self.estimation_error_sum.lock(),
             estimation_samples: self.estimation_samples.load(Ordering::Relaxed),
+            plan_feedback_hits: self.plan_feedback_hits.load(Ordering::Relaxed),
+            pre_replan_error_sum: *self.pre_replan_error_sum.lock(),
+            pre_replan_samples: self.pre_replan_samples.load(Ordering::Relaxed),
             updates_incremental: self.updates_incremental.load(Ordering::Relaxed),
             updates_rebuilt: self.updates_rebuilt.load(Ordering::Relaxed),
             last_update_drift: *self.last_update_drift.lock(),
@@ -410,6 +438,17 @@ pub struct ServiceStatsSnapshot {
     pub estimation_error_sum: f64,
     /// Queries contributing to `estimation_error_sum`.
     pub estimation_samples: u64,
+    /// Served queries whose executed join order came from a plan-cache
+    /// entry that cardinality feedback had refined (see
+    /// `PlanCache::record`). Mid-query re-plan counts ride in
+    /// `run_totals.replans`.
+    pub plan_feedback_hits: u64,
+    /// Summed q-errors of the static plans adaptive runs abandoned at
+    /// their first mid-query re-plan (see
+    /// [`ServiceStatsSnapshot::mean_pre_replan_error`]).
+    pub pre_replan_error_sum: f64,
+    /// Queries contributing to `pre_replan_error_sum`.
+    pub pre_replan_samples: u64,
     /// Graph updates whose storage took the incremental PCSR splice path.
     pub updates_incremental: u64,
     /// Graph updates that rebuilt storage wholesale.
@@ -497,6 +536,16 @@ impl ServiceStatsSnapshot {
             .then(|| self.estimation_error_sum / self.estimation_samples as f64)
     }
 
+    /// Mean q-error of the static plans that adaptive runs abandoned at
+    /// their first mid-query re-plan (`None` before any run re-planned).
+    /// Compare against [`ServiceStatsSnapshot::mean_estimation_error`],
+    /// which measures the plans actually *executed*: the gap is what
+    /// cardinality feedback bought.
+    pub fn mean_pre_replan_error(&self) -> Option<f64> {
+        (self.pre_replan_samples > 0)
+            .then(|| self.pre_replan_error_sum / self.pre_replan_samples as f64)
+    }
+
     /// Fraction of multi-query-batch filter-demand lookups served from
     /// the shared cache instead of a fresh filter pass, in `[0, 1]`; 0
     /// when no multi-query batch ran.
@@ -530,6 +579,9 @@ impl ServiceStatsSnapshot {
         self.plans_recost_dropped += other.plans_recost_dropped;
         self.estimation_error_sum += other.estimation_error_sum;
         self.estimation_samples += other.estimation_samples;
+        self.plan_feedback_hits += other.plan_feedback_hits;
+        self.pre_replan_error_sum += other.pre_replan_error_sum;
+        self.pre_replan_samples += other.pre_replan_samples;
         self.updates_incremental += other.updates_incremental;
         self.updates_rebuilt += other.updates_rebuilt;
         self.last_update_drift = match (self.last_update_drift, other.last_update_drift) {
@@ -602,6 +654,17 @@ impl std::fmt::Display for ServiceStatsSnapshot {
         match self.mean_estimation_error() {
             Some(err) => writeln!(f, "; mean q-error {err:.2}")?,
             None => writeln!(f)?,
+        }
+        if self.run_totals.replans > 0 || self.plan_feedback_hits > 0 {
+            write!(
+                f,
+                "adaptive: {} mid-query re-plans, {} feedback hits",
+                self.run_totals.replans, self.plan_feedback_hits
+            )?;
+            match self.mean_pre_replan_error() {
+                Some(q) => writeln!(f, "; pre-replan q-error {q:.2}")?,
+                None => writeln!(f)?,
+            }
         }
         if self.plans_migrated + self.plans_recost_kept + self.plans_recost_dropped > 0 {
             writeln!(

@@ -610,9 +610,10 @@ fn greedy_order(
     let mut order: Vec<VertexId> = Vec::with_capacity(nq);
     for i in 0..nq {
         let pick = if i == 0 {
+            // `nq == 0` cannot reach here, but keep the failure typed.
             (0..nq)
                 .min_by(|&a, &b| score[a].total_cmp(&score[b]))
-                .expect("non-empty query")
+                .ok_or(PlanError::EmptyQuery)?
         } else {
             (0..nq)
                 .filter(|&u| {

@@ -373,6 +373,7 @@ impl GsiEngine {
                 prepared
                     .sig_table
                     .as_ref()
+                    // gsi-lint: allow(panic-freedom, reason = "prepare() always builds the table under the Signature config; absence means prepared data from a different engine config, a caller bug no typed error can repair")
                     .expect("signature filter requires a prepared table"),
                 query,
                 &self.cfg.signature,
@@ -402,6 +403,7 @@ impl GsiEngine {
                 prepared
                     .sig_table
                     .as_ref()
+                    // gsi-lint: allow(panic-freedom, reason = "prepare() always builds the table under the Signature config; absence means prepared data from a different engine config, a caller bug no typed error can repair")
                     .expect("signature filter requires a prepared table"),
                 query,
                 &self.cfg.signature,
@@ -498,6 +500,7 @@ impl GsiEngine {
         query: &Graph,
         opts: QueryOptions<'_>,
     ) -> Result<QueryOutput, PlanError> {
+        // gsi-lint: allow(trace-gating, reason = "one timestamp per query for RunStats phase totals, not per-step tracing; amortized over the whole run")
         let t_start = Instant::now();
         let snap_start = self.gpu.stats().snapshot();
 
@@ -518,6 +521,7 @@ impl GsiEngine {
         };
 
         // ---- joining phase --------------------------------------------
+        // gsi-lint: allow(trace-gating, reason = "one timestamp per query for RunStats phase totals, not per-step tracing; amortized over the whole run")
         let t_join = Instant::now();
         let timeout = opts.timeout;
         let resolved_planner = opts.planner.unwrap_or(self.cfg.planner);

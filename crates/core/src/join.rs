@@ -10,7 +10,7 @@ use crate::dedup::block_input_owners;
 use crate::load_balance::{plan_kernels, ChunkTask};
 use crate::set_ops::{CandidateProbe, SetOpExec};
 use crate::table::{segments_into_row_buffers, stitch_columns, MatchTable, Segment, TableShard};
-use gsi_gpu_sim::scan::exclusive_prefix_sum;
+use gsi_gpu_sim::scan::{exclusive_prefix_sum, scan_total};
 use gsi_gpu_sim::{kernel, Gpu};
 use gsi_graph::storage::Neighbors;
 use gsi_graph::{EdgeLabel, Graph, LabeledStore, VertexId};
@@ -142,8 +142,7 @@ fn run_block(
 
         // The naive baseline launches a dedicated kernel per set operation.
         if ctx.cfg.set_ops == SetOpStrategy::Naive {
-            ctx.gpu.stats().record_kernel_launch();
-            ctx.gpu.charge_launch_overhead();
+            charge_naive_launch(ctx);
         }
 
         let out_base = out_bases.map(|f| f[task.row]);
@@ -229,6 +228,30 @@ pub fn count_pass(ctx: &JoinCtx<'_>, m: &MatchTable, col: usize, label: EdgeLabe
     counts.into_iter().map(|c| c.into_inner()).collect()
 }
 
+/// Charge the naive baseline's dedicated per-set-operation kernel launch.
+fn charge_naive_launch(ctx: &JoinCtx<'_>) {
+    ctx.gpu.stats().record_kernel_launch();
+    ctx.gpu.charge_launch_overhead();
+}
+
+/// Charge streaming one link task's slice of its row buffer from global
+/// memory (GBA-resident buffers only).
+fn charge_link_buffer_read(ctx: &JoinCtx<'_>, base: usize, range: &std::ops::Range<usize>) {
+    ctx.gpu
+        .stats()
+        .gld_range(base + range.start, range.len(), 4);
+}
+
+/// Bulk-charge one link task's output writes: the device writes each
+/// extended row as its own row-major span (summed per row — identical to
+/// one `charge_write_at` + `add_work` per output row).
+fn charge_link_writes(ctx: &JoinCtx<'_>, n_cols: usize, out_start: usize, take: usize) {
+    let txns = MatchTable::row_write_transactions(ctx.gpu, n_cols, out_start, take);
+    let stats = ctx.gpu.stats();
+    stats.add_gst(txns);
+    stats.add_work((take * n_cols) as u64);
+}
+
 /// The link kernel (Algorithm 3 lines 15-21): extend every row `m_i` with
 /// each element of `buf_i`, writing the new table `M'`.
 ///
@@ -242,7 +265,7 @@ pub fn link_pass(
     out_offsets: &[u32],
 ) -> MatchTable {
     let n_cols = m.n_cols() + 1;
-    let total_rows = *out_offsets.last().expect("offsets include total") as usize;
+    let total_rows = scan_total(out_offsets);
 
     let loads: Vec<usize> = bufs.iter().map(|b| b.len()).collect();
     let plans = plan_kernels(&loads, ctx.cfg.load_balance.as_ref(), ctx.warps_per_block());
@@ -261,20 +284,11 @@ pub fn link_pass(
                     m.charge_row_read(ctx.gpu, task.row);
                     m.row_into(task.row, &mut row);
                     if let Some(bases) = buf_bases {
-                        ctx.gpu.stats().gld_range(
-                            bases[task.row] + task.range.start,
-                            task.range.len(),
-                            4,
-                        );
+                        charge_link_buffer_read(ctx, bases[task.row], &task.range);
                     }
                     let take = task.range.len();
                     let out_start = out_offsets[task.row] as usize + task.range.start;
-                    // Bulk charge: the device writes each extended row as its
-                    // own row-major span (summed per row — identical to one
-                    // `charge_write_at` + `add_work` per output row).
-                    let txns = MatchTable::row_write_transactions(ctx.gpu, n_cols, out_start, take);
-                    ctx.gpu.stats().add_gst(txns);
-                    ctx.gpu.stats().add_work((take * n_cols) as u64);
+                    charge_link_writes(ctx, n_cols, out_start, take);
                     // Column-major emission: each inherited column is a
                     // fixed-width splat, the new column a contiguous copy.
                     let mut local = Vec::with_capacity(take * n_cols);
@@ -308,7 +322,7 @@ pub fn finalize_iteration(
 ) -> Result<MatchTable, JoinOverflow> {
     let final_counts: Vec<u32> = bufs.iter().map(|b| b.len() as u32).collect();
     let out_offsets = exclusive_prefix_sum(ctx.gpu, &final_counts);
-    if *out_offsets.last().expect("scan returns total") as usize > ctx.cfg.max_intermediate_rows {
+    if scan_total(&out_offsets) > ctx.cfg.max_intermediate_rows {
         return Err(JoinOverflow);
     }
     Ok(link_pass(ctx, m, bufs, buf_bases, &out_offsets))
@@ -326,9 +340,11 @@ pub fn order_linking_edges(
             .iter()
             .enumerate()
             .min_by_key(|(_, &(_, l))| ctx.data.elabel_freq(l))
-            .map(|(i, _)| i)
-            .expect("at least one linking edge");
-        edges.swap(0, e0_idx);
+            .map(|(i, _)| i);
+        // A step with no linking edges leaves the (empty) order as-is.
+        if let Some(e0_idx) = e0_idx {
+            edges.swap(0, e0_idx);
+        }
     }
     edges
 }

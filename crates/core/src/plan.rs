@@ -103,10 +103,11 @@ pub fn plan_join(
 
     for i in 0..nq {
         let pick = if i == 0 {
-            // Line 6: global minimum score.
+            // Line 6: global minimum score. `nq == 0` is rejected above,
+            // but surface the typed error rather than panicking.
             (0..nq)
                 .min_by(|&a, &b| score[a].total_cmp(&score[b]))
-                .expect("non-empty query")
+                .ok_or(PlanError::EmptyQuery)?
         } else {
             // Line 9: minimum score among vertices connected to Q'.
             (0..nq)

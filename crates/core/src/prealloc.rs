@@ -10,12 +10,36 @@ use crate::join::{count_pass, finalize_iteration, run_edge_pass, JoinCtx, JoinOv
 use crate::plan::JoinStep;
 use crate::strategy::{IterationSetup, JoinStrategy};
 use crate::table::MatchTable;
-use gsi_gpu_sim::scan::exclusive_prefix_sum;
+use gsi_gpu_sim::scan::{exclusive_prefix_sum, scan_total};
 use gsi_signature::CandidateSet;
 
 /// The Prealloc-Combine output scheme as a pluggable [`JoinStrategy`].
 #[derive(Debug, Default)]
 pub struct PreallocCombine;
+
+/// Charge this iteration's output-buffer allocation. Combined: "it is
+/// better to combine all buffers into a big array and assign consecutive
+/// memory space (GBA)" — one `gba_len`-word request plus the offset array
+/// F. The ablation instead requests one buffer per row plus an 8-byte
+/// pointer array (§V's space argument).
+fn charge_buffer_alloc(
+    ctx: &JoinCtx<'_>,
+    combined: bool,
+    gba_len: usize,
+    counts: &[usize],
+    n_rows: usize,
+) {
+    let stats = ctx.gpu.stats();
+    if combined {
+        stats.record_alloc(4 * gba_len as u64);
+        stats.record_alloc(4 * n_rows as u64); // offset array F
+    } else {
+        for &c in counts {
+            stats.record_alloc(4 * c as u64);
+        }
+        stats.record_alloc(8 * n_rows as u64);
+    }
+}
 
 impl JoinStrategy for PreallocCombine {
     fn scheme(&self) -> JoinScheme {
@@ -41,21 +65,8 @@ impl JoinStrategy for PreallocCombine {
         let counts = count_pass(ctx, m, col0, l0);
         let counts_u32: Vec<u32> = counts.iter().map(|&c| c as u32).collect();
         let offsets = exclusive_prefix_sum(ctx.gpu, &counts_u32);
-        let gba_len = *offsets.last().expect("scan returns total") as usize;
-
-        // "It is better to combine all buffers into a big array and assign
-        // consecutive memory space (GBA)" — one allocation request; the
-        // ablation issues one per row instead.
-        if ctx.cfg.combined_alloc {
-            ctx.gpu.stats().record_alloc(4 * gba_len as u64);
-            ctx.gpu.stats().record_alloc(4 * (m.n_rows() as u64)); // offset array F
-        } else {
-            for &c in &counts {
-                ctx.gpu.stats().record_alloc(4 * c as u64);
-            }
-            // Pointer array: 8 bytes per row (§V's space argument).
-            ctx.gpu.stats().record_alloc(8 * (m.n_rows() as u64));
-        }
+        let gba_len = scan_total(&offsets);
+        charge_buffer_alloc(ctx, ctx.cfg.combined_alloc, gba_len, &counts, m.n_rows());
 
         let out_bases: Vec<usize> = offsets[..m.n_rows()].iter().map(|&o| o as usize).collect();
 

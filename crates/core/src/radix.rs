@@ -37,7 +37,7 @@ use crate::set_ops::{CandidateProbe, SetOpExec};
 use crate::strategy::{IterationSetup, JoinStrategy};
 use crate::table::{segments_into_row_buffers, MatchTable, Segment};
 use crate::write_cache::WriteCache;
-use gsi_gpu_sim::scan::exclusive_prefix_sum;
+use gsi_gpu_sim::scan::{exclusive_prefix_sum, scan_total};
 use gsi_graph::{EdgeLabel, VertexId};
 use gsi_signature::CandidateSet;
 use std::collections::HashMap;
@@ -93,6 +93,37 @@ fn charge_hash_build(ctx: &JoinCtx<'_>, len: usize) {
     let stats = ctx.gpu.stats();
     stats.record_alloc(8 * len as u64);
     stats.add_gst(((len * 8).div_ceil(128)) as u64);
+    stats.add_work(len as u64);
+}
+
+/// Charge allocating this iteration's global buffer area: the
+/// `gba_len`-word output buffer plus the per-row offset array F — the same
+/// accounting as Prealloc-Combine.
+fn charge_gba_alloc(ctx: &JoinCtx<'_>, gba_len: usize, n_rows: usize) {
+    let stats = ctx.gpu.stats();
+    stats.record_alloc(4 * gba_len as u64);
+    stats.record_alloc(4 * n_rows as u64);
+}
+
+/// Charge one row's probe pass over its partition's `s_len`-entry shared
+/// list. `naive_reread` carries the row's `(offset, len)` when the naive
+/// strategy re-reads the partial match once per 128-byte batch probed.
+fn charge_probe_pass(ctx: &JoinCtx<'_>, s_len: usize, naive_reread: Option<(usize, usize)>) {
+    let stats = ctx.gpu.stats();
+    stats.add_work(s_len as u64);
+    if let Some((off, len)) = naive_reread {
+        for _ in 0..s_len.div_ceil(32) {
+            stats.gld_range(off, len, 4);
+        }
+    }
+}
+
+/// Charge streaming one row's running buffer from the GBA and probing the
+/// shared hash table: one gathered load per element probed.
+fn charge_buffer_probe(ctx: &JoinCtx<'_>, base: usize, len: usize) {
+    let stats = ctx.gpu.stats();
+    stats.gld_range(base, len, 4);
+    stats.add_gld(len as u64);
     stats.add_work(len as u64);
 }
 
@@ -179,9 +210,8 @@ impl JoinStrategy for RadixHashJoin {
         let counts = count_pass(ctx, m, col0, l0);
         let counts_u32: Vec<u32> = counts.iter().map(|&c| c as u32).collect();
         let offsets = exclusive_prefix_sum(ctx.gpu, &counts_u32);
-        let gba_len = *offsets.last().expect("scan returns total") as usize;
-        ctx.gpu.stats().record_alloc(4 * gba_len as u64);
-        ctx.gpu.stats().record_alloc(4 * (m.n_rows() as u64));
+        let gba_len = scan_total(&offsets);
+        charge_gba_alloc(ctx, gba_len, m.n_rows());
         let out_bases: Vec<usize> = offsets[..m.n_rows()].iter().map(|&o| o as usize).collect();
 
         let mut bufs: Vec<Vec<VertexId>> = Vec::new();
@@ -243,14 +273,9 @@ impl RadixHashJoin {
         Self::run_rows(ctx, m.n_rows(), &loads, &|row| {
             let s = &shared[row_shared[row]];
             m.charge_row_read(ctx.gpu, row);
-            ctx.gpu.stats().add_work(s.len() as u64);
-            if naive {
-                // Naive set-ops re-read the row once per 128B batch probed.
-                let batches = s.len().div_ceil(32);
-                for _ in 0..batches {
-                    ctx.gpu.stats().gld_range(row * n_cols, n_cols, 4);
-                }
-            }
+            // Naive set-ops re-read the row once per 128B batch probed.
+            let reread = naive.then_some((row * n_cols, n_cols));
+            charge_probe_pass(ctx, s.len(), reread);
             let mut srow: Vec<VertexId> = Vec::with_capacity(n_cols);
             m.row_into(row, &mut srow);
             srow.sort_unstable();
@@ -304,9 +329,7 @@ impl RadixHashJoin {
             let buf = &bufs[row];
             // Stream the row's buffer from the GBA and probe the shared
             // hash table: one transaction per element probed.
-            ctx.gpu.stats().gld_range(out_bases[row], buf.len(), 4);
-            ctx.gpu.stats().add_gld(buf.len() as u64);
-            ctx.gpu.stats().add_work(buf.len() as u64);
+            charge_buffer_probe(ctx, out_bases[row], buf.len());
             let out = hash_probe_intersect(buf, &tables[row_part[row]]);
             let mut cache = WriteCache::new(ctx.gpu, exec.write_cache, Some(out_bases[row]));
             cache.push_many(out.len());

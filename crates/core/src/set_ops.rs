@@ -168,6 +168,34 @@ impl SetOpExec {
         }
     }
 
+    /// Charge the naive strategy's re-read of the partial-match row from
+    /// global memory: one row load per streamed batch (the naive kernel
+    /// has no shared-memory copy to hit).
+    fn charge_row_reread(gpu: &Gpu, reread: Option<(usize, usize)>, batches: usize) {
+        if let Some((off, len)) = reread {
+            for _ in 0..batches {
+                gpu.stats().gld_range(off, len, 4);
+            }
+        }
+    }
+
+    /// Bulk-charge `probes` single-word global loads. The vectorized
+    /// kernels aggregate their data-dependent probe transactions into one
+    /// ledger add that equals the scalar kernel's per-element charges.
+    fn charge_probe_loads(gpu: &Gpu, probes: u64) {
+        gpu.stats().add_gld(probes);
+    }
+
+    /// Charge streaming `len` elements of the running buffer chunk:
+    /// global loads when the buffer lives in device memory (GBA / edge
+    /// buffer), plus the chunk's work units either way.
+    fn charge_buffer_stream(gpu: &Gpu, buf_base: Option<usize>, start: usize, len: usize) {
+        if let Some(base) = buf_base {
+            gpu.stats().gld_range(base + start, len, 4);
+        }
+        gpu.stats().add_work(len as u64);
+    }
+
     /// The fused first-edge operation: `(nbrs[chunk] \ row) ∩ cand`.
     ///
     /// * `row` — the partial match `m_i` (subtraction enforces injectivity).
@@ -235,11 +263,9 @@ impl SetOpExec {
         let mut cache = WriteCache::new(gpu, self.write_cache, out_base);
         Self::stream(gpu, nbrs, range, charge_n, |batch| {
             if self.strategy == SetOpStrategy::Naive {
-                if let Some((off, len)) = naive_row_reread {
-                    // Naive: the partial match is not cached in shared
-                    // memory; re-read it for this batch.
-                    gpu.stats().gld_range(off, len, 4);
-                }
+                // Naive: the partial match is not cached in shared
+                // memory; re-read it for this batch.
+                Self::charge_row_reread(gpu, naive_row_reread, 1);
             }
             for &v in batch {
                 if row.contains(&v) {
@@ -277,11 +303,7 @@ impl SetOpExec {
         }
         let n_batches = Self::charge_stream(gpu, nbrs, range, charge_n);
         if self.strategy == SetOpStrategy::Naive {
-            if let Some((off, len)) = naive_row_reread {
-                for _ in 0..n_batches {
-                    gpu.stats().gld_range(off, len, 4);
-                }
-            }
+            Self::charge_row_reread(gpu, naive_row_reread, n_batches);
         }
 
         // Sorted-probe row filter: sort the (tiny) partial match once per
@@ -307,7 +329,7 @@ impl SetOpExec {
                         }
                     }
                 }
-                gpu.stats().add_gld(probes);
+                Self::charge_probe_loads(gpu, probes);
             }
             CandidateProbe::Sorted(_) => {
                 // Sorted-list probes are data-dependent binary searches;
@@ -354,14 +376,19 @@ impl SetOpExec {
         // Only a *proper* sub-range (a load-balance chunk) pays the two
         // binary searches; a whole-row task is a plain merge.
         let is_proper_chunk = brange != (0..buf.len());
-        let (n_lo, n_hi) = if is_proper_chunk {
+        let chunk_bounds = if is_proper_chunk {
+            bslice.first().zip(bslice.last())
+        } else {
+            None
+        };
+        let (n_lo, n_hi) = if let Some((&bfirst, &blast)) = chunk_bounds {
             let list: &[VertexId] = &nbrs.list;
-            let lo = list.partition_point(|&x| x < bslice[0]);
-            let hi = list.partition_point(|&x| x <= *bslice.last().expect("non-empty"));
+            let lo = list.partition_point(|&x| x < bfirst);
+            let hi = list.partition_point(|&x| x <= blast);
             if nbrs.in_global && charge_n {
                 // Two binary searches over the global list.
                 let probes = 2 * (usize::BITS - (list.len() as u32).leading_zeros()) as u64;
-                gpu.stats().add_gld(probes);
+                Self::charge_probe_loads(gpu, probes);
             }
             (lo, hi)
         } else {
@@ -369,10 +396,7 @@ impl SetOpExec {
         };
 
         // Charge the buffer-side stream.
-        if let Some(base) = buf_base {
-            gpu.stats().gld_range(base + brange.start, bslice.len(), 4);
-        }
-        gpu.stats().add_work(bslice.len() as u64);
+        Self::charge_buffer_stream(gpu, buf_base, brange.start, bslice.len());
 
         match self.kernels {
             SetOpKernels::Scalar => {

@@ -65,7 +65,9 @@ impl MatchTable {
         assert!(!cols.is_empty(), "a match table needs at least one column");
         let n_rows = cols[0].len();
         assert!(cols.iter().all(|c| c.len() == n_rows), "ragged column set");
-        Self { n_rows, cols }
+        let table = Self { n_rows, cols };
+        table.assert_rectangular("from_columns");
+        table
     }
 
     /// Number of columns (matched query vertices).
@@ -118,7 +120,29 @@ impl MatchTable {
             col.push(v);
         }
         self.n_rows += 1;
+        self.assert_rectangular("push_row");
     }
+
+    /// debug-invariants: every column must hold exactly `n_rows` entries
+    /// after any row-level mutation. A ragged table silently corrupts every
+    /// later row read (columnar addressing indexes all columns by the same
+    /// row number).
+    #[cfg(feature = "debug-invariants")]
+    fn assert_rectangular(&self, op: &str) {
+        for (c, col) in self.cols.iter().enumerate() {
+            assert_eq!(
+                col.len(),
+                self.n_rows,
+                "debug-invariants: MatchTable::{op} left column {c} with {} entries but n_rows = {}",
+                col.len(),
+                self.n_rows
+            );
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    #[inline(always)]
+    fn assert_rectangular(&self, _op: &str) {}
 
     /// Append all rows of a column-compatible table (host-side aggregation;
     /// no device transactions are charged). Fails on column-count mismatch.
@@ -136,6 +160,7 @@ impl MatchTable {
             dst.extend_from_slice(src);
         }
         self.n_rows += other.n_rows;
+        self.assert_rectangular("append");
         Ok(())
     }
 
@@ -520,5 +545,17 @@ mod tests {
         let g2 = Gpu::new(DeviceConfig::test_device());
         let n = MatchTable::row_write_transactions(&g2, 5, 3, 6);
         assert_eq!(g1.stats().snapshot().gst_transactions, n);
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "debug-invariants: MatchTable::push_row left column 1")]
+    fn sanitizer_catches_ragged_table() {
+        let mut m = MatchTable::new(2);
+        m.push_row(&[1, 2]);
+        // Corrupt a column behind the public API's back — only the
+        // sanitizer can see this.
+        m.cols[1].pop();
+        m.push_row(&[3, 4]);
     }
 }

@@ -13,9 +13,15 @@ use crate::join::{finalize_iteration, run_edge_pass, JoinCtx, JoinOverflow, Pass
 use crate::plan::JoinStep;
 use crate::strategy::{IterationSetup, JoinStrategy};
 use crate::table::MatchTable;
-use gsi_gpu_sim::scan::exclusive_prefix_sum;
+use gsi_gpu_sim::scan::{exclusive_prefix_sum, scan_total};
 use gsi_graph::VertexId;
 use gsi_signature::CandidateSet;
+
+/// Charge allocating one edge's freshly assigned output buffer (two-step
+/// pays a new `len`-word allocation per linking edge).
+fn charge_edge_buffer_alloc(ctx: &JoinCtx<'_>, len: usize) {
+    ctx.gpu.stats().record_alloc(4 * len as u64);
+}
 
 /// The two-step output scheme as a pluggable [`JoinStrategy`].
 #[derive(Debug, Default)]
@@ -84,12 +90,11 @@ impl JoinStrategy for TwoStep {
             // Prefix-sum the counts and allocate this edge's output buffer.
             let counts: Vec<u32> = counted.iter().map(|b| b.len() as u32).collect();
             let offsets = exclusive_prefix_sum(ctx.gpu, &counts);
-            if *offsets.last().expect("total") as usize > 4 * ctx.cfg.max_intermediate_rows {
+            let edge_buf_len = scan_total(&offsets);
+            if edge_buf_len > 4 * ctx.cfg.max_intermediate_rows {
                 return Err(JoinOverflow);
             }
-            ctx.gpu
-                .stats()
-                .record_alloc(4 * u64::from(*offsets.last().expect("total")));
+            charge_edge_buffer_alloc(ctx, edge_buf_len);
             let out_bases: Vec<usize> = offsets[..m.n_rows()].iter().map(|&o| o as usize).collect();
 
             // Step 2: the same join again, now writing (Fig. 3(b)).

@@ -34,6 +34,13 @@ pub fn exclusive_prefix_sum(gpu: &Gpu, input: &[u32]) -> Vec<u32> {
     out
 }
 
+/// Total of the scanned counts: the final offset
+/// [`exclusive_prefix_sum`] appends. An empty scan totals zero, so
+/// callers need no emptiness precondition.
+pub fn scan_total(offsets: &[u32]) -> usize {
+    offsets.last().copied().unwrap_or(0) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

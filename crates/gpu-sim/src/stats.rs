@@ -295,6 +295,19 @@ impl std::ops::Sub for StatsSnapshot {
     type Output = StatsSnapshot;
 
     fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        // Device-ledger monotonicity: a snapshot delta is only meaningful
+        // when `self` was taken *after* `rhs` on the same ledger — every
+        // counter must have grown or held. A violation means snapshots
+        // from different ledgers (or reordered reads) are being compared,
+        // which would silently corrupt every derived device metric.
+        #[cfg(feature = "debug-invariants")]
+        for ((name, a), (_, b)) in self.metric_fields().into_iter().zip(rhs.metric_fields()) {
+            assert!(
+                a >= b,
+                "debug-invariants: snapshot delta underflows `{name}` ({a} < {b}); \
+                 the ledger only grows, so these snapshots are misordered or unrelated"
+            );
+        }
         StatsSnapshot {
             gld_transactions: self.gld_transactions - rhs.gld_transactions,
             gst_transactions: self.gst_transactions - rhs.gst_transactions,
@@ -419,5 +432,16 @@ mod tests {
         s.add_gld(7);
         let delta = s.snapshot() - before;
         assert_eq!(delta.gld_transactions, 7);
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "debug-invariants: snapshot delta underflows `gld_transactions`")]
+    fn sanitizer_catches_misordered_snapshots() {
+        let s = stats();
+        s.add_gld(10);
+        let after = s.snapshot();
+        s.add_gld(5);
+        let _ = after - s.snapshot();
     }
 }

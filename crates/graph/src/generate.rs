@@ -40,7 +40,9 @@ fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
         *w = acc;
     }
     // Guard against floating-point shortfall in the last bucket.
-    *weights.last_mut().expect("n > 0") = 1.0;
+    if let Some(last) = weights.last_mut() {
+        *last = 1.0;
+    }
     weights
 }
 

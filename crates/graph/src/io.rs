@@ -74,7 +74,9 @@ pub fn from_text(text: &str) -> Result<Graph, ParseError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let tag = parts.next().unwrap();
+        let Some(tag) = parts.next() else {
+            continue; // unreachable: blank lines were skipped above
+        };
         let mut next_u32 = |what: &str| -> Result<u32, ParseError> {
             parts
                 .next()

@@ -331,6 +331,7 @@ impl Graph {
                             removed.insert(e);
                             inserted.remove(&e);
                         }
+                        // gsi-lint: allow(panic-freedom, reason = "the match two frames up dispatches AddVertex to its own arm; reaching here is a validator bug worth crashing loudly over")
                         GraphOp::AddVertex { .. } => unreachable!(),
                     }
                 }

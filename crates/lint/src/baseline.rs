@@ -1,0 +1,106 @@
+//! The panic-freedom ratchet baseline (`lint-baseline.toml`).
+//!
+//! Panic-capable calls on the serving path are not banned outright — the
+//! codebase still carries audited invariant panics — but their count per
+//! file is pinned here and may only go *down*. A new site fails the lint;
+//! removing one also fails until the baseline is tightened with
+//! `--write-baseline`, so improvements are locked in, never silently lost.
+//!
+//! The format is a hand-rolled TOML subset (one section, quoted-path keys,
+//! integer values), parsed here so the lint stays dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline: workspace-relative path -> allowed panic-site count.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub panic_counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parse the baseline file. Unknown sections are an error: a typo'd
+    /// section would otherwise silently ratchet nothing.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        let mut in_panic_section = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                if section != "panic-freedom" {
+                    return Err(format!(
+                        "line {}: unknown baseline section `[{}]`",
+                        idx + 1,
+                        section
+                    ));
+                }
+                in_panic_section = true;
+                continue;
+            }
+            if !in_panic_section {
+                return Err(format!("line {}: entry before any section", idx + 1));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `\"path\" = count`", idx + 1));
+            };
+            let path = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("line {}: path must be quoted", idx + 1))?;
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count must be an integer", idx + 1))?;
+            if counts.insert(path.to_string(), count).is_some() {
+                return Err(format!("line {}: duplicate entry for `{path}`", idx + 1));
+            }
+        }
+        Ok(Baseline {
+            panic_counts: counts,
+        })
+    }
+
+    /// Render a baseline file from current counts (zero-count files are
+    /// omitted — absence means zero).
+    pub fn render(counts: &BTreeMap<String, usize>) -> String {
+        let mut out = String::from(
+            "# gsi-lint panic-freedom ratchet baseline.\n\
+             # Counts may only decrease; regenerate with `cargo run -p gsi-lint -- --workspace --write-baseline`.\n\
+             \n[panic-freedom]\n",
+        );
+        for (path, n) in counts {
+            if *n > 0 {
+                out.push_str(&format!("\"{path}\" = {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/core/src/plan.rs".to_string(), 2);
+        counts.insert("crates/graph/src/io.rs".to_string(), 0);
+        let text = Baseline::render(&counts);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.panic_counts.len(), 1, "zero entries omitted");
+        assert_eq!(parsed.panic_counts["crates/core/src/plan.rs"], 2);
+    }
+
+    #[test]
+    fn rejects_unknown_section_and_garbage() {
+        assert!(Baseline::parse("[charge]\n").is_err());
+        assert!(Baseline::parse("\"a\" = 1\n").is_err());
+        assert!(Baseline::parse("[panic-freedom]\na = 1\n").is_err());
+        assert!(Baseline::parse("[panic-freedom]\n\"a\" = x\n").is_err());
+        assert!(Baseline::parse("[panic-freedom]\n\"a\" = 1\n\"a\" = 2\n").is_err());
+    }
+}

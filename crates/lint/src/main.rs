@@ -1,0 +1,98 @@
+//! The `gsi-lint` binary.
+//!
+//! ```text
+//! gsi-lint --workspace                     # lint the whole workspace
+//! gsi-lint --workspace --write-baseline    # tighten the panic ratchet
+//! gsi-lint --root <dir> --workspace        # lint another tree (self-tests)
+//! ```
+//!
+//! Exits 0 when clean, 1 on findings or ratchet drift, 2 on usage or I/O
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("pass --workspace to lint the crate tree");
+    }
+
+    let baseline_path = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let report = match gsi_lint::lint_workspace(&root, &baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gsi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let text = gsi_lint::Baseline::render(&report.panic_counts);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("gsi-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "gsi-lint: wrote {} ({} ratcheted file(s))",
+            baseline_path.display(),
+            report.panic_counts.len()
+        );
+        // Hard findings still fail the run: the ratchet only covers
+        // panic-freedom, never the other checks.
+        if !report.errors.is_empty() {
+            print_errors(&report.errors);
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    print_errors(&report.errors);
+    print_errors(&report.ratchet_errors);
+    for note in &report.ratchet_notes {
+        println!("ratchet: {note}");
+    }
+    if report.clean() {
+        println!("gsi-lint: clean ({} files scanned)", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "gsi-lint: {} finding(s), {} ratchet note(s)",
+            report.errors.len() + report.ratchet_errors.len(),
+            report.ratchet_notes.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn print_errors(errors: &[gsi_lint::Finding]) {
+    for f in errors {
+        println!("{f}");
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("gsi-lint: {msg}");
+    eprintln!("usage: gsi-lint --workspace [--root <dir>] [--baseline <path>] [--write-baseline]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,255 @@
+//! Source preprocessing for the lint passes.
+//!
+//! The checks in [`crate::checks`] are token-level, in the spirit of
+//! rustc's `tidy`: no full parse, no external parser crates. For that to
+//! be sound the raw source must first be normalized so that tokens inside
+//! comments, string literals, and test modules cannot trigger findings.
+//! This module produces, per line:
+//!
+//! - a **code** view: comments *and* string/char literal contents removed
+//!   (used by every token check except metric-grammar),
+//! - a **text** view: comments removed but literals kept verbatim (used by
+//!   the metric-grammar check, which must read the literal),
+//!
+//! plus the set of `// gsi-lint: allow(...)` annotations (parsed from the
+//! raw lines, since annotations live in comments) and the index of the
+//! first `#[cfg(test)]` line, after which scanning stops. Test modules in
+//! this codebase are by convention the trailing `mod tests` block, so a
+//! hard stop at the first `#[cfg(test)]` is both simple and exact.
+
+use crate::checks::{Check, Finding};
+use std::collections::HashMap;
+
+/// One source line in both normalized views.
+#[derive(Debug)]
+pub struct Line {
+    /// Comments and literal contents stripped (literals become `""`).
+    pub code: String,
+    /// Comments stripped, literals kept verbatim.
+    pub text: String,
+    /// The `//` line-comment text, if any — where annotations live.
+    /// `None` for doc comments (`///`, `//!`), which merely *describe*
+    /// the annotation syntax and must not activate it.
+    comment: Option<String>,
+}
+
+/// A preprocessed source file ready for the token checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in findings (workspace-relative).
+    pub path: String,
+    /// Normalized lines, only up to the first `#[cfg(test)]`.
+    pub lines: Vec<Line>,
+    /// Line number (1-based) -> checks allowed on that line's *target*.
+    /// An annotation suppresses findings on its own line and on the line
+    /// directly below it (the usual "annotation above the statement" form).
+    allows: HashMap<usize, Vec<Check>>,
+    /// Malformed-annotation findings discovered while parsing.
+    pub annotation_errors: Vec<Finding>,
+}
+
+impl SourceFile {
+    /// Preprocess `content` (the raw file) under the reporting path `path`.
+    pub fn new(path: &str, content: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut allows = HashMap::new();
+        let mut annotation_errors = Vec::new();
+        let mut strip = Stripper::default();
+
+        for (idx, raw) in content.lines().enumerate() {
+            let line_no = idx + 1;
+            if raw.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let line = strip.line(raw);
+            if let Some(comment) = &line.comment {
+                parse_allow(path, comment, line_no, &mut allows, &mut annotation_errors);
+            }
+            lines.push(line);
+        }
+
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            allows,
+            annotation_errors,
+        }
+    }
+
+    /// Whether a finding of `check` on `line_no` is suppressed by an
+    /// annotation on the same line or the line above.
+    pub fn allowed(&self, check: Check, line_no: usize) -> bool {
+        let hit = |n: &usize| self.allows.get(n).is_some_and(|cs| cs.contains(&check));
+        hit(&line_no) || (line_no > 1 && hit(&(line_no - 1)))
+    }
+}
+
+const ALLOW_MARKER: &str = "gsi-lint: allow(";
+
+/// Parse a `gsi-lint: allow(<check>, reason = "...")` annotation out of a
+/// line comment's text. Malformed annotations (unknown check, missing or
+/// empty reason) are hard errors: a suppression that silently fails to
+/// parse would otherwise *widen* the lint's blind spot.
+fn parse_allow(
+    path: &str,
+    raw: &str,
+    line_no: usize,
+    allows: &mut HashMap<usize, Vec<Check>>,
+    errors: &mut Vec<Finding>,
+) {
+    let Some(start) = raw.find(ALLOW_MARKER) else {
+        return;
+    };
+    let mut err = |msg: &str| {
+        errors.push(Finding {
+            check: Check::Annotation,
+            path: path.to_string(),
+            line: line_no,
+            message: msg.to_string(),
+        });
+    };
+    // Parse structurally rather than slicing at the first `)`: the quoted
+    // reason may itself contain parens, commas, or quotes-in-backticks.
+    let rest = &raw[start + ALLOW_MARKER.len()..];
+    let Some((name, after)) = rest.split_once(',') else {
+        err("allow annotation needs `, reason = \"...\"` — suppressions must be justified");
+        return;
+    };
+    let Some(check) = Check::from_name(name.trim()) else {
+        err(&format!(
+            "unknown check `{}` in allow annotation",
+            name.trim()
+        ));
+        return;
+    };
+    let quoted = after
+        .trim_start()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('"'));
+    let Some(quoted) = quoted else {
+        err("allow annotation reason must be `reason = \"...\"`");
+        return;
+    };
+    let Some(end_quote) = quoted.find('"') else {
+        err("unterminated reason string in allow annotation");
+        return;
+    };
+    if quoted[..end_quote].trim().is_empty() {
+        err("allow annotation has an empty reason");
+        return;
+    }
+    if !quoted[end_quote + 1..].trim_start().starts_with(')') {
+        err("allow annotation must close with `)` after the reason");
+        return;
+    }
+    allows.entry(line_no).or_default().push(check);
+}
+
+/// Carries string/comment state across lines.
+#[derive(Default)]
+struct Stripper {
+    /// Inside a `/* ... */` comment (they do not nest in practice here).
+    in_block_comment: bool,
+}
+
+impl Stripper {
+    /// Produce both normalized views of one raw line.
+    ///
+    /// String and char literals are assumed not to span lines (true for
+    /// this codebase outside test modules); block comments may.
+    fn line(&mut self, raw: &str) -> Line {
+        let mut code = String::with_capacity(raw.len());
+        let mut text = String::with_capacity(raw.len());
+        let mut comment = None;
+        let bytes = raw.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if self.in_block_comment {
+                if bytes[i..].starts_with(b"*/") {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                b'/' if bytes[i..].starts_with(b"//") => {
+                    // Plain line comment: annotation territory. Doc
+                    // comments (`///`, `//!`) only document the syntax.
+                    if !bytes[i..].starts_with(b"///") && !bytes[i..].starts_with(b"//!") {
+                        comment = Some(raw[i + 2..].to_string());
+                    }
+                    break;
+                }
+                b'/' if bytes[i..].starts_with(b"/*") => {
+                    self.in_block_comment = true;
+                    i += 2;
+                }
+                b'"' => {
+                    // Scan to the closing quote, honoring escapes.
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    code.push_str("\"\"");
+                    text.push_str(&raw[start..i.min(bytes.len())]);
+                }
+                b'\'' => {
+                    // Char literal ('x', '\n', '\'') vs lifetime ('a in
+                    // &'a T). A lifetime is a quote followed by an ident
+                    // with no closing quote right after.
+                    let lit_len = char_literal_len(&bytes[i..]);
+                    if lit_len > 0 {
+                        code.push_str("''");
+                        text.push_str(&raw[i..i + lit_len]);
+                        i += lit_len;
+                    } else {
+                        code.push('\'');
+                        text.push('\'');
+                        i += 1;
+                    }
+                }
+                b => {
+                    code.push(b as char);
+                    text.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+        Line {
+            code,
+            text,
+            comment,
+        }
+    }
+}
+
+/// Length of a char literal starting at `b[0] == b'\''`, or 0 if this is a
+/// lifetime/label rather than a literal.
+fn char_literal_len(b: &[u8]) -> usize {
+    if b.len() >= 4 && b[1] == b'\\' && b[3] == b'\'' {
+        return 4; // '\n'
+    }
+    if b.len() >= 3 && b[1] != b'\\' && b[2] == b'\'' {
+        return 3; // 'x'
+    }
+    0
+}
+
+/// Whether the byte before `pos` permits a token boundary (so `panic!`
+/// does not match inside `dont_panic!`).
+pub fn boundary_before(s: &str, pos: usize) -> bool {
+    pos == 0 || !s.as_bytes()[pos - 1].is_ascii_alphanumeric() && s.as_bytes()[pos - 1] != b'_'
+}

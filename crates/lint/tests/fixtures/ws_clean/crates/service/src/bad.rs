@@ -1,0 +1,4 @@
+//! Clean-workspace fixture: one panic site, exactly what the baseline pins.
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

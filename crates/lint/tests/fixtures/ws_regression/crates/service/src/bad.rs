@@ -1,0 +1,4 @@
+//! Seeded ratchet-regression fixture: one panic site, baseline allows zero.
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -211,6 +211,7 @@ pub fn canonicalize(query: &Graph) -> CanonicalQuery {
     distinct.dedup();
     let class_of: Vec<usize> = colors
         .iter()
+        // gsi-lint: allow(panic-freedom, reason = "distinct is the sorted-deduped copy of colors built two lines up, so every color is present by construction")
         .map(|c| distinct.binary_search(c).expect("color present"))
         .collect();
     let mut class_sizes = vec![0usize; distinct.len()];
@@ -240,6 +241,7 @@ pub fn canonicalize(query: &Graph) -> CanonicalQuery {
     let exact = search.steps < search.budget && search.best.is_some();
     let (order, key) = if exact {
         let order = search.best_order.clone();
+        // gsi-lint: allow(panic-freedom, reason = "`exact` is true only when `search.best.is_some()`, checked one line up")
         let code = search.best.expect("exact search found an ordering");
         // Canonical form: per-position (vertex label, class) + minimal edge
         // code. Hash it into the cache key.

@@ -161,7 +161,36 @@ impl GraphCatalog {
             .entries
             .write()
             .insert(name.to_string(), Arc::clone(&entry));
+        #[cfg(feature = "debug-invariants")]
+        {
+            self.assert_epoch_pinnable(&entry);
+            if let Some(old) = &displaced {
+                assert!(
+                    entry.epoch > old.epoch,
+                    "debug-invariants: re-registration published epoch {} over a newer epoch {}; \
+                     plan-cache and per-epoch stats scoping rely on epochs growing monotonically",
+                    entry.epoch,
+                    old.epoch
+                );
+            }
+        }
         Registration { entry, displaced }
+    }
+
+    /// debug-invariants: a published entry's epoch must have been allocated
+    /// from this catalog's `next_epoch` counter (i.e. be strictly below it);
+    /// otherwise a pinned epoch could collide with a future allocation and
+    /// alias another graph state's plan-cache/stats scope.
+    #[cfg(feature = "debug-invariants")]
+    fn assert_epoch_pinnable(&self, entry: &CatalogEntry) {
+        let next = self.next_epoch.load(Ordering::Relaxed);
+        assert!(
+            entry.epoch < next,
+            "debug-invariants: entry `{}` pins epoch {} but the catalog has only allocated up to {}",
+            entry.name,
+            entry.epoch,
+            next
+        );
     }
 
     /// Apply `batch` to the graph registered under `name` and publish the
@@ -214,6 +243,17 @@ impl GraphCatalog {
                 _ => return Err(CatalogUpdateError::Conflict(name.to_string())),
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        {
+            self.assert_epoch_pinnable(&entry);
+            assert!(
+                entry.epoch > base.epoch,
+                "debug-invariants: update published epoch {} which does not supersede the \
+                 displaced epoch {}; in-flight queries pinning the old epoch would outrank it",
+                entry.epoch,
+                base.epoch
+            );
+        }
         Ok(CatalogUpdate {
             entry,
             displaced: base,
@@ -223,7 +263,12 @@ impl GraphCatalog {
 
     /// The entry registered under `name`, if any.
     pub fn get(&self, name: &str) -> Option<Arc<CatalogEntry>> {
-        self.entries.read().get(name).cloned()
+        let entry = self.entries.read().get(name).cloned();
+        #[cfg(feature = "debug-invariants")]
+        if let Some(entry) = &entry {
+            self.assert_epoch_pinnable(entry);
+        }
+        entry
     }
 
     /// Remove `name`; returns the removed entry (queries already holding it
@@ -390,5 +435,28 @@ mod tests {
             cat.update(&engine, "g", &bad),
             Err(CatalogUpdateError::Graph(UpdateError::DuplicateEdge { .. }))
         ));
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "debug-invariants: entry `g` pins epoch")]
+    fn sanitizer_catches_unallocated_epoch_pin() {
+        let engine = engine();
+        let cat = GraphCatalog::new();
+        cat.register(&engine, "g", tiny(0));
+        // Forge an entry whose epoch the catalog never allocated — only
+        // reachable by corrupting internals, which is exactly what the
+        // sanitizer exists to catch.
+        let forged = {
+            let cur = cat.get("g").unwrap();
+            Arc::new(CatalogEntry {
+                name: cur.name.clone(),
+                epoch: cur.epoch + 1_000,
+                graph: cur.graph.clone(),
+                prepared: Arc::clone(&cur.prepared),
+            })
+        };
+        cat.entries.write().insert("g".to_string(), forged);
+        let _ = cat.get("g");
     }
 }

@@ -522,7 +522,7 @@ impl GsiService {
             snap.worker_panics,
         );
         reg.counter(
-            "gsi_matches_total",
+            "gsi_query_matches_total",
             "Matches produced by served queries.",
             snap.run_totals.n_matches as u64,
         );
@@ -582,7 +582,7 @@ impl GsiService {
             self.core.plan_cache.evictions(),
         );
         reg.counter(
-            "gsi_replans_total",
+            "gsi_query_replans_total",
             "Mid-query re-plans performed by adaptive execution.",
             snap.run_totals.replans as u64,
         );
@@ -629,7 +629,7 @@ impl GsiService {
             self.scheduler.queue_depth_highwater() as f64,
         );
         reg.gauge(
-            "gsi_workers",
+            "gsi_scheduler_workers",
             "Worker threads serving queries.",
             self.scheduler.n_workers() as f64,
         );
@@ -664,7 +664,7 @@ impl GsiService {
             self.core.flight.len() as f64,
         );
         reg.gauge(
-            "gsi_uptime_seconds",
+            "gsi_service_uptime_seconds",
             "Time the service's statistics ledger has been live.",
             snap.elapsed.as_secs_f64(),
         );

@@ -216,12 +216,16 @@ pub struct QueryTicket {
 impl QueryTicket {
     /// Block until the response arrives.
     ///
-    /// Panics if the service was torn down without answering (a serving
-    /// bug: graceful shutdown drains the queue first).
+    /// If the service was torn down without answering (a serving bug:
+    /// graceful shutdown drains the queue first), the ticket resolves to a
+    /// typed [`QueryError::Internal`] instead of panicking the caller.
     pub fn wait(self) -> QueryResponse {
-        self.rx
-            .recv()
-            .expect("service dropped an in-flight query without responding")
+        self.rx.recv().unwrap_or_else(|_| QueryResponse {
+            graph: String::new(),
+            result: Err(QueryError::Internal {
+                message: "service dropped an in-flight query without responding".to_string(),
+            }),
+        })
     }
 
     /// Non-blocking poll; `None` while the query is still in flight.
@@ -298,6 +302,7 @@ impl QueryScheduler {
                 std::thread::Builder::new()
                     .name(format!("gsi-service-worker-{i}"))
                     .spawn(move || worker_loop(&core, &shared))
+                    // gsi-lint: allow(panic-freedom, reason = "service construction, not the serving path; a host that cannot spawn threads cannot serve at all")
                     .expect("spawn service worker")
             })
             .collect();

@@ -276,7 +276,7 @@ fn feedback_converges_to_the_measured_optimal_order_after_an_epoch_flip() {
 
     let text = service.export_metrics(MetricFormat::Prometheus);
     assert!(
-        text.contains("gsi_replans_total"),
+        text.contains("gsi_query_replans_total"),
         "metrics must export the re-plan counter:\n{text}"
     );
     assert!(

@@ -168,6 +168,61 @@ fn prometheus_export_parses_line_by_line() {
     assert!(text.contains(&format!("gsi_query_latency_us_count {n}")));
 }
 
+/// Every exported metric name obeys the project grammar
+/// `gsi_<subsystem>_<quantity>[_<unit>][_total]` — enforced with the same
+/// validator `gsi-lint` applies statically at registration sites, so the
+/// exporter and the lint can never drift apart. Also snapshots the names
+/// that were corrected when the grammar lint first ran (they previously
+/// passed only the looser per-scrape validation).
+#[test]
+fn exported_metric_names_follow_the_grammar() {
+    let g = data_graph();
+    let service = observed_service(TraceConfig::Off);
+    service.register_graph("g", g.clone());
+    serve(&service, &patterns(&g, 4));
+
+    let text = service.export_metrics(MetricFormat::Prometheus);
+    let mut checked = 0usize;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        let name = rest.split(' ').next().unwrap_or(rest);
+        assert!(
+            gsi_lint::metric_name_ok(name).is_ok(),
+            "exported metric `{name}` violates the naming grammar: {:?}",
+            gsi_lint::metric_name_ok(name)
+        );
+        checked += 1;
+    }
+    assert!(checked > 30, "expected a full registry, saw {checked}");
+
+    // The corrected names, exactly as exported now.
+    for fixed in [
+        "gsi_query_matches_total",
+        "gsi_query_replans_total",
+        "gsi_scheduler_workers",
+        "gsi_service_uptime_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {fixed} ")),
+            "missing {fixed}"
+        );
+    }
+    // And the latent originals are gone.
+    for stale in [
+        "gsi_matches_total",
+        "gsi_replans_total",
+        "gsi_workers ",
+        "gsi_uptime_seconds",
+    ] {
+        assert!(
+            !text.contains(&format!("# TYPE {stale}")),
+            "stale name {stale} still exported"
+        );
+    }
+}
+
 /// The JSON export is one object with a `metrics` array carrying every
 /// registered metric with its type.
 #[test]

@@ -69,7 +69,20 @@ fn bitmap_to_list(bitmap: &[AtomicU32], n: usize) -> Vec<VertexId> {
             bits &= bits - 1;
         }
     }
+    #[cfg(feature = "debug-invariants")]
+    assert_sorted_candidates(&out);
     out
+}
+
+/// debug-invariants: candidate lists must hold strictly increasing ids —
+/// join-phase binary searches ([`CandidateSet::contains`]) and set
+/// intersections silently miss or double-count matches otherwise.
+#[cfg(feature = "debug-invariants")]
+fn assert_sorted_candidates(list: &[VertexId]) {
+    assert!(
+        list.windows(2).all(|w| w[0] < w[1]),
+        "debug-invariants: candidate list is unsorted or contains duplicates"
+    );
 }
 
 /// Charge the stores that record a warp's surviving candidates into the
@@ -526,5 +539,19 @@ mod tests {
         for c in filter_signature(&gpu, &table, &q, &cfg) {
             assert!(c.list.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "debug-invariants: candidate list is unsorted")]
+    fn sanitizer_catches_unsorted_candidates() {
+        assert_sorted_candidates(&[3, 1, 2]);
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "debug-invariants: candidate list is unsorted")]
+    fn sanitizer_catches_duplicate_candidates() {
+        assert_sorted_candidates(&[1, 2, 2, 3]);
     }
 }

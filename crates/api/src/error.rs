@@ -1,0 +1,402 @@
+//! The consolidated, serializable error taxonomy plus typed completion.
+//!
+//! Every way the serving stack refuses or fails a query — admission
+//! control, validation, planning, deadlines, update conflicts, protocol
+//! violations — maps onto one [`ApiError`]. The numeric discriminants
+//! ([`ApiError::code`]) are **wire-frozen**: new variants append with new
+//! codes, existing codes never change meaning, and an unknown code decodes
+//! to a typed failure rather than garbage. The in-process error types
+//! (`SubmitError`, `QueryError`, `CatalogUpdateError`, `PlanError`)
+//! convert into `ApiError` losslessly enough for clients: structured
+//! fields where retry decisions need them (queue capacities, waits),
+//! strings where only a human will read them.
+
+use crate::wire::{WireError, WireReader, WireWriter};
+use std::time::Duration;
+
+/// One serializable serving error with a stable numeric code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// No graph with this name is registered. Code 1.
+    UnknownGraph {
+        /// The name the request asked for.
+        name: String,
+    },
+    /// The service's bounded admission queue is at capacity. Code 2.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: u64,
+    },
+    /// The query cannot be served (empty or disconnected pattern). Code 3.
+    InvalidQuery {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The service is draining and no longer admits queries. Code 4.
+    ShuttingDown,
+    /// The deadline expired before the query ran. Code 5.
+    DeadlineExpired {
+        /// How long the query waited before being failed.
+        waited: Duration,
+    },
+    /// The planner rejected the pattern with a typed error. Code 6.
+    PlanRejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The query's execution failed inside the service (isolated panic or
+    /// a dropped in-flight response). Code 7.
+    Internal {
+        /// The failure message.
+        message: String,
+    },
+    /// An update batch failed validation against the current graph. Code 8.
+    UpdateRejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A concurrent update or re-registration won the publication race;
+    /// retry against the new current state. Code 9.
+    UpdateConflict {
+        /// The graph whose update conflicted.
+        name: String,
+    },
+    /// The peer violated the wire protocol; the connection is closed.
+    /// Code 10.
+    Protocol {
+        /// What was malformed.
+        reason: String,
+    },
+    /// A tenant quota rejected the request (the `Busy` backpressure frame
+    /// carries the retry hint; this is the error form for in-process
+    /// callers and logs). Code 11.
+    TenantQuota {
+        /// The tenant whose quota rejected.
+        tenant: String,
+        /// Human-readable reason (which quota, at what bound).
+        reason: String,
+    },
+}
+
+impl ApiError {
+    /// The wire-frozen discriminant.
+    pub fn code(&self) -> u16 {
+        match self {
+            ApiError::UnknownGraph { .. } => 1,
+            ApiError::QueueFull { .. } => 2,
+            ApiError::InvalidQuery { .. } => 3,
+            ApiError::ShuttingDown => 4,
+            ApiError::DeadlineExpired { .. } => 5,
+            ApiError::PlanRejected { .. } => 6,
+            ApiError::Internal { .. } => 7,
+            ApiError::UpdateRejected { .. } => 8,
+            ApiError::UpdateConflict { .. } => 9,
+            ApiError::Protocol { .. } => 10,
+            ApiError::TenantQuota { .. } => 11,
+        }
+    }
+
+    /// Whether retrying the same request later can succeed (backpressure
+    /// and races), as opposed to a request the server will always refuse.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::QueueFull { .. }
+                | ApiError::UpdateConflict { .. }
+                | ApiError::TenantQuota { .. }
+        )
+    }
+
+    /// Encode as `code u16` plus the variant's fields.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.code());
+        match self {
+            ApiError::UnknownGraph { name } => {
+                w.str(name);
+            }
+            ApiError::QueueFull { capacity } => {
+                w.u64(*capacity);
+            }
+            ApiError::InvalidQuery { reason } => {
+                w.str(reason);
+            }
+            ApiError::ShuttingDown => {}
+            ApiError::DeadlineExpired { waited } => {
+                w.u64(waited.as_micros() as u64);
+            }
+            ApiError::PlanRejected { reason } => {
+                w.str(reason);
+            }
+            ApiError::Internal { message } => {
+                w.str(message);
+            }
+            ApiError::UpdateRejected { reason } => {
+                w.str(reason);
+            }
+            ApiError::UpdateConflict { name } => {
+                w.str(name);
+            }
+            ApiError::Protocol { reason } => {
+                w.str(reason);
+            }
+            ApiError::TenantQuota { tenant, reason } => {
+                w.str(tenant).str(reason);
+            }
+        }
+    }
+
+    /// Decode an error encoded by [`ApiError::encode`].
+    pub fn decode(r: &mut WireReader<'_>) -> Result<ApiError, WireError> {
+        Ok(match r.u16()? {
+            1 => ApiError::UnknownGraph { name: r.str()? },
+            2 => ApiError::QueueFull { capacity: r.u64()? },
+            3 => ApiError::InvalidQuery { reason: r.str()? },
+            4 => ApiError::ShuttingDown,
+            5 => ApiError::DeadlineExpired {
+                waited: Duration::from_micros(r.u64()?),
+            },
+            6 => ApiError::PlanRejected { reason: r.str()? },
+            7 => ApiError::Internal { message: r.str()? },
+            8 => ApiError::UpdateRejected { reason: r.str()? },
+            9 => ApiError::UpdateConflict { name: r.str()? },
+            10 => ApiError::Protocol { reason: r.str()? },
+            11 => ApiError::TenantQuota {
+                tenant: r.str()?,
+                reason: r.str()?,
+            },
+            other => {
+                return Err(WireError::InvalidDiscriminant {
+                    what: "ApiError code",
+                    value: other as u64,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::UnknownGraph { name } => write!(f, "unknown graph '{name}'"),
+            ApiError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ApiError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            ApiError::ShuttingDown => write!(f, "service is shutting down"),
+            ApiError::DeadlineExpired { waited } => {
+                write!(f, "deadline expired after waiting {waited:?}")
+            }
+            ApiError::PlanRejected { reason } => write!(f, "plan rejected: {reason}"),
+            ApiError::Internal { message } => write!(f, "internal serving failure: {message}"),
+            ApiError::UpdateRejected { reason } => write!(f, "update rejected: {reason}"),
+            ApiError::UpdateConflict { name } => {
+                write!(f, "graph '{name}' changed during the update; retry")
+            }
+            ApiError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            ApiError::TenantQuota { tenant, reason } => {
+                write!(f, "tenant '{tenant}' over quota: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<WireError> for ApiError {
+    fn from(e: WireError) -> Self {
+        ApiError::Protocol {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Why a result is partial rather than the full match set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialReason {
+    /// The engine's deadline triage stopped join enumeration early: the
+    /// returned matches are a genuine subset, not a failure. Wire tag 1.
+    DeadlineTriage,
+    /// Enumeration stopped at a configured match cap (reserved for the
+    /// top-k / bounded-enumeration semantics on the roadmap). Wire tag 2.
+    EnumerationCap,
+}
+
+impl PartialReason {
+    fn tag(self) -> u8 {
+        match self {
+            PartialReason::DeadlineTriage => 1,
+            PartialReason::EnumerationCap => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for PartialReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartialReason::DeadlineTriage => write!(f, "deadline triage"),
+            PartialReason::EnumerationCap => write!(f, "enumeration cap"),
+        }
+    }
+}
+
+/// Whether a successful query outcome carries the complete match set.
+///
+/// Deadline-triaged enumeration used to surface only as the
+/// `RunStats::timed_out` flag — indistinguishable, at the API boundary,
+/// from a query that found everything. A typed completion makes "these
+/// are all the matches" versus "these are the matches found before the
+/// budget ran out, for this typed reason" an explicit contract on every
+/// outcome, in process and on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The full match set. Wire tag 0.
+    Complete,
+    /// A typed subset of the match set.
+    Partial {
+        /// Why enumeration stopped early.
+        reason: PartialReason,
+    },
+}
+
+impl Completion {
+    /// Whether this outcome is the full match set.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+
+    /// Encode as one tag byte.
+    pub fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Completion::Complete => w.u8(0),
+            Completion::Partial { reason } => w.u8(reason.tag()),
+        };
+    }
+
+    /// Decode a completion encoded by [`Completion::encode`].
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Completion, WireError> {
+        Ok(match r.u8()? {
+            0 => Completion::Complete,
+            1 => Completion::Partial {
+                reason: PartialReason::DeadlineTriage,
+            },
+            2 => Completion::Partial {
+                reason: PartialReason::EnumerationCap,
+            },
+            other => {
+                return Err(WireError::InvalidDiscriminant {
+                    what: "Completion tag",
+                    value: other as u64,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completion::Complete => write!(f, "complete"),
+            Completion::Partial { reason } => write!(f, "partial ({reason})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_errors() -> Vec<ApiError> {
+        vec![
+            ApiError::UnknownGraph { name: "g".into() },
+            ApiError::QueueFull { capacity: 256 },
+            ApiError::InvalidQuery {
+                reason: "empty query".into(),
+            },
+            ApiError::ShuttingDown,
+            ApiError::DeadlineExpired {
+                waited: Duration::from_micros(1234),
+            },
+            ApiError::PlanRejected {
+                reason: "disconnected at step 2".into(),
+            },
+            ApiError::Internal {
+                message: "panic: boom".into(),
+            },
+            ApiError::UpdateRejected {
+                reason: "duplicate edge".into(),
+            },
+            ApiError::UpdateConflict { name: "g".into() },
+            ApiError::Protocol {
+                reason: "bad magic".into(),
+            },
+            ApiError::TenantQuota {
+                tenant: "acme".into(),
+                reason: "64 queued (cap 64)".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = all_errors();
+        let codes: Vec<u16> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(codes, (1..=11).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn every_error_round_trips() {
+        for e in all_errors() {
+            let mut w = WireWriter::new();
+            e.encode(&mut w);
+            let buf = w.into_vec();
+            let mut r = WireReader::new(&buf);
+            assert_eq!(ApiError::decode(&mut r).unwrap(), e);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_code_is_a_typed_decode_failure() {
+        let mut w = WireWriter::new();
+        w.u16(999);
+        let buf = w.into_vec();
+        assert!(matches!(
+            ApiError::decode(&mut WireReader::new(&buf)),
+            Err(WireError::InvalidDiscriminant {
+                what: "ApiError code",
+                value: 999
+            })
+        ));
+    }
+
+    #[test]
+    fn completion_round_trips() {
+        for c in [
+            Completion::Complete,
+            Completion::Partial {
+                reason: PartialReason::DeadlineTriage,
+            },
+            Completion::Partial {
+                reason: PartialReason::EnumerationCap,
+            },
+        ] {
+            let mut w = WireWriter::new();
+            c.encode(&mut w);
+            let buf = w.into_vec();
+            assert_eq!(Completion::decode(&mut WireReader::new(&buf)).unwrap(), c);
+        }
+        assert!(Completion::decode(&mut WireReader::new(&[9])).is_err());
+    }
+
+    #[test]
+    fn retryability_is_backpressure_shaped() {
+        assert!(ApiError::QueueFull { capacity: 1 }.is_retryable());
+        assert!(ApiError::TenantQuota {
+            tenant: "t".into(),
+            reason: "r".into()
+        }
+        .is_retryable());
+        assert!(!ApiError::InvalidQuery { reason: "r".into() }.is_retryable());
+        assert!(!ApiError::ShuttingDown.is_retryable());
+    }
+}

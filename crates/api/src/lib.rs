@@ -1,0 +1,37 @@
+//! # gsi-api — the wire-stable serving API
+//!
+//! The serving stack has two entry paths: in-process calls into
+//! `gsi-service` and network frames into `gsi-server`. Both speak the
+//! types in this crate, so a request built for one path is byte-for-byte
+//! expressible on the other, and an error observed over the wire carries
+//! the same taxonomy as one observed in process:
+//!
+//! * **[`QueryRequest`]** — a builder-style request: data-graph name,
+//!   pattern, optional deadline, optional tenant id. `gsi-service`
+//!   re-exports it as its submission type; `gsi-server` encodes it as the
+//!   `Submit` frame payload.
+//! * **[`ApiError`]** — the consolidated error taxonomy. Every way the
+//!   serving stack can refuse or fail a query (admission, validation,
+//!   planning, deadlines, update conflicts, protocol violations) maps onto
+//!   one serializable enum whose numeric discriminants
+//!   ([`ApiError::code`]) are **frozen**: new variants append, existing
+//!   codes never change meaning.
+//! * **[`Completion`]** — whether a result is the full match set or a
+//!   typed partial ([`PartialReason`]). Deadline-triaged enumeration used
+//!   to be observable only as a `timed_out` flag buried in run stats;
+//!   `Completion::Partial { reason }` makes it a first-class outcome.
+//! * **[`wire`]** — the hand-rolled little-endian codec the above (and
+//!   the `gsi-server` frame layer) serialize through: length-checked
+//!   reads, no panics, no dependencies.
+//!
+//! The crate deliberately depends only on `gsi-graph` (patterns and
+//! update batches are part of requests) so clients can link it without
+//! pulling in the engine.
+
+pub mod error;
+pub mod request;
+pub mod wire;
+
+pub use error::{ApiError, Completion, PartialReason};
+pub use request::QueryRequest;
+pub use wire::{WireError, WireReader, WireWriter};

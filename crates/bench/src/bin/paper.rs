@@ -37,6 +37,11 @@
 //!                       correlated-label workload under concept drift,
 //!                       equivalence-gated on canonical match tables and
 //!                       deterministic device counters; writes BENCH_PR8.json)
+//!   serve              (repo perf trajectory: network serving over the wire
+//!                       protocol — closed-loop and open-loop fixed-rate load
+//!                       with mixed tenants and update churn, p50/p99/p999,
+//!                       saturation knee, equivalence-gated against
+//!                       in-process query_blocking; writes BENCH_PR10.json)
 //!
 //! options:
 //!   --scale <f64>      multiplier on the default dataset scales (default 1.0)
@@ -62,10 +67,16 @@
 //!   --max-overhead <f> allowed enabled-tracing join-wall overhead as a
 //!                      fraction (observe only, default 0.05); 0 keeps only
 //!                      the deterministic counter-equality gates
+//!   --clients <n>      concurrent load-generator clients (serve only,
+//!                      default 4)
+//!   --min-throughput <f> required closed-loop throughput in queries/s
+//!                      (serve only, default 10; 0 disables — the latency
+//!                      percentiles and knee stay informational)
 //!   --out <path>       report path (backend: BENCH_PR2.json,
 //!                      update-churn: BENCH_PR3.json, batch: BENCH_PR4.json,
 //!                      optimize: BENCH_PR5.json, observe: BENCH_PR6.json,
-//!                      setops: BENCH_PR7.json, adapt: BENCH_PR8.json)
+//!                      setops: BENCH_PR7.json, adapt: BENCH_PR8.json,
+//!                      serve: BENCH_PR10.json)
 //! ```
 
 use gsi_bench::experiments;
@@ -73,11 +84,12 @@ use gsi_bench::workloads::HarnessOpts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|observe|setops|adapt|all> \
+        "usage: paper <table2..table11|fig12..fig15|backend|update-churn|batch|optimize|observe|setops|adapt|serve|all> \
          [--scale F] [--queries N] [--query-size N] [--seed N] \
          [--timeout MS] [--cpu-timeout MS] [--threads N] [--latency NS] \
          [--rounds N] [--batch N] [--pool N] [--min-speedup F] \
-         [--min-work-ratio F] [--max-overhead F] [--out PATH]"
+         [--min-work-ratio F] [--max-overhead F] [--clients N] \
+         [--min-throughput F] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -97,6 +109,8 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut min_work_ratio = 1.5f64;
     let mut max_overhead = 0.05f64;
+    let mut clients = 4usize;
+    let mut min_throughput = 10.0f64;
     let mut out_path: Option<String> = None;
 
     let mut i = 1;
@@ -118,6 +132,8 @@ fn main() {
             "--min-speedup" => min_speedup = Some(val.parse().unwrap_or_else(|_| usage())),
             "--min-work-ratio" => min_work_ratio = val.parse().unwrap_or_else(|_| usage()),
             "--max-overhead" => max_overhead = val.parse().unwrap_or_else(|_| usage()),
+            "--clients" => clients = val.parse().unwrap_or_else(|_| usage()),
+            "--min-throughput" => min_throughput = val.parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(val.clone()),
             _ => usage(),
         }
@@ -183,6 +199,12 @@ fn main() {
             min_speedup.unwrap_or(1.3),
             min_work_ratio,
             out_path.as_deref().unwrap_or("BENCH_PR8.json"),
+        ),
+        "serve" => gsi_bench::serve::serve(
+            &opts,
+            clients,
+            min_throughput,
+            out_path.as_deref().unwrap_or("BENCH_PR10.json"),
         ),
         "all" => experiments::all(&opts),
         _ => usage(),

@@ -1951,7 +1951,7 @@ pub fn observe(opts: &HarnessOpts, max_overhead: f64, out_path: &str) {
         trace: TraceConfig::On,
         ..ServiceConfig::default()
     });
-    service.register_graph("enron", (*enron).clone());
+    service.register("enron", (*enron).clone());
     let tickets: Vec<_> = enron_queries
         .iter()
         .map(|q| {

@@ -16,4 +16,5 @@ pub mod experiments;
 pub mod fmt;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod workloads;

@@ -26,6 +26,14 @@
 //!   `gsi-service` crate docs for the architecture, and the repository
 //!   `README.md` for the crate map and the "Updating graphs in place"
 //!   walkthrough).
+//! * [`api`] — the transport-neutral request/response vocabulary:
+//!   builder-style [`prelude::QueryRequest`], consolidated
+//!   [`prelude::ApiError`] with stable wire discriminants, typed
+//!   [`prelude::Completion`], and the hand-rolled wire-encoding helpers.
+//! * [`server`] — the TCP front-end: versioned binary framing, per-tenant
+//!   fair queueing with quota backpressure, streamed match tables,
+//!   graceful drain, and the matching blocking client (see the repository
+//!   `README.md`'s "Serving over the network" and `docs/PROTOCOL.md`).
 //!
 //! ## Quickstart
 //!
@@ -58,16 +66,19 @@
 //! println!("GLD transactions: {}", out.stats.gld());
 //! ```
 
+pub use gsi_api as api;
 pub use gsi_baselines as baselines;
 pub use gsi_core as engine;
 pub use gsi_datasets as datasets;
 pub use gsi_gpu_sim as sim;
 pub use gsi_graph as graph;
+pub use gsi_server as server;
 pub use gsi_service as service;
 pub use gsi_signature as signature;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use gsi_api::{ApiError, Completion, PartialReason};
     pub use gsi_core::{
         BackendKind, BatchItem, BatchOutput, ExplainPlan, FilterCache, FilterStrategy, GraphOp,
         GraphStats, GsiConfig, GsiEngine, JoinPlan, JoinScheme, LbParams, Matches, PlanError,
@@ -77,6 +88,7 @@ pub mod prelude {
     pub use gsi_datasets::{DatasetKind, DatasetSpec};
     pub use gsi_gpu_sim::{DeviceConfig, Gpu};
     pub use gsi_graph::{Graph, GraphBuilder, StorageKind};
+    pub use gsi_server::{GsiClient, GsiServer, ServerConfig, TenantPolicy};
     pub use gsi_service::{
         GsiService, MetricFormat, QueryRequest, QueryResponse, ServiceConfig, ServiceStatsSnapshot,
         SubmitError,

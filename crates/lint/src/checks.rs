@@ -84,8 +84,10 @@ pub struct FileReport {
 }
 
 /// Serving-path crates whose panic sites are ratcheted.
-const SERVING_CRATES: [&str; 5] = [
+const SERVING_CRATES: [&str; 7] = [
+    "crates/api/src",
     "crates/core/src",
+    "crates/server/src",
     "crates/service/src",
     "crates/signature/src",
     "crates/graph/src",

@@ -1,0 +1,657 @@
+//! The TCP front-end: accept loop, per-connection readers, the DRR
+//! dispatcher, and the response writers.
+//!
+//! ## Threading model
+//!
+//! The engine's CPU work lives in `gsi-service`'s worker pool; the server
+//! adds only I/O and scheduling threads around it:
+//!
+//! * **acceptor** — one thread on a non-blocking listener; refuses
+//!   connections past [`ServerConfig::max_connections`] and stops
+//!   accepting the moment a drain starts.
+//! * **reader (per connection)** — decodes frames, answers control-plane
+//!   requests (register / update / metrics / health / goodbye) inline,
+//!   and routes `Submit` frames into the tenant [`FairQueue`]. A quota
+//!   rejection is answered immediately with `Busy { retry_after_hint }`;
+//!   a malformed frame gets a typed `Error { Protocol }` frame and the
+//!   connection is closed.
+//! * **dispatcher** — one thread draining the fair queue in DRR order
+//!   into `GsiService::submit`, which applies the service's own bounded
+//!   admission queue on top (a service-level `QueueFull` also becomes
+//!   `Busy` on the wire).
+//! * **responders** — a small pool blocking on `QueryTicket::wait` and
+//!   streaming each match table back in bounded chunks.
+//!
+//! ## Drain contract
+//!
+//! [`GsiServer::shutdown`] stops the acceptor, refuses new submits with
+//! `Error { ShuttingDown }`, runs the fair queue dry, waits for every
+//! dispatched ticket to be answered, then sends each live connection a
+//! server-initiated `Goodbye` (request id 0) and closes it. Every submit
+//! that was acknowledged into a lane before the drain began receives its
+//! response — zero acknowledged queries are dropped.
+
+use crate::frame::{read_frame, Frame, FrameError, FrameHeader};
+use crate::tenant::{EnqueueError, FairQueue, LaneSnapshot, TenantPolicy};
+use gsi_api::{ApiError, QueryRequest};
+use gsi_service::{GsiService, QueryTicket, SubmitError};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything a [`GsiServer`] is configured by.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`GsiServer::local_addr`]).
+    pub addr: String,
+    /// Most simultaneous client connections; excess connects are closed
+    /// immediately after accept.
+    pub max_connections: usize,
+    /// Per-tenant quotas and the DRR quantum.
+    pub tenants: TenantPolicy,
+    /// Response-writer threads (each blocks on one ticket at a time, so
+    /// this bounds concurrently streaming responses).
+    pub responders: usize,
+    /// Match rows per `MatchChunk` frame.
+    pub chunk_rows: usize,
+    /// The wait hint carried by `Busy` backpressure frames.
+    pub retry_after_hint: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            tenants: TenantPolicy::default(),
+            responders: 4,
+            chunk_rows: 512,
+            retry_after_hint: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A small config for tests: ephemeral port, tight quotas.
+    pub fn for_tests() -> Self {
+        Self {
+            max_connections: 16,
+            tenants: TenantPolicy {
+                queue_quota: 16,
+                inflight_quota: 4,
+                quantum: 8,
+            },
+            responders: 2,
+            chunk_rows: 64,
+            retry_after_hint: Duration::from_millis(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// What [`GsiServer::shutdown`] reports after the drain completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Responses delivered over the server's lifetime (success and typed
+    /// error alike; `Busy` rejections excluded).
+    pub served_total: u64,
+    /// Connections that were live when the drain began.
+    pub connections_drained: usize,
+}
+
+/// One submitted query waiting for DRR dispatch.
+struct PendingSubmit {
+    conn: Arc<ConnShared>,
+    request_id: u64,
+    request: QueryRequest,
+}
+
+/// One dispatched query waiting for its service response.
+struct PendingResponse {
+    conn: Arc<ConnShared>,
+    request_id: u64,
+    tenant: String,
+    ticket: QueryTicket,
+}
+
+/// Per-connection state shared by its reader and the response writers.
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    served: AtomicU64,
+}
+
+impl ConnShared {
+    /// Write one whole frame under the connection's write lock. Errors are
+    /// returned, not panicked: a vanished peer must never take the server
+    /// down.
+    fn send(&self, request_id: u64, frame: &Frame) -> io::Result<()> {
+        let header = FrameHeader {
+            request_id,
+            tenant: String::new(),
+        };
+        let mut stream = self.writer.lock();
+        crate::frame::write_frame(&mut *stream, &header, frame)
+    }
+}
+
+struct ServerShared {
+    service: Arc<GsiService>,
+    config: ServerConfig,
+    queue: FairQueue<PendingSubmit>,
+    conns: Mutex<Vec<std::sync::Weak<ConnShared>>>,
+    /// Set when a drain starts: acceptor stops, submits are refused.
+    draining: AtomicBool,
+    /// Set at final teardown: readers exit at their next timeout tick.
+    closed: AtomicBool,
+    conn_count: AtomicUsize,
+    served_total: AtomicU64,
+}
+
+/// The network front-end over one [`GsiService`].
+pub struct GsiServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    responders: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    drained: bool,
+}
+
+impl GsiServer {
+    /// Bind, spawn the thread complement, and start serving.
+    pub fn start(service: Arc<GsiService>, config: ServerConfig) -> io::Result<GsiServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(ServerShared {
+            service,
+            queue: FairQueue::new(config.tenants.clone()),
+            config,
+            conns: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            conn_count: AtomicUsize::new(0),
+            served_total: AtomicU64::new(0),
+        });
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let (resp_tx, resp_rx) = mpsc::channel::<PendingResponse>();
+        let resp_rx = Arc::new(Mutex::new(resp_rx));
+
+        let responders = (0..shared.config.responders.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&resp_rx);
+                std::thread::Builder::new()
+                    .name(format!("gsi-server-responder-{i}"))
+                    .spawn(move || responder_loop(&shared, &rx))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gsi-server-dispatcher".to_string())
+                .spawn(move || dispatcher_loop(&shared, resp_tx))?
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("gsi-server-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, &listener, &readers))?
+        };
+
+        Ok(GsiServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+            responders,
+            readers,
+            drained: false,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Per-tenant lane accounting, for observability and tests.
+    pub fn tenant_lanes(&self) -> Vec<LaneSnapshot> {
+        self.shared.queue.snapshot()
+    }
+
+    /// Responses delivered so far.
+    pub fn served_total(&self) -> u64 {
+        self.shared.served_total.load(Ordering::Relaxed)
+    }
+
+    /// Gracefully drain and stop: stop accepting, flush every
+    /// acknowledged in-flight query, say goodbye, close.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> DrainReport {
+        if self.drained {
+            return DrainReport {
+                served_total: self.shared.served_total.load(Ordering::Relaxed),
+                connections_drained: 0,
+            };
+        }
+        self.drained = true;
+
+        // Phase 1: stop the intake. The acceptor exits; readers answer
+        // further submits with ShuttingDown.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+
+        // Phase 2: run the fair queue dry. The dispatcher exits after the
+        // last lane empties, dropping the responder channel's sender.
+        self.shared.queue.drain();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+
+        // Phase 3: every dispatched ticket is answered before the
+        // responders see the closed channel and exit.
+        for h in self.responders.drain(..) {
+            let _ = h.join();
+        }
+
+        // Phase 4: typed goodbye to every live connection, then close.
+        let conns: Vec<Arc<ConnShared>> = {
+            let guard = self.shared.conns.lock();
+            guard.iter().filter_map(|w| w.upgrade()).collect()
+        };
+        let connections_drained = conns.len();
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for conn in conns {
+            let _ = conn.send(0, &Frame::Goodbye);
+            let _ = conn.writer.lock().shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.readers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+
+        DrainReport {
+            served_total: self.shared.served_total.load(Ordering::Relaxed),
+            connections_drained,
+        }
+    }
+}
+
+impl Drop for GsiServer {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn acceptor_loop(
+    shared: &Arc<ServerShared>,
+    listener: &TcpListener,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::SeqCst)
+                    || shared.conn_count.load(Ordering::SeqCst) >= shared.config.max_connections
+                {
+                    // Over capacity (or too late): refuse by closing. The
+                    // client sees EOF before any frame — distinct from a
+                    // protocol error on an accepted connection.
+                    drop(stream);
+                    continue;
+                }
+                shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                let shared2 = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("gsi-server-conn".to_string())
+                    .spawn(move || {
+                        connection_loop(&shared2, stream);
+                        shared2.conn_count.fetch_sub(1, Ordering::SeqCst);
+                    });
+                match spawned {
+                    Ok(handle) => readers.lock().push(handle),
+                    Err(_) => {
+                        shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// One connection's read loop: decode, route, answer.
+fn connection_loop(shared: &Arc<ServerShared>, stream: TcpStream) {
+    // The periodic timeout is the reader's shutdown poll; it fires only
+    // between frames in practice (clients write whole frames at once).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnShared {
+        writer: Mutex::new(stream),
+        served: AtomicU64::new(0),
+    });
+    shared.conns.lock().push(Arc::downgrade(&conn));
+
+    let mut reader = io::BufReader::new(read_half);
+    loop {
+        match read_frame(&mut reader) {
+            Ok((header, frame)) => {
+                if !handle_frame(shared, &conn, header, frame) {
+                    break;
+                }
+            }
+            Err(FrameError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.closed.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.is_disconnect() => break,
+            Err(e) => {
+                // Typed protocol error, then hang up: framing is lost, so
+                // nothing further on this connection can be trusted.
+                let _ = conn.send(
+                    0,
+                    &Frame::Error {
+                        error: ApiError::Protocol {
+                            reason: e.to_string(),
+                        },
+                    },
+                );
+                break;
+            }
+        }
+    }
+    let _ = conn.writer.lock().shutdown(Shutdown::Both);
+}
+
+/// Handle one decoded frame; returns `false` when the connection should
+/// close (client goodbye).
+fn handle_frame(
+    shared: &Arc<ServerShared>,
+    conn: &Arc<ConnShared>,
+    header: FrameHeader,
+    frame: Frame,
+) -> bool {
+    let rid = header.request_id;
+    match frame {
+        Frame::Submit { request } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                let _ = conn.send(
+                    rid,
+                    &Frame::Error {
+                        error: ApiError::ShuttingDown,
+                    },
+                );
+                return true;
+            }
+            // The tenant rides in the frame header; re-attach it so the
+            // in-process request carries the same accounting identity.
+            let request = if header.tenant.is_empty() {
+                request
+            } else {
+                request.with_tenant(header.tenant.clone())
+            };
+            let tenant = request.tenant_or_default().to_string();
+            let cost = request.query.n_vertices() as u64;
+            let pending = PendingSubmit {
+                conn: Arc::clone(conn),
+                request_id: rid,
+                request,
+            };
+            match shared.queue.enqueue(&tenant, cost, pending) {
+                Ok(()) => {}
+                Err(EnqueueError::QueueQuota { .. }) => {
+                    let _ = conn.send(
+                        rid,
+                        &Frame::Busy {
+                            retry_after_hint: shared.config.retry_after_hint,
+                        },
+                    );
+                }
+                Err(EnqueueError::Draining) => {
+                    let _ = conn.send(
+                        rid,
+                        &Frame::Error {
+                            error: ApiError::ShuttingDown,
+                        },
+                    );
+                }
+            }
+        }
+        Frame::RegisterGraph { name, graph } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                let _ = conn.send(
+                    rid,
+                    &Frame::Error {
+                        error: ApiError::ShuttingDown,
+                    },
+                );
+                return true;
+            }
+            let reg = shared.service.register(&name, graph);
+            let _ = conn.send(
+                rid,
+                &Frame::RegisterAck {
+                    epoch: reg.entry.epoch(),
+                    displaced_epoch: reg.displaced.as_ref().map(|e| e.epoch()),
+                },
+            );
+        }
+        Frame::UpdateGraph { name, batch } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                let _ = conn.send(
+                    rid,
+                    &Frame::Error {
+                        error: ApiError::ShuttingDown,
+                    },
+                );
+                return true;
+            }
+            match shared.service.update_graph(&name, &batch) {
+                Ok(up) => {
+                    let _ = conn.send(
+                        rid,
+                        &Frame::UpdateAck {
+                            epoch: up.entry.epoch(),
+                            displaced_epoch: up.displaced.epoch(),
+                            applied_ops: batch.ops().len() as u64,
+                        },
+                    );
+                }
+                Err(e) => {
+                    let _ = conn.send(rid, &Frame::Error { error: e.into() });
+                }
+            }
+        }
+        Frame::MetricsRequest { format } => {
+            let body = shared.service.export_metrics(format);
+            let _ = conn.send(rid, &Frame::MetricsReport { body });
+        }
+        Frame::HealthRequest => {
+            let draining = shared.draining.load(Ordering::SeqCst);
+            let _ = conn.send(
+                rid,
+                &Frame::HealthReport {
+                    accepting: !draining,
+                    draining,
+                    graphs: shared.service.catalog().len() as u64,
+                    served: shared.served_total.load(Ordering::Relaxed),
+                },
+            );
+        }
+        Frame::Goodbye => {
+            let _ = conn.send(
+                rid,
+                &Frame::GoodbyeAck {
+                    served: conn.served.load(Ordering::Relaxed),
+                },
+            );
+            return false;
+        }
+        // Server-to-client frames arriving at the server are a protocol
+        // violation.
+        other => {
+            let _ = conn.send(
+                rid,
+                &Frame::Error {
+                    error: ApiError::Protocol {
+                        reason: format!("unexpected client frame {}", other.kind_name()),
+                    },
+                },
+            );
+            return false;
+        }
+    }
+    true
+}
+
+/// Drain the fair queue in DRR order into the service's admission queue.
+fn dispatcher_loop(shared: &Arc<ServerShared>, resp_tx: mpsc::Sender<PendingResponse>) {
+    while let Some((tenant, job)) = shared.queue.dequeue() {
+        match shared.service.submit(job.request) {
+            Ok(ticket) => {
+                let pending = PendingResponse {
+                    conn: job.conn,
+                    request_id: job.request_id,
+                    tenant,
+                    ticket,
+                };
+                if resp_tx.send(pending).is_err() {
+                    // Responders are gone (teardown bug); nothing to do.
+                    return;
+                }
+            }
+            Err(SubmitError::QueueFull { .. }) => {
+                let _ = job.conn.send(
+                    job.request_id,
+                    &Frame::Busy {
+                        retry_after_hint: shared.config.retry_after_hint,
+                    },
+                );
+                shared.queue.complete(&tenant);
+            }
+            Err(e) => {
+                let _ = job
+                    .conn
+                    .send(job.request_id, &Frame::Error { error: e.into() });
+                shared.queue.complete(&tenant);
+            }
+        }
+    }
+    // Queue drained; dropping resp_tx lets responders run down.
+}
+
+/// Wait for service responses and stream them back in bounded chunks.
+fn responder_loop(shared: &Arc<ServerShared>, rx: &Arc<Mutex<mpsc::Receiver<PendingResponse>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the response
+        // wait, so responders run concurrently.
+        let next = { rx.lock().recv() };
+        let Ok(PendingResponse {
+            conn,
+            request_id,
+            tenant,
+            ticket,
+        }) = next
+        else {
+            return;
+        };
+        let response = ticket.wait();
+        write_response(shared, &conn, request_id, response);
+        shared.served_total.fetch_add(1, Ordering::Relaxed);
+        conn.served.fetch_add(1, Ordering::Relaxed);
+        shared.queue.complete(&tenant);
+    }
+}
+
+fn write_response(
+    shared: &Arc<ServerShared>,
+    conn: &Arc<ConnShared>,
+    rid: u64,
+    response: gsi_service::QueryResponse,
+) {
+    match response.result {
+        Ok(outcome) => {
+            let matches = &outcome.output.matches;
+            let n_qv = matches.order.len() as u32;
+            let header = Frame::ResponseHeader {
+                n_matches: matches.len() as u64,
+                n_query_vertices: n_qv,
+                epoch: outcome.epoch,
+                completion: outcome.completion,
+                plan_cache_hit: outcome.plan_cache_hit,
+                latency_us: outcome.latency.as_micros() as u64,
+            };
+            if conn.send(rid, &header).is_err() {
+                return; // Peer gone; the work is still accounted.
+            }
+            let chunk_rows = shared.config.chunk_rows.max(1);
+            let mut row = 0usize;
+            while row < matches.len() {
+                let end = (row + chunk_rows).min(matches.len());
+                let mut flat = Vec::with_capacity((end - row) * n_qv as usize);
+                for i in row..end {
+                    flat.extend_from_slice(&matches.assignment(i));
+                }
+                let chunk = Frame::MatchChunk {
+                    first_row: row as u64,
+                    n_query_vertices: n_qv,
+                    rows: flat,
+                };
+                if conn.send(rid, &chunk).is_err() {
+                    return;
+                }
+                row = end;
+            }
+            let _ = conn.send(rid, &Frame::ResponseDone);
+        }
+        Err(e) => {
+            let _ = conn.send(rid, &Frame::Error { error: e.into() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.max_connections > 0);
+        assert!(c.chunk_rows > 0);
+        assert!(c.responders > 0);
+        let t = ServerConfig::for_tests();
+        assert_eq!(t.addr, "127.0.0.1:0");
+    }
+}

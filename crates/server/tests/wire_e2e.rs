@@ -1,0 +1,339 @@
+//! End-to-end wire tests: a real `GsiServer` on a real TCP socket, driven
+//! by [`GsiClient`]. The load-bearing assertion is *equivalence*: a query
+//! answered over the wire is bit-identical (canonical match set) to the
+//! same query answered in-process by `GsiService::query_blocking`.
+
+use gsi_api::QueryRequest;
+use gsi_graph::query_gen::random_walk_query;
+use gsi_graph::{Graph, GraphBuilder, UpdateBatch};
+use gsi_server::{ClientError, GsiClient, GsiServer, ServerConfig};
+use gsi_service::{GsiService, MetricFormat, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A dense bipartite-ish graph with enough 3-path embeddings to span
+/// several `MatchChunk` frames at the test chunk size.
+fn dense_graph(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    let vs: Vec<u32> = (0..n).map(|i| b.add_vertex((i % 2) as u32)).collect();
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            b.add_edge(vs[i], vs[j], 0);
+        }
+    }
+    b.build()
+}
+
+/// A 3-vertex path query alternating labels 0-1-0.
+fn path_query() -> Graph {
+    let mut b = GraphBuilder::new();
+    let u0 = b.add_vertex(0);
+    let u1 = b.add_vertex(1);
+    let u2 = b.add_vertex(0);
+    b.add_edge(u0, u1, 0);
+    b.add_edge(u1, u2, 0);
+    b.build()
+}
+
+fn start_server(service_workers: usize, config: ServerConfig) -> (Arc<GsiService>, GsiServer) {
+    let service = Arc::new(GsiService::new(ServiceConfig {
+        workers: service_workers,
+        queue_capacity: 256,
+        ..ServiceConfig::for_tests()
+    }));
+    let server = GsiServer::start(Arc::clone(&service), config).expect("bind ephemeral port");
+    (service, server)
+}
+
+#[test]
+fn register_query_stream_equivalence() {
+    let (service, server) = start_server(2, ServerConfig::for_tests());
+    let mut client = GsiClient::connect(server.local_addr()).expect("connect");
+
+    let graph = dense_graph(16);
+    let reg = client.register("g", &graph).expect("register over wire");
+    assert!(
+        reg.displaced_epoch.is_none(),
+        "fresh name displaces nothing"
+    );
+
+    // Re-registration mirrors `Registration { displaced }` over the wire.
+    let reg2 = client.register("g", &graph).expect("re-register");
+    assert_eq!(reg2.displaced_epoch, Some(reg.epoch));
+    assert!(reg2.epoch > reg.epoch);
+
+    let query = path_query();
+    let remote = client
+        .query(QueryRequest::new("g", query.clone()))
+        .expect("query over wire");
+
+    // In-process ground truth on the same service.
+    let local = service
+        .query_blocking(QueryRequest::new("g", query))
+        .expect("admitted")
+        .result
+        .expect("query succeeds");
+    let local_canonical = local.output.matches.canonical();
+
+    assert!(!local_canonical.is_empty(), "dense graph has 3-paths");
+    assert_eq!(
+        remote.canonical(),
+        local_canonical,
+        "wire result must be bit-identical to in-process"
+    );
+    assert_eq!(remote.epoch, reg2.epoch, "query ran against latest epoch");
+    assert!(remote.completion.is_complete());
+    // chunk_rows = 64 in the test config; a dense 16-vertex graph has far
+    // more 3-path embeddings, so the response provably spanned chunks.
+    assert!(
+        remote.assignments.len() > ServerConfig::for_tests().chunk_rows,
+        "test must exercise multi-chunk streaming (got {} rows)",
+        remote.assignments.len()
+    );
+    drop(service);
+}
+
+#[test]
+fn workload_equivalence_over_the_wire() {
+    // A batch of random-walk queries over a dataset stand-in, each checked
+    // against query_blocking on the same service instance.
+    let (service, server) = start_server(2, ServerConfig::for_tests());
+    let mut client = GsiClient::connect(server.local_addr()).expect("connect");
+
+    let graph = gsi_datasets::build(&gsi_datasets::DatasetSpec::scaled(
+        gsi_datasets::DatasetKind::Enron,
+        0.01,
+    ));
+    client.register("enron", &graph).expect("register");
+
+    let mut rng = StdRng::seed_from_u64(0x517E);
+    let mut checked = 0;
+    while checked < 6 {
+        let size = 3 + checked % 3;
+        let Some(q) = random_walk_query(&graph, size, &mut rng) else {
+            continue;
+        };
+        let remote = client
+            .query(QueryRequest::new("enron", q.clone()))
+            .expect("wire query");
+        let local = service
+            .query_blocking(QueryRequest::new("enron", q))
+            .expect("admitted")
+            .result
+            .expect("local query");
+        assert_eq!(
+            remote.canonical(),
+            local.output.matches.canonical(),
+            "divergence on query {checked}"
+        );
+        checked += 1;
+    }
+}
+
+#[test]
+fn update_over_wire_advances_epoch_and_results() {
+    let (_service, server) = start_server(1, ServerConfig::for_tests());
+    let mut client = GsiClient::connect(server.local_addr()).expect("connect");
+
+    // v0(A) — v1(B); the update wires v0 to a second B vertex.
+    let mut b = GraphBuilder::new();
+    let v0 = b.add_vertex(0);
+    let v1 = b.add_vertex(1);
+    b.add_edge(v0, v1, 0);
+    b.add_vertex(1); // v2: present but unwired
+    let reg = client.register("g", &b.build()).expect("register");
+
+    let mut q = GraphBuilder::new();
+    let u0 = q.add_vertex(0);
+    let u1 = q.add_vertex(1);
+    q.add_edge(u0, u1, 0);
+    let query = q.build();
+
+    let before = client
+        .query(QueryRequest::new("g", query.clone()))
+        .expect("query");
+    assert_eq!(before.assignments.len(), 1);
+    assert_eq!(before.epoch, reg.epoch);
+
+    let mut batch = UpdateBatch::new();
+    batch.insert_edge(0, 2, 0);
+    let up = client.update("g", &batch).expect("update over wire");
+    assert_eq!(up.displaced_epoch, reg.epoch);
+    assert!(up.epoch > reg.epoch);
+    assert_eq!(up.applied_ops, 1);
+
+    let after = client
+        .query(QueryRequest::new("g", query))
+        .expect("query after update");
+    assert_eq!(after.assignments.len(), 2, "new edge visible after update");
+    assert_eq!(after.epoch, up.epoch);
+
+    // Updating an unknown graph is a typed error, not a hang or a panic.
+    let mut bad = UpdateBatch::new();
+    bad.insert_edge(0, 1, 0);
+    match client.update("nope", &bad) {
+        Err(ClientError::Api(gsi_api::ApiError::UnknownGraph { name })) => {
+            assert_eq!(name, "nope");
+        }
+        other => panic!("expected UnknownGraph, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_graph_query_is_typed_error() {
+    let (_service, server) = start_server(1, ServerConfig::for_tests());
+    let mut client = GsiClient::connect(server.local_addr()).expect("connect");
+    match client.query(QueryRequest::new("missing", path_query())) {
+        Err(ClientError::Api(gsi_api::ApiError::UnknownGraph { name })) => {
+            assert_eq!(name, "missing");
+        }
+        other => panic!("expected UnknownGraph, got {other:?}"),
+    }
+}
+
+#[test]
+fn metrics_and_health_over_wire() {
+    let (_service, server) = start_server(1, ServerConfig::for_tests());
+    let mut client = GsiClient::connect(server.local_addr()).expect("connect");
+    client.register("g", &dense_graph(6)).expect("register");
+    client
+        .query(QueryRequest::new("g", path_query()))
+        .expect("query");
+
+    let prom = client.metrics(MetricFormat::Prometheus).expect("metrics");
+    assert!(
+        prom.contains("gsi_queries_completed_total"),
+        "prometheus export should carry service counters:\n{prom}"
+    );
+    let json = client.metrics(MetricFormat::Json).expect("metrics json");
+    assert!(json.trim_start().starts_with('{'), "json export: {json}");
+
+    let health = client.health().expect("health");
+    assert!(health.accepting);
+    assert!(!health.draining);
+    assert_eq!(health.graphs, 1);
+    assert!(health.served >= 1, "one query was served");
+
+    let served = client.goodbye().expect("goodbye ack");
+    // The goodbye ack counts streamed query responses (control-plane
+    // answers are not "served" work): exactly the one query above.
+    assert_eq!(served, 1, "connection served {served}");
+}
+
+#[test]
+fn tenant_flood_hits_queue_quota_with_busy() {
+    // Tight quotas + a single slow worker: a flood of pipelined submits
+    // must overflow the tenant lane and be answered with Busy frames.
+    let config = ServerConfig {
+        tenants: gsi_server::TenantPolicy {
+            queue_quota: 2,
+            inflight_quota: 1,
+            quantum: 8,
+        },
+        ..ServerConfig::for_tests()
+    };
+    let (_service, server) = start_server(1, config);
+    let mut client = GsiClient::connect(server.local_addr()).expect("connect");
+    client
+        .register("dense", &dense_graph(32))
+        .expect("register");
+
+    // Pipeline raw Submit frames without reading responses; the reader
+    // thread routes them into the lane faster than one worker drains.
+    use gsi_server::frame::{read_frame, write_frame, Frame, FrameHeader};
+    use std::io::BufReader;
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // A 4-path over the dense graph keeps the worker busy long enough.
+    let mut qb = GraphBuilder::new();
+    let u0 = qb.add_vertex(0);
+    let u1 = qb.add_vertex(1);
+    let u2 = qb.add_vertex(0);
+    let u3 = qb.add_vertex(1);
+    qb.add_edge(u0, u1, 0);
+    qb.add_edge(u1, u2, 0);
+    qb.add_edge(u2, u3, 0);
+    let slow = qb.build();
+
+    let n_submits = 12u64;
+    for rid in 1..=n_submits {
+        let header = FrameHeader {
+            request_id: rid,
+            tenant: "flooder".to_string(),
+        };
+        let frame = Frame::Submit {
+            request: QueryRequest::new("dense", slow.clone()),
+        };
+        write_frame(&mut writer, &header, &frame).expect("pipelined submit");
+    }
+
+    // Every rid gets a terminal answer; some must be Busy.
+    let mut busy = 0;
+    let mut done = 0;
+    let mut terminal = 0;
+    while terminal < n_submits {
+        let (_h, frame) = read_frame(&mut reader).expect("response frame");
+        match frame {
+            Frame::Busy { retry_after_hint } => {
+                assert!(retry_after_hint > std::time::Duration::ZERO);
+                busy += 1;
+                terminal += 1;
+            }
+            Frame::ResponseDone => {
+                done += 1;
+                terminal += 1;
+            }
+            Frame::Error { error } => panic!("unexpected error frame: {error}"),
+            Frame::ResponseHeader { .. } | Frame::MatchChunk { .. } => {}
+            other => panic!("unexpected frame {}", other.kind_name()),
+        }
+    }
+    assert!(
+        busy > 0,
+        "queue quota 2 must reject part of a 12-deep flood"
+    );
+    assert!(done > 0, "admitted queries still complete");
+}
+
+#[test]
+fn drr_shares_service_between_tenants() {
+    // Two tenants flood concurrently; DRR must not let either lane starve.
+    let config = ServerConfig {
+        tenants: gsi_server::TenantPolicy {
+            queue_quota: 32,
+            inflight_quota: 1,
+            quantum: 8,
+        },
+        ..ServerConfig::for_tests()
+    };
+    let (_service, server) = start_server(1, config);
+    let addr = server.local_addr();
+    let mut setup = GsiClient::connect(addr).expect("connect");
+    setup.register("dense", &dense_graph(24)).expect("register");
+
+    let worker = |tenant: &'static str| {
+        let mut client = GsiClient::connect(addr)
+            .expect("connect")
+            .with_tenant(tenant);
+        std::thread::spawn(move || {
+            let mut served = 0u64;
+            for _ in 0..8 {
+                match client.query(QueryRequest::new("dense", path_query())) {
+                    Ok(_) => served += 1,
+                    Err(ClientError::Busy { retry_after }) => std::thread::sleep(retry_after),
+                    Err(e) => panic!("tenant {} failed: {e}", client.tenant()),
+                }
+            }
+            served
+        })
+    };
+    let a = worker("alpha");
+    let b = worker("beta");
+    let served_a = a.join().expect("alpha thread");
+    let served_b = b.join().expect("beta thread");
+    assert_eq!(served_a, 8);
+    assert_eq!(served_b, 8);
+}

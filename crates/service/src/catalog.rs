@@ -128,6 +128,18 @@ impl From<UpdateError> for CatalogUpdateError {
     }
 }
 
+impl From<CatalogUpdateError> for gsi_api::ApiError {
+    fn from(e: CatalogUpdateError) -> Self {
+        match e {
+            CatalogUpdateError::UnknownGraph(name) => gsi_api::ApiError::UnknownGraph { name },
+            CatalogUpdateError::Conflict(name) => gsi_api::ApiError::UpdateConflict { name },
+            CatalogUpdateError::Graph(err) => gsi_api::ApiError::UpdateRejected {
+                reason: err.to_string(),
+            },
+        }
+    }
+}
+
 /// Thread-safe registry of prepared data graphs.
 #[derive(Debug, Default)]
 pub struct GraphCatalog {

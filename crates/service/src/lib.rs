@@ -74,7 +74,7 @@
 //! let v2 = b.add_vertex(1);
 //! b.add_edge(v0, v1, 0);
 //! b.add_edge(v0, v2, 0);
-//! service.register_graph("social", b.build());
+//! service.register("social", b.build());
 //!
 //! let mut qb = GraphBuilder::new();
 //! let u0 = qb.add_vertex(0);
@@ -102,6 +102,8 @@ pub use scheduler::{
     QueryError, QueryOutcome, QueryRequest, QueryResponse, QueryScheduler, QueryTicket, SubmitError,
 };
 pub use stats::{EpochStats, ServiceStats, ServiceStatsSnapshot};
+
+pub use gsi_api::{ApiError, Completion, PartialReason};
 
 pub use gsi_obs::{
     FlightRecorder, HistogramSnapshot, MetricFormat, MetricsRegistry, QueryTrace, StageBreakdown,
@@ -304,7 +306,7 @@ impl GsiService {
     /// registration runs concurrently with queries, work from those queries
     /// that lands inside the preparation window is attributed to
     /// preparation — register up front for exact accounting.
-    pub fn register_graph(&self, name: &str, graph: Graph) -> Arc<CatalogEntry> {
+    pub fn register(&self, name: &str, graph: Graph) -> Registration {
         let before = self.core.engine.gpu().stats().snapshot();
         let reg = self.core.catalog.register(&self.core.engine, name, graph);
         let delta = self.core.engine.gpu().stats().snapshot() - before;
@@ -315,11 +317,21 @@ impl GsiService {
         // A replaced registration's epoch can never match again; drop its
         // plans instead of waiting for LRU pressure to evict them, and
         // retire its stats entry.
-        if let Some(old) = reg.displaced {
+        if let Some(old) = &reg.displaced {
             self.core.plan_cache.invalidate_scope(old.epoch());
             self.core.stats.retire_epoch(old.epoch());
         }
-        reg.entry
+        reg
+    }
+
+    /// Deprecated alias for [`GsiService::register`] that drops the
+    /// displaced entry from the return value.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `register`, which returns the full `Registration { entry, displaced }`"
+    )]
+    pub fn register_graph(&self, name: &str, graph: Graph) -> Arc<CatalogEntry> {
+        self.register(name, graph).entry
     }
 
     /// Apply a mutation batch to a registered graph and publish the result
@@ -777,7 +789,7 @@ mod tests {
     #[test]
     fn end_to_end_serving() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         let resp = service
             .query_blocking(QueryRequest::new("g", edge_query()))
             .expect("submits");
@@ -792,7 +804,7 @@ mod tests {
     #[test]
     fn repeat_queries_hit_the_plan_cache() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         for i in 0..4 {
             let resp = service
                 .query_blocking(QueryRequest::new("g", edge_query()))
@@ -810,7 +822,7 @@ mod tests {
     #[test]
     fn unknown_graph_and_invalid_queries_rejected() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         assert!(matches!(
             service.submit(QueryRequest::new("nope", edge_query())),
             Err(SubmitError::UnknownGraph(_))
@@ -832,7 +844,7 @@ mod tests {
     #[test]
     fn deadline_expired_in_queue_fails_without_running() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         // Zero deadline: by the time a worker sees it, it has expired.
         let resp = service
             .query_blocking(QueryRequest::new("g", edge_query()).with_deadline(Duration::ZERO))
@@ -849,7 +861,7 @@ mod tests {
     #[test]
     fn unregister_drops_graph_and_plans() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         service
             .query_blocking(QueryRequest::new("g", edge_query()))
             .unwrap();
@@ -866,14 +878,14 @@ mod tests {
     #[test]
     fn reregistration_drops_stale_plans() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         service
             .query_blocking(QueryRequest::new("g", edge_query()))
             .unwrap();
         assert_eq!(service.plan_cache().len(), 1);
         // Replacing the graph under the same name must invalidate the old
         // epoch's plans; the next query misses and re-plans.
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         assert_eq!(service.plan_cache().len(), 0);
         let resp = service
             .query_blocking(QueryRequest::new("g", edge_query()))
@@ -890,7 +902,7 @@ mod tests {
         cfg.workers = 1;
         cfg.intra_query_parallelism = 6;
         let service = GsiService::new(cfg);
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         let resp = service
             .query_blocking(QueryRequest::new("g", edge_query()))
             .unwrap();
@@ -903,7 +915,7 @@ mod tests {
     #[test]
     fn serial_service_reports_one_intra_thread() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         let resp = service
             .query_blocking(QueryRequest::new("g", edge_query()))
             .unwrap();
@@ -913,7 +925,7 @@ mod tests {
     #[test]
     fn empty_update_batch_is_a_noop() {
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         service
             .query_blocking(QueryRequest::new("g", edge_query()))
             .unwrap();
@@ -947,7 +959,7 @@ mod tests {
         // disconnected/degenerate query submitted to the service must be
         // answered with a typed error; no worker may die.
         let service = GsiService::new(ServiceConfig::for_tests());
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
 
         let mut qb = GraphBuilder::new();
         qb.add_vertex(0);
@@ -996,7 +1008,7 @@ mod tests {
                 b.add_edge(vs[i], vs[j], 0);
             }
         }
-        service.register_graph("dense", b.build());
+        service.register("dense", b.build());
         let mut qb = GraphBuilder::new();
         let u0 = qb.add_vertex(0);
         let u1 = qb.add_vertex(1);
@@ -1034,7 +1046,7 @@ mod tests {
             workers: 1,
             ..ServiceConfig::for_tests()
         });
-        service.register_graph("g", data_graph());
+        service.register("g", data_graph());
         let tickets: Vec<QueryTicket> = (0..16)
             .map(|_| {
                 service

@@ -40,6 +40,7 @@ use crate::canon::canonicalize;
 use crate::catalog::CatalogEntry;
 use crate::plan_cache::PlanEstimates;
 use crate::ServiceCore;
+use gsi_api::{ApiError, Completion, PartialReason};
 use gsi_core::{BackendKind, FilterCache, PlanError, PlannerKind, QueryOptions, QueryOutput};
 use gsi_graph::Graph;
 use gsi_obs::{QueryTrace, Stage, StageBreakdown, TraceOutcome, TraceSpan};
@@ -50,34 +51,9 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A query submitted to the service.
-#[derive(Debug, Clone)]
-pub struct QueryRequest {
-    /// Catalog name of the data graph to search.
-    pub graph: String,
-    /// The pattern to match.
-    pub query: Graph,
-    /// Per-query deadline (submit → response). `None` uses the service's
-    /// default; `Some` overrides it.
-    pub deadline: Option<Duration>,
-}
-
-impl QueryRequest {
-    /// Request against `graph` with the service's default deadline.
-    pub fn new(graph: impl Into<String>, query: Graph) -> Self {
-        Self {
-            graph: graph.into(),
-            query,
-            deadline: None,
-        }
-    }
-
-    /// Set a per-query deadline.
-    pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
-        self
-    }
-}
+// The request type lives in `gsi-api` (shared with the wire path); this
+// re-export keeps `gsi_service::QueryRequest` working for existing code.
+pub use gsi_api::QueryRequest;
 
 /// Why a submission was not accepted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +86,19 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+impl From<SubmitError> for ApiError {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::UnknownGraph(name) => ApiError::UnknownGraph { name },
+            SubmitError::QueueFull { capacity } => ApiError::QueueFull {
+                capacity: capacity as u64,
+            },
+            SubmitError::InvalidQuery(reason) => ApiError::InvalidQuery { reason },
+            SubmitError::ShuttingDown => ApiError::ShuttingDown,
+        }
+    }
+}
+
 /// Why an accepted query produced no result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
@@ -130,6 +119,18 @@ pub enum QueryError {
         /// The panic payload, when it was a string.
         message: String,
     },
+}
+
+impl From<QueryError> for ApiError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::DeadlineExpired { waited } => ApiError::DeadlineExpired { waited },
+            QueryError::Plan(p) => ApiError::PlanRejected {
+                reason: p.to_string(),
+            },
+            QueryError::Internal { message } => ApiError::Internal { message },
+        }
+    }
 }
 
 /// A completed query: the engine output plus serving metadata.
@@ -186,6 +187,12 @@ pub struct QueryOutcome {
     /// [`gsi_core::TraceConfig`]; the stages sum to `latency` within
     /// measurement slack (clock-read gaps, channel send).
     pub stage_breakdown: StageBreakdown,
+    /// Whether `output.matches` is the full match set or a typed partial
+    /// — [`Completion::Partial`] with [`PartialReason::DeadlineTriage`]
+    /// when the engine's deadline triage stopped enumeration early (the
+    /// same condition `output.stats.timed_out` flags, promoted to a
+    /// first-class API contract).
+    pub completion: Completion,
 }
 
 /// What a [`QueryTicket`] resolves to.
@@ -793,6 +800,13 @@ fn run_job(
             .collect(),
     });
 
+    let completion = if output.stats.timed_out {
+        Completion::Partial {
+            reason: PartialReason::DeadlineTriage,
+        }
+    } else {
+        Completion::Complete
+    };
     let _ = job.tx.send(QueryResponse {
         graph,
         result: Ok(QueryOutcome {
@@ -809,6 +823,7 @@ fn run_job(
             latency,
             query_id,
             stage_breakdown: breakdown,
+            completion,
         }),
     });
     true

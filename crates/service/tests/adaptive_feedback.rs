@@ -158,7 +158,7 @@ fn run(service: &GsiService, query: &Graph) -> QueryOutcome {
 fn feedback_converges_to_the_measured_optimal_order_after_an_epoch_flip() {
     let query = fork_query();
     let service = GsiService::new(adaptive_service());
-    service.register_graph("g", epoch1_graph());
+    service.register("g", epoch1_graph());
 
     // Epoch 1: cold plan, then a warm hit. No feedback exists yet.
     let cold = run(&service, &query);
@@ -250,7 +250,7 @@ fn feedback_converges_to_the_measured_optimal_order_after_an_epoch_flip() {
     // Equivalence: every epoch-2 run — stale, re-planned, refined — is
     // bit-identical to a cold cost-based service on the same data.
     let cold_service = GsiService::new(adaptive_service());
-    cold_service.register_graph("g", epoch2_graph());
+    cold_service.register("g", epoch2_graph());
     let truth = run(&cold_service, &query).output.matches.canonical();
     assert!(!truth.is_empty(), "fixture must produce matches");
     for (name, outcome) in [
@@ -302,7 +302,7 @@ fn adaptive_machinery_stays_cold_without_a_threshold() {
         replan_drift_threshold: 1.0,
         ..ServiceConfig::for_tests()
     });
-    service.register_graph("g", epoch1_graph());
+    service.register("g", epoch1_graph());
 
     let first = run(&service, &query);
     service

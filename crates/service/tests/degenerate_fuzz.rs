@@ -84,7 +84,7 @@ fn service_for(backend: BackendKind) -> GsiService {
         cfg.intra_query_parallelism = 2;
     }
     let service = GsiService::new(cfg);
-    service.register_graph("g", data_graph());
+    service.register("g", data_graph());
     service
 }
 

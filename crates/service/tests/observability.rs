@@ -58,7 +58,7 @@ fn serve(service: &GsiService, queries: &[Graph]) -> Vec<gsi_service::QueryRespo
 fn stage_breakdown_sums_to_latency() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
     let responses = serve(&service, &patterns(&g, 12));
 
     let mut checked = 0;
@@ -91,7 +91,7 @@ fn stage_breakdown_sums_to_latency() {
 fn prometheus_export_parses_line_by_line() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
     let n = 8;
     serve(&service, &patterns(&g, n));
 
@@ -178,7 +178,7 @@ fn prometheus_export_parses_line_by_line() {
 fn exported_metric_names_follow_the_grammar() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
     serve(&service, &patterns(&g, 4));
 
     let text = service.export_metrics(MetricFormat::Prometheus);
@@ -229,7 +229,7 @@ fn exported_metric_names_follow_the_grammar() {
 fn json_export_carries_the_registry() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
     serve(&service, &patterns(&g, 4));
 
     let json = service.export_metrics(MetricFormat::Json);
@@ -257,7 +257,7 @@ fn json_export_carries_the_registry() {
 fn queue_depth_highwater_is_recorded() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
     let qs = patterns(&g, 10);
     let responses = serve(&service, &qs);
     assert!(responses.iter().all(|r| r.result.is_ok()));
@@ -279,7 +279,7 @@ fn queue_depth_highwater_is_recorded() {
 fn single_vertex_pattern_leaves_q_error_clean() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
 
     // Before any query, the mean gauge renders as the exporter's NaN
     // spelling rather than poisoning the text format.
@@ -321,7 +321,7 @@ fn single_vertex_pattern_leaves_q_error_clean() {
 fn flight_recorder_retains_served_queries() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
     let responses = serve(&service, &patterns(&g, 12));
 
     let recorder = service.flight_recorder();
@@ -351,7 +351,7 @@ fn flight_recorder_retains_served_queries() {
 fn trace_on_attaches_span_trees() {
     let g = data_graph();
     let service = observed_service(TraceConfig::On);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
     serve(&service, &patterns(&g, 6));
 
     let records = service.flight_recorder().records();
@@ -394,7 +394,7 @@ fn trace_on_attaches_span_trees() {
 fn update_path_is_observable() {
     let g = data_graph();
     let service = observed_service(TraceConfig::Off);
-    service.register_graph("g", g.clone());
+    service.register("g", g.clone());
 
     // Grow the graph: a fresh vertex wired to vertex 0 can't collide
     // with any existing edge.

@@ -70,7 +70,7 @@ fn concurrent_matches_equal_serial() {
     // Service with a pool of workers, everything in flight at once.
     let service = GsiService::new(test_service(4));
     for (name, g) in &graphs {
-        service.register_graph(name, g.clone());
+        service.register(name, g.clone());
     }
     let tickets: Vec<_> = queries
         .iter()
@@ -102,7 +102,7 @@ fn concurrent_execution_is_deterministic() {
     let run = || -> Vec<Vec<Vec<u32>>> {
         let service = GsiService::new(test_service(3));
         for (name, g) in &graphs {
-            service.register_graph(name, g.clone());
+            service.register(name, g.clone());
         }
         let tickets: Vec<_> = queries
             .iter()
@@ -132,7 +132,7 @@ fn repeated_workload_hits_plan_cache() {
 
     let service = GsiService::new(test_service(2));
     for (name, g) in &graphs {
-        service.register_graph(name, g.clone());
+        service.register(name, g.clone());
     }
     let mut counts_by_round = Vec::new();
     for _round in 0..3 {
@@ -195,7 +195,7 @@ fn relabeled_queries_share_plan_entries() {
 
     let service = GsiService::new(test_service(1));
     let (name, data) = &catalog_graphs()[0];
-    service.register_graph(name, data.clone());
+    service.register(name, data.clone());
 
     let first = service
         .query_blocking(QueryRequest::new(*name, q.clone()))
@@ -245,7 +245,7 @@ fn queries_pin_their_epoch_across_updates() {
         b.add_edge(v0, vb, 0);
     }
     b.add_vertex(1); // v4: unwired B vertex the update will connect
-    let e0 = service.register_graph("g", b.build());
+    let e0 = service.register("g", b.build()).entry;
 
     // A dense blocker graph whose 4-path query takes a while.
     let mut d = GraphBuilder::new();
@@ -255,7 +255,7 @@ fn queries_pin_their_epoch_across_updates() {
             d.add_edge(vs[i], vs[j], 0);
         }
     }
-    service.register_graph("dense", d.build());
+    service.register("dense", d.build());
     let mut qb = GraphBuilder::new();
     let u0 = qb.add_vertex(0);
     let u1 = qb.add_vertex(1);
@@ -329,7 +329,7 @@ fn high_drift_updates_recost_old_epoch_plans() {
     let v2 = b.add_vertex(1);
     b.add_edge(v0, v1, 0);
     b.add_edge(v0, v2, 0);
-    service.register_graph("g", b.build());
+    service.register("g", b.build());
 
     let first = service
         .query_blocking(QueryRequest::new("g", edge_query_ab()))
@@ -391,7 +391,7 @@ fn low_drift_updates_migrate_cached_plans() {
         b.add_edge(v0, vb, 0);
         b.add_edge(vb, cs[i], 1);
     }
-    service.register_graph("g", b.build());
+    service.register("g", b.build());
 
     let first = service
         .query_blocking(QueryRequest::new("g", edge_query_ab()))
@@ -434,7 +434,7 @@ fn outcomes_report_planner_kind_and_estimation_error() {
     let v2 = b.add_vertex(1);
     b.add_edge(v0, v1, 0);
     b.add_edge(v0, v2, 0);
-    service.register_graph("g", b.build());
+    service.register("g", b.build());
 
     let first = service
         .query_blocking(QueryRequest::new("g", edge_query_ab()))
@@ -494,7 +494,7 @@ fn batched_execution_is_bit_identical_to_solo_runs() {
     // One worker, parked on a dense blocker: the workload queues up behind
     // it and the next pickups drain it in batches of `batch_window`.
     let service = GsiService::new(test_service(1));
-    service.register_graph(gname, data.clone());
+    service.register(gname, data.clone());
     let mut d = GraphBuilder::new();
     let vs: Vec<u32> = (0..48).map(|i| d.add_vertex(i % 2)).collect();
     for i in 0..vs.len() {
@@ -502,7 +502,7 @@ fn batched_execution_is_bit_identical_to_solo_runs() {
             d.add_edge(vs[i], vs[j], 0);
         }
     }
-    service.register_graph("dense", d.build());
+    service.register("dense", d.build());
     let mut qb = GraphBuilder::new();
     let u0 = qb.add_vertex(0);
     let u1 = qb.add_vertex(1);
@@ -556,7 +556,7 @@ fn plan_cache_scoped_per_graph() {
     let graphs = catalog_graphs();
     let service = GsiService::new(test_service(2));
     for (name, g) in &graphs {
-        service.register_graph(name, g.clone());
+        service.register(name, g.clone());
     }
     let q = workload(&graphs, 1)[0].1.clone();
     for (name, _) in &graphs {

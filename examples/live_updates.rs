@@ -51,7 +51,7 @@ fn main() {
     });
     let graph = seed_graph(300, 40, &mut rng);
     let n = graph.n_vertices() as u32;
-    let epoch0 = service.register_graph("social", graph);
+    let epoch0 = service.register("social", graph).entry;
     println!(
         "registered 'social' at epoch {} ({} vertices)",
         epoch0.epoch(),

@@ -91,7 +91,7 @@ fn main() {
         ..ServiceConfig::default()
     });
     for (name, g) in &graphs {
-        service.register_graph(name, g.clone());
+        service.register(name, g.clone());
     }
 
     // Sliding window: keep up to IN_FLIGHT tickets outstanding.

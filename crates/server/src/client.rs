@@ -266,6 +266,25 @@ impl GsiClient {
                     })
                 }
             };
+        // A zero-width response streams no chunks (mirroring the server):
+        // every match is the empty assignment, synthesized from the
+        // header's count. The engine rejects empty patterns upstream with
+        // EmptyQuery, so this is wire-level defensiveness, not a normal
+        // service path.
+        if n_qv == 0 {
+            return match self.recv(rid)? {
+                Frame::ResponseDone => Ok(RemoteOutcome {
+                    assignments: vec![Vec::new(); n_matches as usize],
+                    completion,
+                    epoch,
+                    plan_cache_hit,
+                    server_latency: Duration::from_micros(latency_us),
+                }),
+                other => Err(ClientError::Unexpected {
+                    kind: other.kind_name(),
+                }),
+            };
+        }
         let mut assignments: Vec<Vec<u32>> = Vec::with_capacity(n_matches as usize);
         loop {
             match self.recv(rid)? {
@@ -279,7 +298,8 @@ impl GsiClient {
                             kind: "mis-sequenced match chunk",
                         });
                     }
-                    let width = n_qv.max(1) as usize;
+                    // n_qv >= 1 here: the zero-width case returned above.
+                    let width = n_qv as usize;
                     for row in rows.chunks_exact(width) {
                         assignments.push(row.to_vec());
                     }

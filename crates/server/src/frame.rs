@@ -217,6 +217,10 @@ pub enum FrameError {
     BadVersion(u16),
     /// The length word is outside `[MIN_FRAME_LEN, MAX_FRAME_LEN]`.
     BadLength(usize),
+    /// An *outbound* frame's encoded body exceeds [`MAX_FRAME_LEN`]. The
+    /// peer would only ever answer such a frame with `BadLength` after the
+    /// whole body crossed the network, so it is refused at send time.
+    TooLarge(usize),
     /// The frame kind byte is not defined by this protocol version.
     UnknownKind(u8),
     /// The payload failed to decode (truncated, oversized, bad
@@ -239,6 +243,10 @@ impl std::fmt::Display for FrameError {
             FrameError::BadLength(len) => write!(
                 f,
                 "frame length {len} outside [{MIN_FRAME_LEN}, {MAX_FRAME_LEN}]"
+            ),
+            FrameError::TooLarge(len) => write!(
+                f,
+                "outbound frame body of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
             ),
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
             FrameError::Wire(e) => write!(f, "payload decode: {e}"),
@@ -549,8 +557,22 @@ fn decode_frame_body(body: &[u8]) -> Result<(FrameHeader, Frame), FrameError> {
 
 /// Write one frame to a stream (a single `write_all`, so concurrent
 /// writers serialized by a mutex can interleave whole frames only).
+///
+/// A frame whose encoded body exceeds [`MAX_FRAME_LEN`] is refused
+/// before any byte is written: the error is `InvalidInput` wrapping
+/// [`FrameError::TooLarge`]. The receiver would reject such a frame with
+/// `BadLength` anyway — but only after the full body crossed the network.
 pub fn write_frame(out: &mut impl Write, header: &FrameHeader, frame: &Frame) -> io::Result<()> {
     let bytes = encode_frame(header, frame);
+    // `bytes.len()` is the true size even when a >4 GiB body would have
+    // wrapped the u32 length word, so the cap check cannot be fooled.
+    let body_len = bytes.len().saturating_sub(4);
+    if body_len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            FrameError::TooLarge(body_len),
+        ));
+    }
     out.write_all(&bytes)?;
     out.flush()
 }
@@ -560,6 +582,11 @@ pub fn write_frame(out: &mut impl Write, header: &FrameHeader, frame: &Frame) ->
 /// A clean EOF at the frame boundary is [`FrameError::Closed`]; EOF in the
 /// middle of a frame is a mid-frame disconnect and surfaces as
 /// [`FrameError::Io`] with `UnexpectedEof`.
+///
+/// This reader assumes a fully blocking stream. On a stream with a read
+/// timeout, a timeout that fires mid-frame would discard the bytes
+/// already consumed and desynchronize the framing — use
+/// [`read_frame_polled`] there instead.
 pub fn read_frame(input: &mut impl Read) -> Result<(FrameHeader, Frame), FrameError> {
     let mut len_buf = [0u8; 4];
     // Distinguish "no next frame" from "frame cut off": read the first
@@ -577,6 +604,88 @@ pub fn read_frame(input: &mut impl Read) -> Result<(FrameHeader, Frame), FrameEr
     let mut body = vec![0u8; len];
     input.read_exact(&mut body)?;
     decode_frame_body(&body)
+}
+
+/// Whether an I/O error is a read-timeout poll tick rather than a real
+/// failure (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_poll_tick(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// `read_exact` that survives read-timeout ticks: bytes already consumed
+/// are kept and the read resumes where it left off, so a timeout firing
+/// between a frame's TCP segments (a large body, a slow peer) can never
+/// desynchronize the framing. `abort` is polled on every tick; once it
+/// returns true the read gives up with `ConnectionAborted` — a
+/// disconnect, not a protocol error.
+fn read_exact_polled(
+    input: &mut impl Read,
+    mut buf: &mut [u8],
+    abort: &dyn Fn() -> bool,
+) -> Result<(), FrameError> {
+    while !buf.is_empty() {
+        match input.read(buf) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "disconnect mid-frame",
+                )))
+            }
+            Ok(n) => {
+                // `Read` guarantees n <= buf.len().
+                let rest = buf;
+                buf = &mut rest[n..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_poll_tick(&e) => {
+                if abort() {
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "reader shut down mid-frame",
+                    )));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame from a stream whose read timeout doubles as a poll
+/// interval (the server's per-connection readers).
+///
+/// The first byte of the length word is the *only* idle point: a timeout
+/// there means no frame has started and is reported as `Ok(None)` so the
+/// caller can run its periodic checks. From the moment any byte of a
+/// frame has been consumed, timeouts are retried in place (checking
+/// `abort` on each tick) — partial frames are never dropped, so a
+/// well-behaved but slow client cannot be killed with a bogus
+/// `BadLength`/`BadMagic` from desynchronized framing.
+pub fn read_frame_polled(
+    input: &mut impl Read,
+    abort: &dyn Fn() -> bool,
+) -> Result<Option<(FrameHeader, Frame)>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    loop {
+        match input.read(&mut len_buf[..1]) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_poll_tick(&e) => return Ok(None),
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    read_exact_polled(input, &mut len_buf[1..], abort)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if !(MIN_FRAME_LEN..=MAX_FRAME_LEN).contains(&len) {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_polled(input, &mut body, abort)?;
+    decode_frame_body(&body).map(Some)
 }
 
 #[cfg(test)]
@@ -724,6 +833,108 @@ mod tests {
             decode_frame(&bad_len),
             Err(FrameError::BadLength(_))
         ));
+    }
+
+    /// Worst-case segmentation: a "timeout" (WouldBlock) before every
+    /// single byte. Any byte-dropping in the polled reader shows up as a
+    /// decode failure here.
+    struct DribbleReader {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for DribbleReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.ready = false;
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn polled_read_survives_timeouts_mid_frame() {
+        let header = FrameHeader::new(42, "acme");
+        for frame in sample_frames() {
+            let mut input = DribbleReader {
+                data: encode_frame(&header, &frame),
+                pos: 0,
+                ready: false,
+            };
+            // The first tick lands before any byte: an idle report, not
+            // an error. Every later tick lands mid-frame and must be
+            // retried without losing consumed bytes.
+            let mut idle_ticks = 0;
+            let (h, back) = loop {
+                match read_frame_polled(&mut input, &|| false) {
+                    Ok(Some(out)) => break out,
+                    Ok(None) => idle_ticks += 1,
+                    Err(e) => panic!("{}: polled read failed: {e}", frame.kind_name()),
+                }
+            };
+            assert_eq!(
+                idle_ticks,
+                1,
+                "{}: only the pre-frame tick is idle",
+                frame.kind_name()
+            );
+            assert_eq!(h, header, "{}", frame.kind_name());
+            assert_eq!(
+                encode_frame(&h, &back),
+                encode_frame(&header, &frame),
+                "{} survived re-encode",
+                frame.kind_name()
+            );
+        }
+    }
+
+    #[test]
+    fn polled_read_aborts_mid_frame_on_request() {
+        let mut input = DribbleReader {
+            data: encode_frame(&FrameHeader::new(1, "t"), &Frame::HealthRequest),
+            pos: 0,
+            ready: false,
+        };
+        // First call: the pre-frame tick.
+        assert!(matches!(read_frame_polled(&mut input, &|| true), Ok(None)));
+        // Second call consumes the first byte, then hits a tick with the
+        // abort flag up: a disconnect-class error, not a protocol error.
+        match read_frame_polled(&mut input, &|| true) {
+            Err(e) => {
+                assert!(e.is_disconnect(), "abort is a disconnect, got {e:?}");
+            }
+            other => panic!("expected mid-frame abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_outbound_frame_refused_at_send_time() {
+        // The api-level graph/row caps admit payloads well past
+        // MAX_FRAME_LEN (blobs and strings truncate, rows do not); a
+        // MatchChunk with MAX_FRAME_LEN/4 cells busts the cap once the
+        // envelope and counts are added.
+        let frame = Frame::MatchChunk {
+            first_row: 0,
+            n_query_vertices: 1,
+            rows: vec![0u32; MAX_FRAME_LEN / 4],
+        };
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &FrameHeader::default(), &frame)
+            .expect_err("oversized frame must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing may reach the wire");
+        assert!(
+            err.to_string().contains("exceeds"),
+            "typed TooLarge error surfaces: {err}"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! that was acknowledged into a lane before the drain began receives its
 //! response — zero acknowledged queries are dropped.
 
-use crate::frame::{read_frame, Frame, FrameError, FrameHeader};
+use crate::frame::{read_frame_polled, Frame, FrameHeader};
 use crate::tenant::{EnqueueError, FairQueue, LaneSnapshot, TenantPolicy};
 use gsi_api::{ApiError, QueryRequest};
 use gsi_service::{GsiService, QueryTicket, SubmitError};
@@ -236,6 +236,13 @@ impl GsiServer {
         self.shared.served_total.load(Ordering::Relaxed)
     }
 
+    /// Connection slots currently tracked, dead ones included (dead slots
+    /// are pruned whenever a new connection registers). Observability
+    /// hook; also lets tests prove churn does not leak slots.
+    pub fn connection_slots(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+
     /// Gracefully drain and stop: stop accepting, flush every
     /// acknowledged in-flight query, say goodbye, close.
     pub fn shutdown(mut self) -> DrainReport {
@@ -329,7 +336,14 @@ fn acceptor_loop(
                         shared2.conn_count.fetch_sub(1, Ordering::SeqCst);
                     });
                 match spawned {
-                    Ok(handle) => readers.lock().push(handle),
+                    Ok(handle) => {
+                        // Drop handles of readers that already exited so
+                        // connection churn cannot grow this Vec forever;
+                        // live handles are joined at drain time.
+                        let mut guard = readers.lock();
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
                     Err(_) => {
                         shared.conn_count.fetch_sub(1, Ordering::SeqCst);
                     }
@@ -348,8 +362,11 @@ fn acceptor_loop(
 
 /// One connection's read loop: decode, route, answer.
 fn connection_loop(shared: &Arc<ServerShared>, stream: TcpStream) {
-    // The periodic timeout is the reader's shutdown poll; it fires only
-    // between frames in practice (clients write whole frames at once).
+    // The read timeout is the reader's shutdown-poll interval. A timeout
+    // is honored as an idle tick only *between* frames; once a frame has
+    // started, `read_frame_polled` retries timeouts in place, so a frame
+    // arriving across multiple TCP segments (large RegisterGraph bodies,
+    // slow clients) can never desynchronize the framing.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -358,20 +375,26 @@ fn connection_loop(shared: &Arc<ServerShared>, stream: TcpStream) {
         writer: Mutex::new(stream),
         served: AtomicU64::new(0),
     });
-    shared.conns.lock().push(Arc::downgrade(&conn));
+    {
+        // Dead slots (connections that have since closed) are pruned on
+        // every insert so churn cannot grow the registry without bound.
+        let mut guard = shared.conns.lock();
+        guard.retain(|w| w.strong_count() > 0);
+        guard.push(Arc::downgrade(&conn));
+    }
 
     let mut reader = io::BufReader::new(read_half);
+    let closed = || shared.closed.load(Ordering::SeqCst);
     loop {
-        match read_frame(&mut reader) {
-            Ok((header, frame)) => {
+        match read_frame_polled(&mut reader, &closed) {
+            Ok(Some((header, frame))) => {
                 if !handle_frame(shared, &conn, header, frame) {
                     break;
                 }
             }
-            Err(FrameError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shared.closed.load(Ordering::SeqCst) {
+            Ok(None) => {
+                // Idle tick: no frame in flight.
+                if closed() {
                     break;
                 }
             }
@@ -615,23 +638,29 @@ fn write_response(
             if conn.send(rid, &header).is_err() {
                 return; // Peer gone; the work is still accounted.
             }
-            let chunk_rows = shared.config.chunk_rows.max(1);
-            let mut row = 0usize;
-            while row < matches.len() {
-                let end = (row + chunk_rows).min(matches.len());
-                let mut flat = Vec::with_capacity((end - row) * n_qv as usize);
-                for i in row..end {
-                    flat.extend_from_slice(&matches.assignment(i));
+            // A zero-width result (the engine rejects empty patterns with
+            // EmptyQuery, so this is wire-level defensiveness) streams no
+            // chunks: every match is the empty assignment, and the header
+            // alone carries the count.
+            if n_qv > 0 {
+                let chunk_rows = shared.config.chunk_rows.max(1);
+                let mut row = 0usize;
+                while row < matches.len() {
+                    let end = (row + chunk_rows).min(matches.len());
+                    let mut flat = Vec::with_capacity((end - row) * n_qv as usize);
+                    for i in row..end {
+                        flat.extend_from_slice(&matches.assignment(i));
+                    }
+                    let chunk = Frame::MatchChunk {
+                        first_row: row as u64,
+                        n_query_vertices: n_qv,
+                        rows: flat,
+                    };
+                    if conn.send(rid, &chunk).is_err() {
+                        return;
+                    }
+                    row = end;
                 }
-                let chunk = Frame::MatchChunk {
-                    first_row: row as u64,
-                    n_query_vertices: n_qv,
-                    rows: flat,
-                };
-                if conn.send(rid, &chunk).is_err() {
-                    return;
-                }
-                row = end;
             }
             let _ = conn.send(rid, &Frame::ResponseDone);
         }

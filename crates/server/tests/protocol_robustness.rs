@@ -6,15 +6,16 @@
 //! the server survived by running a healthy request on a fresh
 //! connection.
 
-use gsi_api::QueryRequest;
+use gsi_api::{Completion, QueryRequest};
 use gsi_graph::{Graph, GraphBuilder};
 use gsi_server::frame::{
-    encode_frame, read_frame, Frame, FrameHeader, MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    encode_frame, read_frame, write_frame, Frame, FrameHeader, MAGIC, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 use gsi_server::{GsiClient, GsiServer, ServerConfig};
 use gsi_service::{GsiService, ServiceConfig};
 use std::io::{BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -265,6 +266,116 @@ fn fuzzed_random_prefixes_never_panic_the_server() {
         }
     }
     assert_server_alive(addr);
+}
+
+#[test]
+fn slow_frame_spanning_read_timeouts_is_served_intact() {
+    // The reader's shutdown poll is a 100ms read timeout. A well-behaved
+    // client whose frame arrives in several TCP segments with >100ms
+    // stalls between them — mid-length-word and mid-body — must still be
+    // served: a timeout mid-frame may not discard consumed bytes and
+    // desynchronize the framing into a bogus BadLength/BadMagic hangup.
+    let (_service, server) = start_server();
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let bytes = encode_frame(&FrameHeader::new(5, "slowpoke"), &Frame::HealthRequest);
+    // Split points: inside the 4-byte length word, right after it, and
+    // inside the body. Each stall spans at least two reader timeouts.
+    let splits = [2usize, 4, bytes.len() / 2];
+    let mut from = 0usize;
+    for &split in &splits {
+        writer
+            .write_all(&bytes[from..split])
+            .expect("partial write");
+        writer.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(250));
+        from = split;
+    }
+    writer.write_all(&bytes[from..]).expect("final write");
+    writer.flush().expect("flush");
+
+    let mut reader = BufReader::new(stream);
+    let (h, frame) = read_frame(&mut reader).expect("slow frame answered");
+    assert_eq!(h.request_id, 5);
+    assert!(
+        matches!(frame, Frame::HealthReport { .. }),
+        "expected HealthReport, got {}",
+        frame.kind_name()
+    );
+    assert_server_alive(addr);
+}
+
+#[test]
+fn zero_width_response_decodes_as_empty_assignments() {
+    // Wire-level defensiveness for the n_query_vertices == 0 edge: a
+    // zero-width response carries no chunks, and the client synthesizes
+    // n_matches empty assignments instead of failing with a count
+    // mismatch. Driven by a hand-rolled server since the real engine
+    // rejects empty patterns upstream.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let fake_server = std::thread::spawn(move || {
+        let (stream, _peer) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let (h, frame) = read_frame(&mut reader).expect("read submit");
+        assert!(matches!(frame, Frame::Submit { .. }));
+        let mut writer = stream;
+        let header = FrameHeader::new(h.request_id, "");
+        write_frame(
+            &mut writer,
+            &header,
+            &Frame::ResponseHeader {
+                n_matches: 3,
+                n_query_vertices: 0,
+                epoch: 1,
+                completion: Completion::Complete,
+                plan_cache_hit: false,
+                latency_us: 7,
+            },
+        )
+        .expect("write header");
+        write_frame(&mut writer, &header, &Frame::ResponseDone).expect("write done");
+    });
+
+    let mut client = GsiClient::connect(addr).expect("connect");
+    let outcome = client
+        .query(QueryRequest::new("g", edge_query()))
+        .expect("zero-width response decodes");
+    assert_eq!(outcome.assignments, vec![Vec::<u32>::new(); 3]);
+    assert_eq!(outcome.completion, Completion::Complete);
+    fake_server.join().expect("fake server");
+}
+
+#[test]
+fn dead_connection_slots_are_pruned_under_churn() {
+    // Connection churn must not grow the server's slot registry without
+    // bound: dead weak slots are pruned whenever a new connection
+    // registers.
+    let (_service, server) = start_server();
+    let addr = server.local_addr();
+    for _ in 0..10 {
+        let mut client = GsiClient::connect(addr).expect("connect");
+        let _ = client.health();
+        drop(client);
+    }
+    // Readers notice the EOFs asynchronously; each fresh connect prunes
+    // whatever has died by then. Poll briefly to absorb scheduling.
+    let mut slots = usize::MAX;
+    for _ in 0..100 {
+        let probe = GsiClient::connect(addr).expect("connect");
+        slots = server.connection_slots();
+        drop(probe);
+        if slots <= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(slots <= 3, "churned slots were not pruned: {slots} tracked");
 }
 
 #[test]
